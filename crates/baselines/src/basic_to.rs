@@ -1,0 +1,188 @@
+//! Conventional single-valued timestamp ordering — the "protocol P4 in
+//! [SDD-1]" the paper contrasts with in Example 1. Each transaction gets a
+//! scalar timestamp at its first operation (a logical arrival clock); all
+//! conflicting operations must occur in timestamp order.
+
+use std::collections::BTreeMap;
+
+use mdts_model::{ItemId, Log, OpKind, TxId};
+
+/// Basic timestamp-ordering scheduler.
+///
+/// Per item `x` it keeps the largest read timestamp `rts(x)` and write
+/// timestamp `wts(x)`:
+///
+/// * `read(x)` by `T` with `ts(T) < wts(x)` → abort (it would read a value
+///   from its future); otherwise grant and `rts(x) := max(rts(x), ts(T))`;
+/// * `write(x)` by `T` with `ts(T) < rts(x)` → abort; with
+///   `ts(T) < wts(x)` → abort, or *ignore* under the Thomas write rule;
+///   otherwise grant and `wts(x) := ts(T)`.
+#[derive(Clone, Debug)]
+pub struct BasicTimestampOrdering {
+    thomas: bool,
+    clock: u64,
+    ts: BTreeMap<TxId, u64>,
+    rts: BTreeMap<ItemId, u64>,
+    wts: BTreeMap<ItemId, u64>,
+}
+
+/// Verdict of one access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ToVerdict {
+    /// Access granted.
+    Granted,
+    /// Write skipped by the Thomas rule (still a success).
+    Ignored,
+    /// Transaction must abort.
+    Abort,
+}
+
+impl BasicTimestampOrdering {
+    /// Plain basic TO.
+    pub fn new() -> Self {
+        BasicTimestampOrdering {
+            thomas: false,
+            clock: 0,
+            ts: BTreeMap::new(),
+            rts: BTreeMap::new(),
+            wts: BTreeMap::new(),
+        }
+    }
+
+    /// Basic TO with the Thomas write rule.
+    pub fn with_thomas_rule() -> Self {
+        BasicTimestampOrdering { thomas: true, ..BasicTimestampOrdering::new() }
+    }
+
+    /// Timestamp of `tx`, assigned at first sight (arrival order).
+    pub fn timestamp(&mut self, tx: TxId) -> u64 {
+        if let Some(&t) = self.ts.get(&tx) {
+            return t;
+        }
+        self.clock += 1;
+        self.ts.insert(tx, self.clock);
+        self.clock
+    }
+
+    /// Forgets an aborted transaction so its restart draws a fresh (larger)
+    /// timestamp — the standard TO restart rule.
+    pub fn forget(&mut self, tx: TxId) {
+        self.ts.remove(&tx);
+    }
+
+    /// Schedules a read.
+    pub fn read(&mut self, tx: TxId, item: ItemId) -> ToVerdict {
+        let t = self.timestamp(tx);
+        if t < self.wts.get(&item).copied().unwrap_or(0) {
+            return ToVerdict::Abort;
+        }
+        let r = self.rts.entry(item).or_insert(0);
+        *r = (*r).max(t);
+        ToVerdict::Granted
+    }
+
+    /// Schedules a write.
+    pub fn write(&mut self, tx: TxId, item: ItemId) -> ToVerdict {
+        let t = self.timestamp(tx);
+        if t < self.rts.get(&item).copied().unwrap_or(0) {
+            return ToVerdict::Abort;
+        }
+        if t < self.wts.get(&item).copied().unwrap_or(0) {
+            return if self.thomas { ToVerdict::Ignored } else { ToVerdict::Abort };
+        }
+        self.wts.insert(item, t);
+        ToVerdict::Granted
+    }
+
+    /// Log recognition: every operation must be granted (`Err(pos)` =
+    /// first abort).
+    pub fn recognize(log: &Log) -> Result<(), usize> {
+        let mut s = BasicTimestampOrdering::new();
+        for (pos, op) in log.ops().iter().enumerate() {
+            for &item in op.items() {
+                let v = match op.kind {
+                    OpKind::Read => s.read(op.tx, item),
+                    OpKind::Write => s.write(op.tx, item),
+                };
+                if v == ToVerdict::Abort {
+                    return Err(pos);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience boolean form.
+    pub fn accepts(log: &Log) -> bool {
+        Self::recognize(log).is_ok()
+    }
+}
+
+impl Default for BasicTimestampOrdering {
+    fn default() -> Self {
+        BasicTimestampOrdering::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicts_in_arrival_order_granted() {
+        let log = Log::parse("R1[x] W1[x] R2[x] W2[x]").unwrap();
+        assert!(BasicTimestampOrdering::accepts(&log));
+    }
+
+    #[test]
+    fn late_conflict_against_arrival_order_aborts() {
+        // Example 1's point: T2 arrives after T3 here; conventional TO has
+        // already fixed T3 < T2 and must abort W3[y] after R2[y].
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        assert_eq!(BasicTimestampOrdering::recognize(&log), Err(5));
+    }
+
+    #[test]
+    fn thomas_rule_ignores_stale_write() {
+        let mut s = BasicTimestampOrdering::with_thomas_rule();
+        assert_eq!(s.write(TxId(1), ItemId(0)), ToVerdict::Granted);
+        assert_eq!(s.write(TxId(2), ItemId(0)), ToVerdict::Granted);
+        // T1 is older than wts(x) = ts(T2) but no reader is in between.
+        assert_eq!(s.write(TxId(1), ItemId(0)), ToVerdict::Ignored);
+    }
+
+    #[test]
+    fn reader_in_between_forces_abort_despite_thomas() {
+        let mut s = BasicTimestampOrdering::with_thomas_rule();
+        assert_eq!(s.write(TxId(1), ItemId(0)), ToVerdict::Granted);
+        assert_eq!(s.read(TxId(2), ItemId(0)), ToVerdict::Granted);
+        assert_eq!(s.read(TxId(3), ItemId(0)), ToVerdict::Granted);
+        assert_eq!(s.write(TxId(1), ItemId(0)), ToVerdict::Abort, "rts(x) > ts(T1)");
+    }
+
+    #[test]
+    fn forget_gives_restart_fresh_timestamp() {
+        let mut s = BasicTimestampOrdering::new();
+        assert_eq!(s.read(TxId(1), ItemId(0)), ToVerdict::Granted); // ts(T1) = 1
+        assert_eq!(s.write(TxId(2), ItemId(0)), ToVerdict::Granted); // wts(x) = 2
+        assert_eq!(s.write(TxId(1), ItemId(0)), ToVerdict::Abort, "older than wts(x)");
+        s.forget(TxId(1));
+        assert_eq!(s.write(TxId(1), ItemId(0)), ToVerdict::Granted, "restart is newest");
+    }
+
+    #[test]
+    fn accepted_logs_are_serializable() {
+        use mdts_graph::is_dsr;
+        use mdts_model::MultiStepConfig;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..300 {
+            let log = MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }
+                .generate(&mut rng);
+            if BasicTimestampOrdering::accepts(&log) {
+                assert!(is_dsr(&log), "TO accepted a non-serializable log: {log}");
+            }
+        }
+    }
+}

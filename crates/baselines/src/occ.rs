@@ -1,0 +1,162 @@
+//! Optimistic concurrency control with backward validation
+//! (Kung–Robinson) — the "waits till the end of the transaction to make a
+//! commit/abort decision" approach of the paper's introduction, and the
+//! scheme its Section VI-C-2 two-phase-commit variant is contrasted with.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mdts_model::{ItemId, Log, TxId};
+
+#[derive(Clone, Debug, Default)]
+struct TxState {
+    read_set: BTreeSet<ItemId>,
+    write_set: BTreeSet<ItemId>,
+    /// Validation number of the last transaction committed before this one
+    /// started (backward validation window lower bound).
+    start_tn: u64,
+}
+
+/// Backward-validating OCC scheduler.
+///
+/// Reads and writes always proceed (writes go to a private workspace —
+/// `mdts-storage` provides it in the engine); at commit the transaction
+/// validates against every transaction that committed during its lifetime:
+/// if any of their write sets intersects its read set, it aborts.
+#[derive(Clone, Debug, Default)]
+pub struct Occ {
+    active: BTreeMap<TxId, TxState>,
+    /// Committed write sets, keyed by commit number.
+    committed: Vec<(u64, BTreeSet<ItemId>)>,
+    next_tn: u64,
+}
+
+impl Occ {
+    /// Fresh scheduler.
+    pub fn new() -> Self {
+        Occ::default()
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&mut self, tx: TxId) {
+        let start_tn = self.next_tn;
+        self.active.insert(tx, TxState { start_tn, ..TxState::default() });
+    }
+
+    fn state(&mut self, tx: TxId) -> &mut TxState {
+        if !self.active.contains_key(&tx) {
+            self.begin(tx);
+        }
+        self.active.get_mut(&tx).expect("just ensured")
+    }
+
+    /// Records a read (always succeeds in the read phase).
+    pub fn read(&mut self, tx: TxId, item: ItemId) {
+        self.state(tx).read_set.insert(item);
+    }
+
+    /// Records a write (to the private workspace; always succeeds).
+    pub fn write(&mut self, tx: TxId, item: ItemId) {
+        self.state(tx).write_set.insert(item);
+    }
+
+    /// Serial backward validation at commit: `true` = committed, `false` =
+    /// the transaction must abort (its state is discarded either way).
+    pub fn commit(&mut self, tx: TxId) -> bool {
+        let Some(state) = self.active.remove(&tx) else { return false };
+        let conflict = self
+            .committed
+            .iter()
+            .rev()
+            .take_while(|(tn, _)| *tn > state.start_tn)
+            .any(|(_, wset)| wset.intersection(&state.read_set).next().is_some());
+        if conflict {
+            return false;
+        }
+        self.next_tn += 1;
+        self.committed.push((self.next_tn, state.write_set));
+        true
+    }
+
+    /// Drops an aborted transaction.
+    pub fn abort(&mut self, tx: TxId) {
+        self.active.remove(&tx);
+    }
+
+    /// Log recognition: run the log, committing each transaction at its
+    /// last operation; accepted iff every commit validates. Returns the
+    /// first failing transaction on rejection.
+    pub fn recognize(log: &Log) -> Result<(), TxId> {
+        let mut occ = Occ::new();
+        let last_pos: BTreeMap<TxId, usize> =
+            log.tx_summaries().iter().map(|s| (s.tx, s.last_pos())).collect();
+        let first_pos: BTreeMap<TxId, usize> =
+            log.tx_summaries().iter().map(|s| (s.tx, s.first_pos())).collect();
+        for (pos, op) in log.ops().iter().enumerate() {
+            if first_pos[&op.tx] == pos {
+                occ.begin(op.tx);
+            }
+            for &item in op.items() {
+                match op.kind {
+                    mdts_model::OpKind::Read => occ.read(op.tx, item),
+                    mdts_model::OpKind::Write => occ.write(op.tx, item),
+                }
+            }
+            if last_pos[&op.tx] == pos && !occ.commit(op.tx) {
+                return Err(op.tx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience boolean form.
+    pub fn accepts(log: &Log) -> bool {
+        Self::recognize(log).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_transactions_commit() {
+        let log = Log::parse("R1[x] R2[y] W1[x] W2[y]").unwrap();
+        assert!(Occ::accepts(&log));
+    }
+
+    #[test]
+    fn overlapping_reader_of_committed_write_aborts() {
+        // T1 commits a write of x while T2 (which read x) is still running.
+        let log = Log::parse("R2[x] R1[x] W1[x] W2[y]").unwrap();
+        assert_eq!(Occ::recognize(&log), Err(TxId(2)));
+    }
+
+    #[test]
+    fn write_write_overlap_is_tolerated_by_backward_validation() {
+        // Backward validation only checks read sets; blind write overlap
+        // commits (serial equivalence by commit order).
+        let log = Log::parse("W1[x] W2[x] W1[y] W2[y]").unwrap();
+        // wait: T1 commits at W1[y] (pos 2), T2 at W2[y] (pos 3); neither
+        // reads, so both validate.
+        assert!(Occ::accepts(&log));
+    }
+
+    #[test]
+    fn validation_window_is_lifetime_only() {
+        // T1 commits before T2 starts: no overlap, no conflict.
+        let log = Log::parse("R1[x] W1[x] R2[x] W2[x]").unwrap();
+        assert!(Occ::accepts(&log));
+    }
+
+    #[test]
+    fn explicit_api_round_trip() {
+        let mut occ = Occ::new();
+        occ.begin(TxId(1));
+        occ.begin(TxId(2));
+        occ.read(TxId(2), ItemId(0));
+        occ.write(TxId(1), ItemId(0));
+        assert!(occ.commit(TxId(1)));
+        assert!(!occ.commit(TxId(2)), "T2 read what T1 wrote during its lifetime");
+        occ.abort(TxId(2));
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench for Figs. 6–7: scalar vs simulated-parallel vector
+//! comparison across dimensions, on the protocol's worst case (equal
+//! prefix of length k−1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdts_vector::{ScalarComparator, TreeComparator, TsVec};
+
+fn worst_case_pair(k: usize) -> (TsVec, TsVec) {
+    let mut a = TsVec::undefined(k);
+    let mut b = TsVec::undefined(k);
+    for m in 0..k {
+        a.define(m, 1);
+        b.define(m, if m == k - 1 { 2 } else { 1 });
+    }
+    (a, b)
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_compare");
+    for k in [4usize, 16, 64, 256, 1024] {
+        let (a, b) = worst_case_pair(k);
+        group.bench_with_input(BenchmarkId::new("scalar", k), &k, |bench, _| {
+            bench.iter(|| ScalarComparator::compare(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tree_simulated", k), &k, |bench, _| {
+            bench.iter(|| TreeComparator::compare(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Section IV: the naive O(nqk²) composite vs the
+//! shared-prefix O(nqk) Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdts_core::{recognize, NaiveComposite, SharedPrefixComposite};
+use mdts_model::{Log, MultiStepConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(seed: u64) -> Log {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiStepConfig { n_txns: 16, n_items: 16, max_ops: 4, ..Default::default() }
+        .generate(&mut rng)
+}
+
+fn bench_composites(c: &mut Criterion) {
+    let log = workload(7);
+    let mut group = c.benchmark_group("composite");
+    for k in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = NaiveComposite::new(k);
+                recognize(&mut s, std::hint::black_box(&log))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("shared_prefix", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = SharedPrefixComposite::new(k);
+                recognize(&mut s, std::hint::black_box(&log))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composites);
+criterion_main!(benches);

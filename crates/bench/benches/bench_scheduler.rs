@@ -1,0 +1,76 @@
+//! Criterion bench for Section III-D-3: MT(k) recognition cost as n, q
+//! and k scale (the O(nqk) claim), plus the baselines on the same logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdts_baselines::{BasicTimestampOrdering, IntervalScheduler, StrictTwoPhaseLocking};
+use mdts_core::{recognize, MtOptions, MtScheduler};
+use mdts_model::{Log, MultiStepConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(n: usize, q: usize, seed: u64) -> Log {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultiStepConfig {
+        n_txns: n,
+        n_items: (n * 4).max(8),
+        min_ops: q,
+        max_ops: q,
+        ..Default::default()
+    }
+    .generate(&mut rng)
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let log = workload(64, 4, 1);
+    let mut group = c.benchmark_group("mtk_recognition_k");
+    group.throughput(Throughput::Elements(log.len() as u64));
+    for k in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = MtScheduler::new(MtOptions::new(k));
+                recognize(&mut s, std::hint::black_box(&log))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_n_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mtk_recognition_n");
+    for n in [16usize, 64, 256] {
+        let log = workload(n, 4, 2);
+        group.throughput(Throughput::Elements(log.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = MtScheduler::new(MtOptions::new(4));
+                recognize(&mut s, std::hint::black_box(&log))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_roster(c: &mut Criterion) {
+    let log = workload(64, 4, 3);
+    let mut group = c.benchmark_group("recognizer_roster");
+    group.throughput(Throughput::Elements(log.len() as u64));
+    group.bench_function("MT(3)", |b| {
+        b.iter(|| {
+            let mut s = MtScheduler::new(MtOptions::new(3));
+            recognize(&mut s, std::hint::black_box(&log))
+        })
+    });
+    group.bench_function("strict-2PL", |b| {
+        b.iter(|| StrictTwoPhaseLocking::recognize(std::hint::black_box(&log)))
+    });
+    group.bench_function("basic-TO", |b| {
+        b.iter(|| BasicTimestampOrdering::recognize(std::hint::black_box(&log)))
+    });
+    group.bench_function("intervals", |b| {
+        b.iter(|| IntervalScheduler::recognize(std::hint::black_box(&log)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_sweep, bench_n_sweep, bench_protocol_roster);
+criterion_main!(benches);

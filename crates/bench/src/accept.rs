@@ -1,0 +1,113 @@
+//! Monte-Carlo acceptance-rate sweeps: the quantitative form of the
+//! paper's "degree of concurrency" (number of logs a scheduler accepts).
+
+use mdts_baselines::{BasicTimestampOrdering, IntervalScheduler, Occ, StrictTwoPhaseLocking};
+use mdts_core::{to_k, to_k_star};
+use mdts_graph::{is_2pl_arrival, is_dsr, is_ssr, is_to1};
+use mdts_model::{Log, MultiStepConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named log recognizer.
+#[derive(Clone)]
+pub struct Recognizer {
+    /// Display name.
+    pub name: String,
+    f: std::sync::Arc<dyn Fn(&Log) -> bool + Send + Sync>,
+}
+
+impl Recognizer {
+    /// Wraps a recognition function.
+    pub fn new(name: impl Into<String>, f: impl Fn(&Log) -> bool + Send + Sync + 'static) -> Self {
+        Recognizer { name: name.into(), f: std::sync::Arc::new(f) }
+    }
+
+    /// Whether the recognizer accepts the log.
+    pub fn accepts(&self, log: &Log) -> bool {
+        (self.f)(log)
+    }
+
+    /// The standard roster: the protocol classes of Fig. 4 plus the
+    /// baselines and the composite.
+    pub fn roster(ks: &[usize]) -> Vec<Recognizer> {
+        let mut out = vec![
+            Recognizer::new("DSR", is_dsr),
+            Recognizer::new("SSR", is_ssr),
+            Recognizer::new("2PL(model)", is_2pl_arrival),
+            Recognizer::new("2PL(strict)", StrictTwoPhaseLocking::accepts),
+            Recognizer::new("TO(1)def", is_to1),
+            Recognizer::new("basicTO", BasicTimestampOrdering::accepts),
+            Recognizer::new("OCC", Occ::accepts),
+            Recognizer::new("Intervals", IntervalScheduler::accepts),
+        ];
+        for &k in ks {
+            out.push(Recognizer::new(format!("TO({k})"), move |log| to_k(log, k)));
+            out.push(Recognizer::new(format!("TO({k}+)"), move |log| to_k_star(log, k)));
+        }
+        out
+    }
+}
+
+/// Result of one acceptance sweep.
+#[derive(Clone, Debug)]
+pub struct AcceptanceSweep {
+    /// Logs sampled.
+    pub trials: u64,
+    /// Per-recognizer acceptance counts, in roster order.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl AcceptanceSweep {
+    /// Acceptance rate of recognizer `name`.
+    pub fn rate(&self, name: &str) -> Option<f64> {
+        self.counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c as f64 / self.trials as f64)
+    }
+}
+
+/// Samples `trials` random logs from `cfg` and counts acceptance per
+/// recognizer.
+pub fn acceptance_rate(
+    cfg: &MultiStepConfig,
+    recognizers: &[Recognizer],
+    trials: u64,
+    seed: u64,
+) -> AcceptanceSweep {
+    let mut counts = vec![0u64; recognizers.len()];
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t));
+        let log = cfg.generate(&mut rng);
+        for (i, r) in recognizers.iter().enumerate() {
+            if r.accepts(&log) {
+                counts[i] += 1;
+            }
+        }
+    }
+    AcceptanceSweep {
+        trials,
+        counts: recognizers
+            .iter()
+            .map(|r| r.name.clone())
+            .zip(counts)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_counts_and_rates() {
+        let cfg = MultiStepConfig { n_txns: 3, n_items: 6, ..Default::default() };
+        let roster = Recognizer::roster(&[2]);
+        let sweep = acceptance_rate(&cfg, &roster, 50, 1);
+        assert_eq!(sweep.trials, 50);
+        let dsr = sweep.rate("DSR").unwrap();
+        let to2 = sweep.rate("TO(2)").unwrap();
+        assert!(to2 <= dsr, "TO(2) ⊆ DSR must show in the counts");
+        assert!(sweep.rate("nope").is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! exp01 — Fig. 1 / Example 1 (Section I-A).
+//!
+//! Replays the motivating example: after `W1[x] W1[y] R3[x] R2[y]` the
+//! vectors of T2 and T3 are *equal* (`<2,*>`), so the later conflict
+//! `R2[y]…W3[y]` can still be encoded either way — single-valued
+//! timestamps would already have fixed T3 < T2 and must abort T3.
+
+use mdts_bench::{print_table, Table};
+use mdts_core::{recognize, MtOptions, MtScheduler};
+use mdts_graph::dependency_graph;
+use mdts_model::{Log, TxId};
+
+fn main() {
+    let full = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+    let prefix = full.prefix(4);
+    println!("== exp01: Fig. 1 / Example 1 ==\n");
+    println!("log prefix: {prefix}");
+
+    let mut s = MtScheduler::new(MtOptions::new(2));
+    assert!(recognize(&mut s, &prefix).accepted);
+    let mut t = Table::new(&["tx", "TS after prefix (paper: T1=<1,*>, T2=<2,*>, T3=<2,*>)"]);
+    for tx in [1u32, 2, 3] {
+        t.row(&[format!("T{tx}"), s.table().ts_expect(TxId(tx)).to_string()]);
+    }
+    print_table(&t);
+
+    println!("\ncontinuing with R2[y'] W3[y] (the dependency T2 → T3 appears):");
+    let mut s = MtScheduler::new(MtOptions::new(2));
+    assert!(recognize(&mut s, &full).accepted, "MT(2) accepts the whole log");
+    let mut t = Table::new(&["tx", "final TS (paper: T1=<1,*>, T2=<2,1>, T3=<2,2>)"]);
+    for tx in [1u32, 2, 3] {
+        t.row(&[format!("T{tx}"), s.table().ts_expect(TxId(tx)).to_string()]);
+    }
+    print_table(&t);
+
+    let order = s.table().serial_order(&full.transactions()).unwrap();
+    println!(
+        "\nserializability order: {} (paper: T1 T2 T3, no abort of T3)",
+        order.iter().map(|t| format!("T{}", t.0)).collect::<Vec<_>>().join(" ")
+    );
+
+    // The dependency digraph of Fig. 1(c).
+    println!("\ndependency edges (Fig. 1):");
+    for e in dependency_graph(&full, false).edges {
+        println!("  T{} → T{}  ({:?} on {})", e.from.0, e.to.0, e.kind, full.item_name(e.item));
+    }
+
+    // The contrast: one dimension aborts.
+    let mut mt1 = MtScheduler::new(MtOptions::new(1));
+    let r = recognize(&mut mt1, &full);
+    println!(
+        "\nMT(1) on the same log: rejected at position {} ({}) — the premature total order.",
+        r.rejected_at.unwrap(),
+        full.op(r.rejected_at.unwrap())
+    );
+    assert!(!r.accepted);
+}

@@ -1,0 +1,59 @@
+//! exp05 — Fig. 5: the starvation case and the III-D-4 fix.
+//!
+//! `L = W1[x] W2[x] R3[y] W3[x]`: T3 derives `TS(3) = <1,*>` from its read
+//! of y and is then blocked by `TS(2) = <2,*>` on x. Without the fix, each
+//! restart re-derives the same vector and aborts again, forever. With the
+//! fix, the restart begins with `TS(3) = <TS(2,1)+1, *>` and completes.
+
+use mdts_core::{MtOptions, MtScheduler};
+use mdts_model::{Log, TxId};
+
+fn run_rounds(fix: bool, rounds: usize) -> (usize, bool) {
+    let log = Log::parse("W1[x] W2[x] R3[y] W3[x]").unwrap();
+    let opts = MtOptions { starvation_flush: fix, ..MtOptions::new(2) };
+    let mut s = MtScheduler::new(opts);
+    for op in log.ops().iter().take(3) {
+        assert!(s.process(op).is_accept());
+    }
+    let mut aborts = 0;
+    for _ in 0..rounds {
+        if s.process(log.op(3)).is_accept() {
+            return (aborts, true);
+        }
+        aborts += 1;
+        s.abort(TxId(3));
+        s.begin_restarted(TxId(3), TxId(3));
+        assert!(s.process(log.op(2)).is_accept(), "re-read of y on restart");
+    }
+    (aborts, false)
+}
+
+fn main() {
+    println!("== exp05: Fig. 5 — starvation and the III-D-4 fix ==\n");
+    println!("log L = W1[x] W2[x] R3[y] W3[x], k = 2\n");
+
+    let (aborts, done) = run_rounds(false, 25);
+    println!("without the fix: {aborts} abort/restart cycles, completed = {done}");
+    assert_eq!(aborts, 25);
+    assert!(!done, "T3 starves forever");
+
+    let (aborts, done) = run_rounds(true, 25);
+    println!("with the fix:    {aborts} abort, completed = {done}");
+    assert_eq!(aborts, 1, "exactly one abort, then the flushed restart succeeds");
+    assert!(done);
+
+    // Show the flushed vector.
+    let log = Log::parse("W1[x] W2[x] R3[y] W3[x]").unwrap();
+    let mut s = MtScheduler::new(MtOptions { starvation_flush: true, ..MtOptions::new(2) });
+    for op in log.ops().iter().take(3) {
+        let _ = s.process(op);
+    }
+    let _ = s.process(log.op(3));
+    s.abort(TxId(3));
+    s.begin_restarted(TxId(3), TxId(3));
+    println!(
+        "\nafter the flush, the restart begins with TS(3) = {} (paper: <3, *…>)",
+        s.table().ts_expect(TxId(3))
+    );
+    assert_eq!(s.table().ts_expect(TxId(3)).to_string(), "<3,*>");
+}

@@ -1,0 +1,93 @@
+//! exp15 — Section VI-C: rollback schemes.
+//!
+//! 1. **Partial rollback** (VI-C-1): a transaction that fails at its m-th
+//!    operation rolls back only to the last consistent savepoint instead
+//!    of restarting from scratch; we measure the operations preserved.
+//! 2. **Two-phase commit for writes** (VI-C-2): deferred writes make
+//!    uncommitted work invisible — the advertised properties (no dirty
+//!    reads, committed transactions never abort, cheap workspace pruning)
+//!    are demonstrated on the live structures.
+
+use mdts_bench::{print_table, Table};
+use mdts_model::ItemId;
+use mdts_storage::{Store, UndoLog, WriteBuffer};
+use mdts_model::TxId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("== exp15: Section VI-C — rollback schemes ==\n");
+
+    // Part 1: partial rollback. Simulate transactions of q writes that
+    // fail at a uniformly random operation; count preserved operations
+    // when rolling back to the failure point's savepoint vs full restart.
+    let mut rng = StdRng::seed_from_u64(5);
+    let q = 10usize;
+    let trials = 10_000;
+    let mut preserved_partial = 0u64;
+    let mut preserved_full = 0u64;
+    let mut work_redone_partial = 0u64;
+    let mut work_redone_full = 0u64;
+    for _ in 0..trials {
+        let fail_at = rng.gen_range(0..q); // operation that violates serializability
+        let mut store = Store::with_items(q as u32, 0i64);
+        let mut undo = UndoLog::new();
+        let mut savepoints = Vec::new();
+        for op in 0..=fail_at {
+            savepoints.push(undo.savepoint());
+            undo.write_through(&mut store, ItemId(op as u32), op as i64 + 1);
+        }
+        // Partial rollback: undo just the failing operation.
+        undo.rollback_to(&mut store, savepoints[fail_at]);
+        preserved_partial += fail_at as u64;
+        work_redone_partial += 1; // re-execute one operation
+        // Full restart: everything redone.
+        preserved_full += 0;
+        work_redone_full += fail_at as u64 + 1;
+        // Sanity: the store reflects exactly the preserved prefix.
+        for op in 0..q {
+            let expect = if op < fail_at { op as i64 + 1 } else { 0 };
+            assert_eq!(store.get(ItemId(op as u32)), Some(&expect));
+        }
+    }
+    let mut t = Table::new(&["scheme", "ops preserved (avg)", "ops redone (avg)"]);
+    t.row(&[
+        "partial rollback".into(),
+        format!("{:.2}", preserved_partial as f64 / trials as f64),
+        format!("{:.2}", work_redone_partial as f64 / trials as f64),
+    ]);
+    t.row(&[
+        "full restart".into(),
+        format!("{:.2}", preserved_full as f64 / trials as f64),
+        format!("{:.2}", work_redone_full as f64 / trials as f64),
+    ]);
+    print_table(&t);
+    println!(
+        "\nper q = {q}-operation transactions with uniformly random failure points,\n\
+         partial rollback preserves ~(q-1)/2 operations that a full restart redoes.\n"
+    );
+
+    // Part 2: two-phase-commit writes.
+    println!("two-phase-commit writes (VI-C-2):");
+    let mut store = Store::with_items(2, 100i64);
+    let mut wb: WriteBuffer<i64> = WriteBuffer::new();
+    wb.write(TxId(1), ItemId(0), 0);
+    // (a) invisible to others:
+    assert_eq!(store.get(ItemId(0)), Some(&100));
+    assert_eq!(wb.own_read(TxId(2), ItemId(0)), None);
+    println!("  (a) T1's uncommitted write invisible to T2 and to the store  ✓");
+    // (c) abort prunes the workspace only:
+    wb.discard(TxId(1));
+    assert_eq!(store.get(ItemId(0)), Some(&100));
+    assert_eq!(wb.active(), 0);
+    println!("  (c) aborting T1 prunes its workspace; nothing else changes   ✓");
+    // (b) once applied (validated commit), never undone:
+    wb.write(TxId(3), ItemId(1), 7);
+    wb.apply(TxId(3), &mut store);
+    assert_eq!(store.get(ItemId(1)), Some(&7));
+    println!("  (b) T3 validated and committed; its write is in the store    ✓");
+    println!(
+        "\nthe engine uses exactly this scheme for every protocol \
+         (see mdts-engine::db), so no\nrun can produce dirty reads or cascading aborts."
+    );
+}

@@ -1,0 +1,94 @@
+//! exp16 — Section V-B: DMT(k) message behavior.
+//!
+//! Sweeps sites × lock retention × synchronization interval on a fixed
+//! workload and reports message counts, remote fetches, retained locks
+//! and lock-set sizes; verifies single-site equivalence with centralized
+//! MT(k) and global uniqueness of k-th column values.
+
+use mdts_bench::{print_table, Table};
+use mdts_core::{recognize, MtScheduler};
+use mdts_dist::{DmtConfig, DmtScheduler};
+use mdts_model::MultiStepConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== exp16: Section V-B — DMT(k) ==\n");
+    // Pick a workload the protocol accepts end-to-end, so the message
+    // accounting covers the whole run (k = 5 saturates q = 3 transactions).
+    let cfg = MultiStepConfig { n_txns: 24, n_items: 120, max_ops: 3, ..Default::default() };
+    let log = (0u64..)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            cfg.generate(&mut rng)
+        })
+        .find(|log| {
+            let mut s = MtScheduler::with_k(5);
+            recognize(&mut s, log).accepted
+        })
+        .expect("some seed is accepted");
+    println!(
+        "workload: {} transactions, {} operations, k = 5 (accepted end-to-end)\n",
+        log.transactions().len(),
+        log.len()
+    );
+
+    let mut t = Table::new(&[
+        "sites", "retain", "sync", "accepted", "messages", "fetches", "retained", "locks/op",
+    ]);
+    for n_sites in [1u32, 2, 4, 8] {
+        for retain in [false, true] {
+            for sync in [0u64, 16] {
+                let mut dmt = DmtScheduler::new(DmtConfig {
+                    retain_locks: retain,
+                    sync_interval: sync,
+                    ..DmtConfig::new(5, n_sites)
+                });
+                let accepted = dmt.recognize(&log).is_ok();
+                let s = dmt.stats();
+                t.row(&[
+                    n_sites.to_string(),
+                    if retain { "on" } else { "off" }.into(),
+                    if sync == 0 { "never".into() } else { format!("every {sync}") },
+                    if accepted { "yes" } else { "no" }.into(),
+                    s.messages.to_string(),
+                    s.remote_fetches.to_string(),
+                    s.retained.to_string(),
+                    s.max_locks_per_op.to_string(),
+                ]);
+                assert!(s.max_locks_per_op <= 4, "paper: at most 3-4 objects per op");
+            }
+        }
+    }
+    print_table(&t);
+
+    // Single-site equivalence with centralized MT(k).
+    let mut dmt = DmtScheduler::new(DmtConfig { sync_interval: 0, ..DmtConfig::new(5, 1) });
+    let mut central = MtScheduler::with_k(5);
+    let d = dmt.recognize(&log).is_ok();
+    let c = recognize(&mut central, &log).accepted;
+    assert_eq!(d, c);
+    println!("\nsingle-site DMT(5) and centralized MT(5) agree (both accept = {d})");
+
+    // Global uniqueness of k-th column values across sites.
+    let mut dmt = DmtScheduler::new(DmtConfig::new(2, 4));
+    let _ = dmt.recognize(&log);
+    let mut seen = std::collections::HashSet::new();
+    for tx in log.transactions() {
+        if let Some(ts) = dmt.inner().table().ts(tx) {
+            if let Some(v) = ts.get(1) {
+                assert!(seen.insert(v), "duplicate k-th column value {v}");
+            }
+        }
+    }
+    println!(
+        "k-th column values minted by 4 sites are globally unique ({} values checked) —\n\
+         the site id rides in the low-order bits (V-B-1).",
+        seen.len()
+    );
+    println!(
+        "\nexpected shapes: zero messages at one site; message volume grows with sites;\n\
+         lock retention cuts remote fetches; lock sets never exceed 4 objects, and the\n\
+         predefined acquisition order makes deadlock impossible (V-B-2)."
+    );
+}

@@ -1,0 +1,46 @@
+//! exp18 — Section III-D-6d (extension): multiversion timestamps.
+//!
+//! The paper notes Reed's multiversion mechanism "can be extended to
+//! timestamp vectors". This harness quantifies what versioning buys at
+//! both ends:
+//!
+//! * **MVTO vs basic TO** (single-valued): reads never abort;
+//! * **MV-MT(k) vs MT(k)** (vectors): a reader that cannot be ordered
+//!   after the newest writer is slotted *between* two writers of the
+//!   chain and served the older version.
+
+use mdts_bench::{print_table, Table};
+use mdts_baselines::{BasicTimestampOrdering, MvTimestampOrdering};
+use mdts_core::{to_k, MvMtScheduler};
+use mdts_model::{MultiStepConfig, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== exp18: III-D-6d — multiversion timestamps (extension) ==\n");
+    let trials = 4000u64;
+    let mut t = Table::new(&["workload", "basic TO", "MVTO", "MT(2q-1)", "MV-MT(2q-1)"]);
+    for kind in [WorkloadKind::Uniform, WorkloadKind::Hotspot, WorkloadKind::ReadHeavy] {
+        let cfg = MultiStepConfig { min_ops: 2, max_ops: 4, ..kind.config(5, 12) };
+        let (mut b, mut mv, mut sv, mut mvv) = (0u64, 0u64, 0u64, 0u64);
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let log = cfg.generate(&mut rng);
+            let k = 2 * log.max_ops_per_txn().max(1) - 1;
+            b += BasicTimestampOrdering::accepts(&log) as u64;
+            mv += MvTimestampOrdering::accepts(&log) as u64;
+            sv += to_k(&log, k) as u64;
+            mvv += MvMtScheduler::accepts(&log) as u64;
+        }
+        let pct = |c: u64| format!("{:.1}%", c as f64 / trials as f64 * 100.0);
+        t.row(&[kind.name().into(), pct(b), pct(mv), pct(sv), pct(mvv)]);
+    }
+    print_table(&t);
+    println!(
+        "\nexpected shape: versioning helps both timestamp disciplines, and it helps\n\
+         the read-heavy mix the most (reads never abort under either MV scheme).\n\
+         On uniform and read-heavy mixes the vector protocols dominate their\n\
+         single-valued counterparts; under an extreme hotspot the MVTO/MV-MT gap\n\
+         narrows because the hot item's writer chain is a total order either way."
+    );
+}

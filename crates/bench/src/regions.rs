@@ -1,0 +1,143 @@
+//! Fig. 4 region machinery: classify a log by its membership pattern
+//! across { TO(1), TO(3), 2PL, SSR, DSR, SR } and search for witness logs
+//! for every region the paper claims non-empty.
+
+use mdts_core::to_k;
+use mdts_graph::{is_2pl_arrival, is_dsr, is_ssr, is_to1, is_view_serializable};
+use mdts_model::Log;
+
+/// Membership flags for the Fig. 4 classes (two-step model).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RegionFlags {
+    /// Serializable (view) — the outer circle `SR`.
+    pub sr: bool,
+    /// D-serializable.
+    pub dsr: bool,
+    /// Strictly serializable.
+    pub ssr: bool,
+    /// Arrival 2PL (no-upgrade model; see `mdts-graph::classes`).
+    pub two_pl: bool,
+    /// TO(1).
+    pub to1: bool,
+    /// TO(3) — the saturated MT class for two-step transactions
+    /// (Theorem 3 with q = 2).
+    pub to3: bool,
+}
+
+impl RegionFlags {
+    /// Computes all six memberships (exact; `n!` view-SR check, so keep
+    /// the log small).
+    pub fn compute(log: &Log) -> RegionFlags {
+        RegionFlags {
+            sr: is_view_serializable(log).is_some(),
+            dsr: is_dsr(log),
+            ssr: is_ssr(log),
+            two_pl: is_2pl_arrival(log),
+            to1: is_to1(log),
+            to3: to_k(log, 3),
+        }
+    }
+
+    /// Compact signature string `SR DSR SSR 2PL TO1 TO3` with `+`/`-`.
+    pub fn signature(&self) -> String {
+        let b = |v: bool| if v { '+' } else { '-' };
+        format!(
+            "SR{} DSR{} SSR{} 2PL{} TO1{} TO3{}",
+            b(self.sr),
+            b(self.dsr),
+            b(self.ssr),
+            b(self.two_pl),
+            b(self.to1),
+            b(self.to3)
+        )
+    }
+}
+
+/// A human-readable region description for a membership pattern, following
+/// the containments of Fig. 4 (TO(k) ⊂ DSR ⊂ SR; 2PL ⊂ DSR ∩ SSR).
+pub fn classify_region(f: RegionFlags) -> String {
+    if !f.sr {
+        return "outside SR (not serializable)".into();
+    }
+    if !f.dsr {
+        return "SR \\ DSR (view-only serializable)".into();
+    }
+    let mut inside = Vec::new();
+    let mut outside = Vec::new();
+    for (name, v) in [("SSR", f.ssr), ("2PL", f.two_pl), ("TO(1)", f.to1), ("TO(3)", f.to3)] {
+        if v {
+            inside.push(name);
+        } else {
+            outside.push(name);
+        }
+    }
+    let mut s = String::from("DSR");
+    if !inside.is_empty() {
+        s.push_str(" ∩ ");
+        s.push_str(&inside.join(" ∩ "));
+    }
+    if !outside.is_empty() {
+        s.push_str(" − ");
+        s.push_str(&outside.join(" − "));
+    }
+    s
+}
+
+/// The paper's membership relations that every log must satisfy
+/// (containments of Fig. 4). Returns a violation description if any is
+/// broken — used as a structural self-check by exp04.
+pub fn check_containments(f: RegionFlags) -> Result<(), String> {
+    if f.dsr && !f.sr {
+        return Err(format!("DSR ⊄ SR violated: {}", f.signature()));
+    }
+    if f.to1 && !f.dsr {
+        return Err(format!("TO(1) ⊄ DSR violated: {}", f.signature()));
+    }
+    if f.to3 && !f.dsr {
+        return Err(format!("TO(3) ⊄ DSR violated: {}", f.signature()));
+    }
+    if f.two_pl && !f.dsr {
+        return Err(format!("2PL ⊄ DSR violated: {}", f.signature()));
+    }
+    Ok(())
+}
+
+/// Renders region statistics from `(flags, count)` pairs.
+pub fn region_table(stats: &[(RegionFlags, u64)]) -> crate::report::Table {
+    let mut t = crate::report::Table::new(&["region", "signature", "logs"]);
+    for (flags, count) in stats {
+        t.row(&[classify_region(*flags), flags.signature(), count.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_log_is_in_every_class() {
+        let log = Log::parse("R1[x] W1[x] R2[x] W2[x]").unwrap();
+        let f = RegionFlags::compute(&log);
+        assert!(f.sr && f.dsr && f.ssr && f.two_pl && f.to1 && f.to3);
+        check_containments(f).unwrap();
+        assert_eq!(classify_region(f), "DSR ∩ SSR ∩ 2PL ∩ TO(1) ∩ TO(3)");
+    }
+
+    #[test]
+    fn example1_region() {
+        // Example 1's log is TO(2/3) but not TO(1).
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        let f = RegionFlags::compute(&log);
+        assert!(f.to3 && !f.to1 && f.dsr);
+        check_containments(f).unwrap();
+    }
+
+    #[test]
+    fn nonserializable_is_outside() {
+        let log = Log::parse("R1[x] R2[y] W2[x] W1[y]").unwrap();
+        let f = RegionFlags::compute(&log);
+        assert!(!f.sr);
+        assert_eq!(classify_region(f), "outside SR (not serializable)");
+    }
+}

@@ -1,0 +1,416 @@
+//! Algorithm 2 — the composite protocol MT(k⁺) recognizing
+//! `TO(k⁺) = TO(1) ∪ TO(2) ∪ … ∪ TO(k)` (Section IV).
+//!
+//! Two implementations:
+//!
+//! * [`NaiveComposite`] — the specification: k independent MT(h)
+//!   subprotocols, each with its own table. An operation is accepted when
+//!   at least one still-running subprotocol accepts it; a subprotocol that
+//!   rejects an operation is *stopped* (the log has left its class).
+//! * [`SharedPrefixComposite`] — Algorithm 2 proper: Theorem 5 shows the
+//!   prefix of each vector is identical across subprotocols, so a single
+//!   shared `PREFIX` table (columns 1…k−1) plus one `LASTCOL` column per
+//!   subprotocol suffices. One walk over the columns updates every
+//!   subprotocol at once, giving O(k) per operation instead of O(k²).
+//!
+//! The two must accept exactly the same logs; the property tests in
+//! `protocol_props` check this — a mechanized validation of Theorem 5.
+//!
+//! Both run their subprotocols with the reader rule (lines 9–10) disabled,
+//! the paper's simplifying assumption: the rule makes subprotocols update
+//! `RT(x)` differently depending on *how* a read was accepted, which would
+//! break the shared-index invariant.
+
+use mdts_model::{ItemId, OpKind, Operation, TxId};
+use mdts_vector::KthCounters;
+
+use crate::mtk::{Decision, MtOptions, MtScheduler, Reject};
+
+/// The specification composite: k independent subprotocols.
+#[derive(Clone, Debug)]
+pub struct NaiveComposite {
+    /// `subs[h-1]` is MT(h); `None` once stopped.
+    subs: Vec<Option<MtScheduler>>,
+}
+
+impl NaiveComposite {
+    /// MT(k⁺) from the subprotocols MT(1)…MT(k).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        NaiveComposite {
+            subs: (1..=k).map(|h| Some(MtScheduler::new(MtOptions::for_composite(h)))).collect(),
+        }
+    }
+
+    /// Which subprotocols are still running (`true` at index `h-1` = MT(h)
+    /// alive).
+    pub fn alive(&self) -> Vec<bool> {
+        self.subs.iter().map(|s| s.is_some()).collect()
+    }
+
+    /// Access to a still-running subprotocol (for the Theorem 5 audits).
+    pub fn sub(&self, h: usize) -> Option<&MtScheduler> {
+        self.subs.get(h - 1).and_then(|s| s.as_ref())
+    }
+
+    /// Processes one operation: every running subprotocol sees it; those
+    /// that reject are stopped; the composite accepts if any survive having
+    /// accepted.
+    pub fn process(&mut self, op: &Operation) -> Decision {
+        let mut last_reject: Option<Reject> = None;
+        let mut any_accept = false;
+        for slot in &mut self.subs {
+            if let Some(sub) = slot {
+                match sub.process(op) {
+                    Decision::Accept { .. } => any_accept = true,
+                    Decision::Reject(r) => {
+                        last_reject = Some(r);
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        if any_accept {
+            Decision::accept()
+        } else {
+            Decision::Reject(last_reject.unwrap_or(Reject {
+                tx: op.tx,
+                against: TxId::VIRTUAL,
+                item: op.items()[0],
+                column: 0,
+            }))
+        }
+    }
+}
+
+/// One transaction's row in the shared tables.
+#[derive(Clone, Debug)]
+struct Row {
+    /// Shared PREFIX columns 1…k−1 (0-based indices 0…k−2).
+    prefix: Vec<Option<i64>>,
+    /// `lastcol[h-1]` = this transaction's element in LASTCOL(h), the last
+    /// column of subprotocol MT(h).
+    lastcol: Vec<Option<i64>>,
+}
+
+/// Algorithm 2: the shared-prefix composite.
+#[derive(Clone, Debug)]
+pub struct SharedPrefixComposite {
+    k: usize,
+    rows: Vec<Option<Row>>,
+    /// `alive[h-1]` = subprotocol MT(h) still running.
+    alive: Vec<bool>,
+    /// Separate counters per subprotocol's LASTCOL (Fig. 10).
+    counters: Vec<KthCounters>,
+    rt: Vec<TxId>,
+    wt: Vec<TxId>,
+}
+
+impl SharedPrefixComposite {
+    /// MT(k⁺) with shared PREFIX/LASTCOL tables.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        let mut this = SharedPrefixComposite {
+            k,
+            rows: Vec::new(),
+            alive: vec![true; k],
+            counters: vec![KthCounters::new(); k],
+            rt: Vec::new(),
+            wt: Vec::new(),
+        };
+        // T₀: first column 0, everything else undefined. For MT(1) the
+        // first column *is* its LASTCOL; for MT(h ≥ 2) it is PREFIX(1).
+        let mut row = this.blank_row();
+        if k >= 2 {
+            row.prefix[0] = Some(0);
+        }
+        row.lastcol[0] = Some(0);
+        this.rows.push(Some(row));
+        this
+    }
+
+    fn blank_row(&self) -> Row {
+        Row { prefix: vec![None; self.k - 1], lastcol: vec![None; self.k] }
+    }
+
+    fn ensure_tx(&mut self, tx: TxId) {
+        let idx = tx.index();
+        if idx >= self.rows.len() {
+            self.rows.resize_with(idx + 1, || None);
+        }
+        if self.rows[idx].is_none() {
+            self.rows[idx] = Some(self.blank_row());
+        }
+    }
+
+    fn row(&self, tx: TxId) -> &Row {
+        self.rows[tx.index()].as_ref().expect("row ensured before use")
+    }
+
+    fn row_mut(&mut self, tx: TxId) -> &mut Row {
+        self.rows[tx.index()].as_mut().expect("row ensured before use")
+    }
+
+    /// Which subprotocols are still running.
+    pub fn alive(&self) -> Vec<bool> {
+        self.alive.clone()
+    }
+
+    /// This transaction's PREFIX row (for the Theorem 5 audits).
+    pub fn prefix_of(&self, tx: TxId) -> Option<&[Option<i64>]> {
+        self.rows.get(tx.index()).and_then(|r| r.as_ref()).map(|r| r.prefix.as_slice())
+    }
+
+    /// This transaction's element in LASTCOL(h).
+    pub fn lastcol_of(&self, tx: TxId, h: usize) -> Option<i64> {
+        self.rows
+            .get(tx.index())
+            .and_then(|r| r.as_ref())
+            .and_then(|r| r.lastcol[h - 1])
+    }
+
+    fn smallest_alive(&self) -> Option<usize> {
+        self.alive.iter().position(|&a| a).map(|i| i + 1)
+    }
+
+    /// Strict order `TS_h(a) < TS_h(b)` under the smallest running
+    /// subprotocol MT(h). Used only to pick the larger of `RT(x)`/`WT(x)`,
+    /// whose order is conflict-forced and therefore identical in every
+    /// running subprotocol.
+    fn effective_less(&self, a: TxId, b: TxId) -> bool {
+        let Some(h) = self.smallest_alive() else {
+            return false;
+        };
+        let (ra, rb) = (self.row(a), self.row(b));
+        for c in 0..h - 1 {
+            match (ra.prefix[c], rb.prefix[c]) {
+                (Some(x), Some(y)) if x == y => continue,
+                (Some(x), Some(y)) => return x < y,
+                _ => return false, // unordered here ⇒ not strictly less
+            }
+        }
+        match (ra.lastcol[h - 1], rb.lastcol[h - 1]) {
+            (Some(x), Some(y)) => x < y,
+            _ => false,
+        }
+    }
+
+    fn rt(&self, item: ItemId) -> TxId {
+        self.rt.get(item.index()).copied().unwrap_or(TxId::VIRTUAL)
+    }
+
+    fn wt(&self, item: ItemId) -> TxId {
+        self.wt.get(item.index()).copied().unwrap_or(TxId::VIRTUAL)
+    }
+
+    fn ensure_item(&mut self, item: ItemId) {
+        let idx = item.index();
+        if idx >= self.rt.len() {
+            self.rt.resize(idx + 1, TxId::VIRTUAL);
+            self.wt.resize(idx + 1, TxId::VIRTUAL);
+        }
+    }
+
+    fn pick(&mut self, item: ItemId) -> TxId {
+        let (rt, wt) = (self.rt(item), self.wt(item));
+        if rt == wt {
+            return rt;
+        }
+        self.ensure_tx(rt);
+        self.ensure_tx(wt);
+        if self.effective_less(rt, wt) {
+            wt
+        } else {
+            rt
+        }
+    }
+
+    fn any_alive_from(&self, h: usize) -> bool {
+        // Subprotocols MT(h+1)…MT(k) — indices h..k-1.
+        self.alive[h..].iter().any(|&a| a)
+    }
+
+    /// Algorithm 2's column walk: encode the dependency `T_j → T_i` under
+    /// every still-running subprotocol, stopping those it contradicts.
+    /// Returns whether at least one subprotocol remains running.
+    fn encode(&mut self, j: TxId, i: TxId) -> bool {
+        if j == i {
+            return self.alive.iter().any(|&a| a);
+        }
+        self.ensure_tx(j);
+        self.ensure_tx(i);
+        let k = self.k;
+        let mut h = 1usize;
+        loop {
+            // Step 2: LASTCOL(h) — subprotocol MT(h).
+            if self.alive[h - 1] {
+                let vj = self.row(j).lastcol[h - 1];
+                let vi = self.row(i).lastcol[h - 1];
+                match (vj, vi) {
+                    (Some(a), Some(b)) => {
+                        debug_assert_ne!(a, b, "LASTCOL values are distinct by construction");
+                        if a > b {
+                            self.alive[h - 1] = false; // conflict: stop MT(h)
+                        }
+                    }
+                    (None, None) => {
+                        let (a, b) = self.counters[h - 1].fresh_pair();
+                        self.row_mut(j).lastcol[h - 1] = Some(a);
+                        self.row_mut(i).lastcol[h - 1] = Some(b);
+                    }
+                    (Some(_), None) => {
+                        let v = self.counters[h - 1].fresh_upper();
+                        self.row_mut(i).lastcol[h - 1] = Some(v);
+                    }
+                    (None, Some(_)) => {
+                        let v = self.counters[h - 1].fresh_lower();
+                        self.row_mut(j).lastcol[h - 1] = Some(v);
+                    }
+                }
+            }
+            // Step 3: PREFIX(h) — subprotocols MT(h+1)…MT(k).
+            if h == k || !self.any_alive_from(h) {
+                break;
+            }
+            let pj = self.row(j).prefix[h - 1];
+            let pi = self.row(i).prefix[h - 1];
+            match (pj, pi) {
+                (Some(a), Some(b)) if a == b => {
+                    h += 1;
+                    continue;
+                }
+                (Some(a), Some(b)) if a < b => break, // already encoded
+                (Some(_), Some(_)) => {
+                    // Conflict in the shared prefix: the subprotocols that
+                    // use this column are out of their class.
+                    for alive in &mut self.alive[h..] {
+                        *alive = false;
+                    }
+                    break;
+                }
+                (None, None) => {
+                    self.row_mut(j).prefix[h - 1] = Some(1);
+                    self.row_mut(i).prefix[h - 1] = Some(2);
+                    break;
+                }
+                (Some(a), None) => {
+                    self.row_mut(i).prefix[h - 1] = Some(a + 1);
+                    break;
+                }
+                (None, Some(b)) => {
+                    self.row_mut(j).prefix[h - 1] = Some(b - 1);
+                    break;
+                }
+            }
+        }
+        self.alive.iter().any(|&a| a)
+    }
+
+    /// Processes one operation (reader rule off, as in the paper's
+    /// Theorem 5 setting).
+    pub fn process(&mut self, op: &Operation) -> Decision {
+        self.ensure_tx(op.tx);
+        for &item in op.items() {
+            self.ensure_item(item);
+            let j = self.pick(item);
+            if !self.encode(j, op.tx) {
+                return Decision::Reject(Reject { tx: op.tx, against: j, item, column: 0 });
+            }
+            match op.kind {
+                OpKind::Read => self.rt[item.index()] = op.tx,
+                OpKind::Write => self.wt[item.index()] = op.tx,
+            }
+        }
+        Decision::accept()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognize::{recognize, to_k};
+    use mdts_model::Log;
+
+    fn naive_accepts(log: &Log, k: usize) -> bool {
+        recognize(&mut NaiveComposite::new(k), log).accepted
+    }
+
+    fn shared_accepts(log: &Log, k: usize) -> bool {
+        recognize(&mut SharedPrefixComposite::new(k), log).accepted
+    }
+
+    #[test]
+    fn composite_accepts_union_member() {
+        // Example 1's full log is TO(2) \ TO(1); MT(2+) accepts, MT(1+) not.
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        assert!(naive_accepts(&log, 2));
+        assert!(shared_accepts(&log, 2));
+        assert!(!naive_accepts(&log, 1));
+        assert!(!shared_accepts(&log, 1));
+    }
+
+    #[test]
+    fn stopping_one_sub_keeps_the_other() {
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        let mut c = NaiveComposite::new(2);
+        assert!(recognize(&mut c, &log).accepted);
+        assert_eq!(c.alive(), vec![false, true], "MT(1) stopped at W3[y], MT(2) survives");
+        let mut s = SharedPrefixComposite::new(2);
+        assert!(recognize(&mut s, &log).accepted);
+        assert_eq!(s.alive(), vec![false, true]);
+    }
+
+    #[test]
+    fn inclusivity_to1_subset_of_composite() {
+        // Any TO(1) log must be accepted by every MT(k+).
+        let log = Log::parse("R1[x] W1[x] R2[x] W2[x] R3[x] W3[x]").unwrap();
+        assert!(to_k(&log, 1));
+        for k in 1..=4 {
+            assert!(naive_accepts(&log, k), "k = {k}");
+            assert!(shared_accepts(&log, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn reject_when_all_stopped() {
+        // A non-DSR log defeats every subprotocol.
+        let log = Log::parse("R1[x] R2[y] W2[x] W1[y]").unwrap();
+        for k in 1..=3 {
+            assert!(!naive_accepts(&log, k), "k = {k}");
+            assert!(!shared_accepts(&log, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn theorem5_prefixes_agree_with_naive_subs() {
+        let log = Log::parse("R1[x] R2[y] R3[z] W1[y] W1[z]").unwrap();
+        let mut naive = NaiveComposite::new(3);
+        let mut shared = SharedPrefixComposite::new(3);
+        assert!(recognize(&mut naive, &log).accepted);
+        assert!(recognize(&mut shared, &log).accepted);
+        assert_eq!(naive.alive(), shared.alive());
+        // For each running subprotocol MT(h), the shared PREFIX columns
+        // 1..h-1 must equal the naive subprotocol's vector prefix.
+        for h in 1..=3usize {
+            let Some(sub) = naive.sub(h) else { continue };
+            for tx in [TxId(1), TxId(2), TxId(3)] {
+                let naive_ts = sub.table().ts_expect(tx);
+                let shared_prefix = shared.prefix_of(tx).unwrap();
+                for (c, &cell) in shared_prefix.iter().enumerate().take(h - 1) {
+                    assert_eq!(naive_ts.get(c), cell, "h = {h}, tx = {tx}, column {c}");
+                }
+                assert_eq!(
+                    naive_ts.get(h - 1).is_some(),
+                    shared.lastcol_of(tx, h).is_some(),
+                    "LASTCOL definedness, h = {h}, tx = {tx}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,796 @@
+//! Algorithm 1 — the protocol MT(k).
+//!
+//! The scheduler keeps the timestamp table of Fig. 2 and, for each arriving
+//! operation by `T_i` on item `x`:
+//!
+//! 1. picks `j` — the *larger* of `RT(x)` and `WT(x)` under the vector
+//!    order (lines 5–6; the two are always comparable, see the invariant
+//!    note on [`MtScheduler::pick`]);
+//! 2. calls `Set(j, i)` to check or encode the dependency `T_j → T_i`
+//!    (procedure `Set`, lines 15–20);
+//! 3. on success updates `RT(x)`/`WT(x)` and accepts; a read that cannot be
+//!    ordered after the latest *reader* may still proceed if it is ordered
+//!    after the latest *writer* (lines 9–10); otherwise the transaction
+//!    must abort.
+//!
+//! Optional refinements from the paper are behind [`MtOptions`]:
+//! the Thomas write rule (III-D-6c), the starvation-avoidance flush
+//! (III-D-4), the relaxed reader rule (remark after Theorem 3), and the
+//! hot-item right-end encoding (III-D-5).
+
+use std::collections::HashMap;
+
+use mdts_model::{ItemId, OpKind, Operation, TxId};
+use mdts_vector::{CmpResult, TsVec};
+
+use crate::table::TimestampTable;
+
+/// Hot-item encoding configuration (Section III-D-5).
+///
+/// When a dependency is created by an access to an item whose observed
+/// access count is at least `threshold`, the dependency is encoded *near
+/// the right end* of the vectors: the already-defined prefix of the earlier
+/// transaction's vector is copied into the later one's, and the order is
+/// encoded at the first column where both are then undefined. Vectors that
+/// shared the old prefix remain unordered with respect to the later
+/// transaction, preserving concurrency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HotEncoding {
+    /// Minimum access count for an item to be treated as hot.
+    pub threshold: u64,
+}
+
+/// Configuration for [`MtScheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct MtOptions {
+    /// Vector dimension `k ≥ 1`. Theorem 3: `k = 2q − 1` suffices for
+    /// transactions of at most `q` operations.
+    pub k: usize,
+    /// Enable lines 9–10 (a read that cannot be ordered after the latest
+    /// reader proceeds if already ordered after the latest writer). On by
+    /// default — this is Algorithm 1 as published. The composite protocol
+    /// runs with it off (the paper's simplifying assumption for
+    /// Theorem 5).
+    pub reader_rule: bool,
+    /// Replace the line-9 condition `TS(WT(x)) < TS(i)` by `Set(WT(x), i)`
+    /// — the higher-concurrency variant noted after Theorem 3 (it may
+    /// *encode* the order rather than require it pre-existing).
+    pub relaxed_reader_rule: bool,
+    /// Thomas write rule (III-D-6c): a write that is ordered after all
+    /// readers but before the latest writer is *ignored* instead of
+    /// aborting the transaction.
+    pub thomas_write_rule: bool,
+    /// Starvation avoidance (III-D-4): on abort, remember the blocker's
+    /// first timestamp element so the restart begins with
+    /// `TS(i) = ⟨TS(j,1) + 1, *, …⟩` and cannot hit the same rejection.
+    pub starvation_flush: bool,
+    /// Hot-item right-end encoding (III-D-5).
+    pub hot_encoding: Option<HotEncoding>,
+    /// Record a [`SetEvent`] journal (used by the paper-table harnesses;
+    /// off by default to keep bulk recognition allocation-free).
+    pub record_events: bool,
+}
+
+impl MtOptions {
+    /// Algorithm 1 defaults for dimension `k`.
+    pub fn new(k: usize) -> Self {
+        MtOptions {
+            k,
+            reader_rule: true,
+            relaxed_reader_rule: false,
+            thomas_write_rule: false,
+            starvation_flush: false,
+            hot_encoding: None,
+            record_events: false,
+        }
+    }
+
+    /// The configuration the composite protocol uses for its subprotocols:
+    /// lines 9–10 disabled.
+    pub fn for_composite(k: usize) -> Self {
+        MtOptions { reader_rule: false, ..MtOptions::new(k) }
+    }
+}
+
+/// Why an operation was rejected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reject {
+    /// The transaction whose operation was rejected (it must abort).
+    pub tx: TxId,
+    /// The transaction whose timestamp vector blocked it (`TS(against) >
+    /// TS(tx)` at the deciding column).
+    pub against: TxId,
+    /// The item whose access created the impossible dependency.
+    pub item: ItemId,
+    /// The vector column whose already-encoded order decided the refusal.
+    pub column: usize,
+}
+
+/// Scheduler verdict for one operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Operation accepted. `ignored` lists items whose writes were dropped
+    /// by the Thomas write rule (empty in the common case).
+    Accept {
+        /// Items whose write was ignored rather than applied.
+        ignored: Vec<ItemId>,
+    },
+    /// Operation rejected; the transaction must abort (and may restart).
+    Reject(Reject),
+}
+
+impl Decision {
+    /// Plain full acceptance.
+    pub fn accept() -> Decision {
+        Decision::Accept { ignored: Vec::new() }
+    }
+
+    /// Whether the operation may proceed.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Decision::Accept { .. })
+    }
+}
+
+/// Journal record of one `Set(j, i)` outcome (for the Table I–III
+/// reproductions and the unit tests).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SetEvent {
+    /// The dependency `from → to` was newly encoded; `changes` lists the
+    /// `(transaction, column, value)` element definitions performed.
+    Encoded {
+        /// Earlier transaction.
+        from: TxId,
+        /// Later transaction.
+        to: TxId,
+        /// Element definitions `(tx, column, value)`.
+        changes: Vec<(TxId, usize, i64)>,
+    },
+    /// The vectors already said `from < to`; nothing to do.
+    AlreadyOrdered {
+        /// Earlier transaction.
+        from: TxId,
+        /// Later transaction.
+        to: TxId,
+    },
+    /// The vectors say `from > to`; the dependency is impossible.
+    Refused {
+        /// Would-be earlier transaction.
+        from: TxId,
+        /// Would-be later transaction.
+        to: TxId,
+        /// Column that decided the order.
+        at: usize,
+    },
+}
+
+enum SetResult {
+    /// Ordered (possibly after encoding).
+    Ok,
+    /// `TS(j) > TS(i)` — the dependency cannot be encoded.
+    Refused { at: usize },
+}
+
+/// Which table slot a footprint entry refers to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Slot {
+    Rt,
+    Wt,
+}
+
+/// The MT(k) scheduler.
+#[derive(Clone, Debug)]
+pub struct MtScheduler {
+    opts: MtOptions,
+    table: TimestampTable,
+    /// Per-item access counts for hot-item detection.
+    access_counts: Vec<u64>,
+    /// Starvation-restart hints: aborted tx → first element for its restart.
+    restart_hints: HashMap<TxId, i64>,
+    /// Per-transaction undo information for the `RT`/`WT` indices: the
+    /// `(item, slot, previous holder)` triples this transaction displaced.
+    /// An abort rolls these back so a restart re-derives its timestamps
+    /// from the pre-abort state — the semantics the Fig. 5 starvation
+    /// scenario assumes.
+    footprint: HashMap<TxId, Vec<(ItemId, Slot, TxId)>>,
+    /// Committed transactions whose vectors are still pinned by `RT`/`WT`
+    /// references; reclaimed the moment they are displaced (III-D-6b).
+    committed: std::collections::HashSet<TxId>,
+    events: Vec<SetEvent>,
+}
+
+impl MtScheduler {
+    /// New scheduler with the given options.
+    pub fn new(opts: MtOptions) -> Self {
+        assert!(opts.k >= 1);
+        MtScheduler {
+            table: TimestampTable::new(opts.k),
+            opts,
+            access_counts: Vec::new(),
+            restart_hints: HashMap::new(),
+            footprint: HashMap::new(),
+            committed: std::collections::HashSet::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// MT(k) with default options.
+    pub fn with_k(k: usize) -> Self {
+        MtScheduler::new(MtOptions::new(k))
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &MtOptions {
+        &self.opts
+    }
+
+    /// The timestamp table (read-only).
+    pub fn table(&self) -> &TimestampTable {
+        &self.table
+    }
+
+    /// Mutable access to the timestamp table — for harnesses and the
+    /// distributed protocol, which seed tables with pre-existing vectors
+    /// or site-tagged counters. Mutations must respect the write-once
+    /// element discipline or the protocol's guarantees are void.
+    pub fn table_mut(&mut self) -> &mut TimestampTable {
+        &mut self.table
+    }
+
+    /// Installs an explicit vector for `tx`, replacing any existing row —
+    /// used to seed scenarios (e.g. the paper's Table II bystander `T₄`)
+    /// and by DMT(k)'s remote-vector cache.
+    pub fn install_vector(&mut self, tx: TxId, vector: TsVec) {
+        self.table.install(tx, vector);
+    }
+
+    /// The `Set` journal (empty unless `record_events`).
+    pub fn events(&self) -> &[SetEvent] {
+        &self.events
+    }
+
+    /// Registers a transaction (idempotent). Operations register their
+    /// transaction implicitly; this exists for symmetry with the engine.
+    pub fn begin(&mut self, tx: TxId) {
+        self.table.ensure_tx(tx);
+    }
+
+    /// Registers a restart of `aborted`: if the starvation fix recorded a
+    /// hint for it, the new incarnation starts with
+    /// `TS = ⟨TS(blocker,1)+1, *, …⟩` (Section III-D-4). `new_tx` may equal
+    /// `aborted` (the paper's in-place flush) or be a fresh id (the
+    /// engine's restart style).
+    pub fn begin_restarted(&mut self, new_tx: TxId, aborted: TxId) {
+        match self.restart_hints.remove(&aborted) {
+            Some(first) => {
+                let mut v = TsVec::undefined(self.opts.k);
+                v.define(0, first);
+                self.table.install(new_tx, v);
+            }
+            None => {
+                if new_tx == aborted {
+                    self.table.install(new_tx, TsVec::undefined(self.opts.k));
+                } else {
+                    self.table.ensure_tx(new_tx);
+                }
+            }
+        }
+    }
+
+    /// Notes a commit and attempts storage reclamation (III-D-6b). Returns
+    /// whether the vector row could be dropped already.
+    pub fn commit(&mut self, tx: TxId) -> bool {
+        self.restart_hints.remove(&tx);
+        self.footprint.remove(&tx);
+        if self.table.reclaim(tx) {
+            return true;
+        }
+        // Still the most recent reader/writer of some item: remember it so
+        // the row is reclaimed as soon as it is displaced.
+        self.committed.insert(tx);
+        false
+    }
+
+    /// Reclaims `prev` if it committed earlier and is no longer referenced.
+    fn reclaim_if_superseded(&mut self, prev: TxId) {
+        if self.committed.contains(&prev) && self.table.reclaim(prev) {
+            self.committed.remove(&prev);
+        }
+    }
+
+    /// Notes an abort: rolls the transaction's `RT`/`WT` footprint back to
+    /// the previous holders, then drops its vector if nothing references it
+    /// anymore.
+    ///
+    /// If a previous holder's vector has since been reclaimed, that slot
+    /// keeps pointing at the aborted transaction instead: its vector then
+    /// stays behind as an inert anchor for the ordering constraints other
+    /// transactions already encoded against it (conservative but safe —
+    /// extra constraints never violate serializability).
+    pub fn abort(&mut self, tx: TxId) {
+        if let Some(entries) = self.footprint.remove(&tx) {
+            for (item, slot, prev) in entries.into_iter().rev() {
+                let current = match slot {
+                    Slot::Rt => self.table.rt(item),
+                    Slot::Wt => self.table.wt(item),
+                };
+                if current == tx && self.table.ts(prev).is_some() {
+                    match slot {
+                        Slot::Rt => self.table.set_rt(item, prev),
+                        Slot::Wt => self.table.set_wt(item, prev),
+                    }
+                }
+            }
+        }
+        self.table.reclaim(tx);
+    }
+
+    fn set_rt_tracked(&mut self, item: ItemId, tx: TxId) {
+        let prev = self.table.rt(item);
+        if prev != tx {
+            self.footprint.entry(tx).or_default().push((item, Slot::Rt, prev));
+            self.table.set_rt(item, tx);
+            self.reclaim_if_superseded(prev);
+        }
+    }
+
+    fn set_wt_tracked(&mut self, item: ItemId, tx: TxId) {
+        let prev = self.table.wt(item);
+        if prev != tx {
+            self.footprint.entry(tx).or_default().push((item, Slot::Wt, prev));
+            self.table.set_wt(item, tx);
+            self.reclaim_if_superseded(prev);
+        }
+    }
+
+    /// Public form of procedure `Set(j, i)`: try to establish (or verify)
+    /// `TS(j) < TS(i)`, encoding a new dependency if the order is open.
+    /// Returns `false` iff the vectors already say `TS(j) > TS(i)`.
+    ///
+    /// This is the building block the hierarchical protocol MT(k₁,k₂) and
+    /// the decentralized DMT(k) reuse for their own tables.
+    pub fn order(&mut self, j: TxId, i: TxId) -> bool {
+        matches!(self.set_less(j, i, false), SetResult::Ok)
+    }
+
+    fn bump_access(&mut self, item: ItemId) -> bool {
+        let idx = item.index();
+        if idx >= self.access_counts.len() {
+            self.access_counts.resize(idx + 1, 0);
+        }
+        self.access_counts[idx] += 1;
+        match self.opts.hot_encoding {
+            Some(h) => self.access_counts[idx] >= h.threshold,
+            None => false,
+        }
+    }
+
+    /// Lines 5–6: the larger of `RT(x)` and `WT(x)`.
+    ///
+    /// Invariant: the two are always strictly ordered (or identical)
+    /// because every accepted access to `x` was ordered after the then
+    /// larger of the two — so "not less" means "greater or same".
+    fn pick(&mut self, item: ItemId) -> TxId {
+        let rt = self.table.rt(item);
+        let wt = self.table.wt(item);
+        if rt == wt {
+            return rt;
+        }
+        // RT/WT always point at live vectors (reclamation refuses while
+        // referenced), but a defensive ensure keeps the invariant local.
+        self.table.ensure_tx(rt);
+        self.table.ensure_tx(wt);
+        if self.table.is_less(rt, wt) {
+            wt
+        } else {
+            rt
+        }
+    }
+
+    fn record(&mut self, ev: SetEvent) {
+        if self.opts.record_events {
+            self.events.push(ev);
+        }
+    }
+
+    /// Procedure `Set(j, i)`: ensure `TS(j) < TS(i)`, encoding a new
+    /// dependency if the order is still open.
+    fn set_less(&mut self, j: TxId, i: TxId, hot: bool) -> SetResult {
+        if j == i {
+            return SetResult::Ok; // line 15
+        }
+        self.table.ensure_tx(j);
+        self.table.ensure_tx(i);
+        let k = self.opts.k;
+        match self.table.compare(j, i) {
+            CmpResult::Less { .. } => {
+                self.record(SetEvent::AlreadyOrdered { from: j, to: i });
+                SetResult::Ok
+            }
+            CmpResult::Greater { at } => {
+                self.record(SetEvent::Refused { from: j, to: i, at });
+                SetResult::Refused { at }
+            }
+            CmpResult::Identical => {
+                // Unreachable between distinct transactions: the k-th
+                // column always holds globally distinct counter values.
+                debug_assert!(false, "identical fully-defined vectors for {j} and {i}");
+                SetResult::Refused { at: k - 1 }
+            }
+            CmpResult::EqualUndefined { at } => {
+                let changes = if at == k - 1 {
+                    let (a, b) = self.table.counters_mut().fresh_pair();
+                    self.table.ts_mut(j).define(at, a);
+                    self.table.ts_mut(i).define(at, b);
+                    vec![(j, at, a), (i, at, b)]
+                } else {
+                    self.table.ts_mut(j).define(at, 1);
+                    self.table.ts_mut(i).define(at, 2);
+                    vec![(j, at, 1), (i, at, 2)]
+                };
+                self.record(SetEvent::Encoded { from: j, to: i, changes });
+                SetResult::Ok
+            }
+            CmpResult::RightUndefined { at } => {
+                // TS(i, at) undefined; TS(j, at) defined.
+                if hot {
+                    if let Some(changes) = self.encode_hot(j, i, at) {
+                        self.record(SetEvent::Encoded { from: j, to: i, changes });
+                        return SetResult::Ok;
+                    }
+                }
+                let bound = self.table.ts_expect(j).get(at).expect("defined by case");
+                let value = if at == k - 1 {
+                    // The bound keeps the postcondition TS(j,k) < TS(i,k)
+                    // even when a DMT(k) site's clock lags (Section V-B-1).
+                    self.table.counters_mut().fresh_upper_above(bound)
+                } else {
+                    bound + 1
+                };
+                self.table.ts_mut(i).define(at, value);
+                self.record(SetEvent::Encoded { from: j, to: i, changes: vec![(i, at, value)] });
+                SetResult::Ok
+            }
+            CmpResult::LeftUndefined { at } => {
+                // TS(j, at) undefined; TS(i, at) defined.
+                let bound = self.table.ts_expect(i).get(at).expect("defined by case");
+                let value = if at == k - 1 {
+                    self.table.counters_mut().fresh_lower_below(bound)
+                } else {
+                    bound - 1
+                };
+                self.table.ts_mut(j).define(at, value);
+                self.record(SetEvent::Encoded { from: j, to: i, changes: vec![(j, at, value)] });
+                SetResult::Ok
+            }
+        }
+    }
+
+    /// Hot-item right-end encoding (III-D-5): copy `TS(j)`'s defined
+    /// suffix-of-prefix into `TS(i)` from column `at` on, then encode the
+    /// order at the first column where both are undefined. Returns the
+    /// performed changes, or `None` when `TS(j)` is fully defined (no room
+    /// — fall back to the normal rule).
+    fn encode_hot(&mut self, j: TxId, i: TxId, at: usize) -> Option<Vec<(TxId, usize, i64)>> {
+        let k = self.opts.k;
+        // Protocol vectors are prefix-shaped: defined columns form a prefix.
+        let donor_len = self.table.ts_expect(j).defined_count();
+        debug_assert!(donor_len > at);
+        if donor_len >= k {
+            return None; // copying everything would duplicate the k-th column
+        }
+        let mut changes = Vec::with_capacity(donor_len - at + 2);
+        for col in at..donor_len {
+            let v = self.table.ts_expect(j).get(col).expect("within donor prefix");
+            self.table.ts_mut(i).define(col, v);
+            changes.push((i, col, v));
+        }
+        let p = donor_len;
+        if p == k - 1 {
+            let (a, b) = self.table.counters_mut().fresh_pair();
+            self.table.ts_mut(j).define(p, a);
+            self.table.ts_mut(i).define(p, b);
+            changes.push((j, p, a));
+            changes.push((i, p, b));
+        } else {
+            self.table.ts_mut(j).define(p, 1);
+            self.table.ts_mut(i).define(p, 2);
+            changes.push((j, p, 1));
+            changes.push((i, p, 2));
+        }
+        Some(changes)
+    }
+
+    fn note_reject(&mut self, tx: TxId, against: TxId) {
+        if self.opts.starvation_flush {
+            // Blocker's first element is defined whenever Set refused (the
+            // deciding column has both elements defined; column 0 is at or
+            // before it and hence defined-equal or the decider itself).
+            if let Some(first) = self.table.ts_expect(against).get(0) {
+                self.restart_hints.insert(tx, first + 1);
+            }
+        }
+    }
+
+    /// Schedules a read of `item` by `tx` (the `read` arm of `Scheduler`).
+    pub fn read(&mut self, tx: TxId, item: ItemId) -> Decision {
+        self.table.ensure_tx(tx);
+        let hot = self.bump_access(item);
+        let j = self.pick(item);
+        match self.set_less(j, tx, hot) {
+            SetResult::Ok => {
+                self.set_rt_tracked(item, tx); // line 7
+                Decision::accept()
+            }
+            SetResult::Refused { at } => {
+                // Lines 9–10: proceed without becoming the most recent
+                // reader if ordered after the latest writer.
+                let rt = self.table.rt(item);
+                let wt = self.table.wt(item);
+                if self.opts.reader_rule && j == rt {
+                    let after_writer = if self.opts.relaxed_reader_rule {
+                        matches!(self.set_less(wt, tx, false), SetResult::Ok)
+                    } else {
+                        wt == tx || self.table.is_less(wt, tx)
+                    };
+                    if after_writer {
+                        return Decision::accept();
+                    }
+                }
+                self.note_reject(tx, j);
+                Decision::Reject(Reject { tx, against: j, item, column: at })
+            }
+        }
+    }
+
+    /// Schedules a write of `item` by `tx` (the `write` arm of `Scheduler`).
+    pub fn write(&mut self, tx: TxId, item: ItemId) -> Decision {
+        self.table.ensure_tx(tx);
+        let hot = self.bump_access(item);
+        let j = self.pick(item);
+        match self.set_less(j, tx, hot) {
+            SetResult::Ok => {
+                self.set_wt_tracked(item, tx); // line 12
+                Decision::accept()
+            }
+            SetResult::Refused { at } => {
+                // Thomas write rule (III-D-6c): if the blocked writer sits
+                // between all readers and the newer writer —
+                // TS(RT(x)) < TS(tx) < TS(WT(x)) — ignore the write.
+                let rt = self.table.rt(item);
+                let wt = self.table.wt(item);
+                if self.opts.thomas_write_rule
+                    && j == wt
+                    && matches!(self.set_less(rt, tx, false), SetResult::Ok)
+                {
+                    return Decision::Accept { ignored: vec![item] };
+                }
+                self.note_reject(tx, j);
+                Decision::Reject(Reject { tx, against: j, item, column: at })
+            }
+        }
+    }
+
+    /// Schedules a whole (possibly multi-item) operation. Items are
+    /// processed in ascending order; the first rejection rejects the
+    /// operation (element definitions made for earlier items remain — they
+    /// are valid constraints regardless, and the issuing transaction aborts
+    /// anyway).
+    pub fn process(&mut self, op: &Operation) -> Decision {
+        let mut ignored = Vec::new();
+        for &item in op.items() {
+            let d = match op.kind {
+                OpKind::Read => self.read(op.tx, item),
+                OpKind::Write => self.write(op.tx, item),
+            };
+            match d {
+                Decision::Accept { ignored: ig } => ignored.extend(ig),
+                Decision::Reject(r) => return Decision::Reject(r),
+            }
+        }
+        Decision::Accept { ignored }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdts_model::Log;
+
+    fn run(sched: &mut MtScheduler, log: &Log) -> Option<usize> {
+        for (pos, op) in log.ops().iter().enumerate() {
+            if !sched.process(op).is_accept() {
+                return Some(pos);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn first_op_defines_first_element() {
+        let mut s = MtScheduler::with_k(2);
+        assert!(s.read(TxId(1), ItemId(0)).is_accept());
+        assert_eq!(s.table().ts_expect(TxId(1)).to_string(), "<1,*>");
+        assert_eq!(s.table().rt(ItemId(0)), TxId(1));
+    }
+
+    #[test]
+    fn conflicting_write_after_later_writer_rejected() {
+        // W1[x] W2[x] then W1[x] again: T1 < T2 already encoded, so T1's
+        // second write (needing T2 → T1) is refused.
+        let mut s = MtScheduler::with_k(2);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        let d = s.write(TxId(1), ItemId(0));
+        assert_eq!(
+            d,
+            Decision::Reject(Reject { tx: TxId(1), against: TxId(2), item: ItemId(0), column: 0 })
+        );
+    }
+
+    #[test]
+    fn reader_rule_lets_late_reader_through() {
+        // W1[x], R2[x], R3[x], then R2[x] again: RT(x) = T3 > T2, but T2 is
+        // ordered after the writer T1, so lines 9–10 accept the re-read
+        // without updating RT.
+        let mut s = MtScheduler::with_k(3);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s.read(TxId(2), ItemId(0)).is_accept());
+        assert!(s.read(TxId(3), ItemId(0)).is_accept());
+        assert!(s.read(TxId(2), ItemId(0)).is_accept(), "line 9 applies");
+        assert_eq!(s.table().rt(ItemId(0)), TxId(3), "RT unchanged by line 10");
+
+        // Without the reader rule the same re-read aborts.
+        let mut s2 = MtScheduler::new(MtOptions { reader_rule: false, ..MtOptions::new(3) });
+        assert!(s2.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s2.read(TxId(2), ItemId(0)).is_accept());
+        assert!(s2.read(TxId(3), ItemId(0)).is_accept());
+        assert!(!s2.read(TxId(2), ItemId(0)).is_accept());
+    }
+
+    #[test]
+    fn example1_vectors_match_paper() {
+        // Section I-A: after W1[x] W1[y] R3[x] R2[y] the vectors are
+        // T1 = <1,*>, T2 = <2,*>, T3 = <2,*> — T2 and T3 share a value.
+        let mut s = MtScheduler::with_k(2);
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y]").unwrap();
+        assert_eq!(run(&mut s, &log), None);
+        assert_eq!(s.table().ts_expect(TxId(1)).to_string(), "<1,*>");
+        assert_eq!(s.table().ts_expect(TxId(2)).to_string(), "<2,*>");
+        assert_eq!(s.table().ts_expect(TxId(3)).to_string(), "<2,*>");
+
+        // Continue with R2[y'] W3[y]: the 2nd dimension encodes T2 → T3.
+        assert!(s.read(TxId(2), ItemId(2)).is_accept()); // y'
+        assert!(s.write(TxId(3), ItemId(1)).is_accept()); // y
+        assert_eq!(s.table().ts_expect(TxId(2)).to_string(), "<2,1>");
+        assert_eq!(s.table().ts_expect(TxId(3)).to_string(), "<2,2>");
+        let order = s.table().serial_order(&[TxId(1), TxId(2), TxId(3)]).unwrap();
+        assert_eq!(order, vec![TxId(1), TxId(2), TxId(3)], "serializability order T1 T2 T3");
+    }
+
+    #[test]
+    fn mt1_rejects_what_mt2_accepts() {
+        // The same Example 1 log needs dimension 2: MT(1) must abort T3 at
+        // W3[y] (T2 and T3 got totally ordered T3 < T2 up front).
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        let mut k1 = MtScheduler::with_k(1);
+        assert_eq!(run(&mut k1, &log), Some(5), "MT(1) rejects at W3[y]");
+        let mut k2 = MtScheduler::with_k(2);
+        assert_eq!(run(&mut k2, &log), None, "MT(2) accepts");
+    }
+
+    #[test]
+    fn thomas_write_rule_ignores_obsolete_write() {
+        // W1[x] W2[x] W1[x]: T1's late write is older than T2's — with the
+        // rule on, it is ignored; WT stays T2.
+        let opts = MtOptions { thomas_write_rule: true, ..MtOptions::new(2) };
+        let mut s = MtScheduler::new(opts);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        let d = s.write(TxId(1), ItemId(0));
+        assert_eq!(d, Decision::Accept { ignored: vec![ItemId(0)] });
+        assert_eq!(s.table().wt(ItemId(0)), TxId(2));
+    }
+
+    #[test]
+    fn thomas_rule_does_not_mask_reader_conflicts() {
+        // The rule only applies when the *writer* blocks (j = WT). If the
+        // latest reader is ordered after the incoming write, ignoring the
+        // write would lose an update that the reader should have seen, so
+        // the transaction must abort: W2[x] R1[z] W3[z] R3[x] then W1[x].
+        let opts = MtOptions { thomas_write_rule: true, ..MtOptions::new(3) };
+        let mut s = MtScheduler::new(opts);
+        assert!(s.write(TxId(2), ItemId(0)).is_accept()); // W2[x]
+        assert!(s.read(TxId(1), ItemId(2)).is_accept()); // R1[z]
+        assert!(s.write(TxId(3), ItemId(2)).is_accept()); // W3[z]: T1 < T3
+        assert!(s.read(TxId(3), ItemId(0)).is_accept()); // R3[x]: RT(x)=T3 > WT(x)=T2
+        let d = s.write(TxId(1), ItemId(0));
+        assert!(
+            matches!(d, Decision::Reject(Reject { against: TxId(3), .. })),
+            "reader T3 blocks: {d:?}"
+        );
+    }
+
+    #[test]
+    fn starvation_hint_recorded_and_used() {
+        // Fig. 5: W1[x] W2[x] R3[y] W3[x] — T3 rejected; with the fix its
+        // restart is pre-ordered after T2 and succeeds.
+        let opts = MtOptions { starvation_flush: true, ..MtOptions::new(2) };
+        let mut s = MtScheduler::new(opts);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        assert!(s.read(TxId(3), ItemId(1)).is_accept());
+        assert!(!s.write(TxId(3), ItemId(0)).is_accept());
+        // Abort, then restart in place (the paper's flush).
+        s.abort(TxId(3));
+        s.begin_restarted(TxId(3), TxId(3));
+        assert_eq!(s.table().ts_expect(TxId(3)).to_string(), "<3,*>");
+        assert!(s.read(TxId(3), ItemId(1)).is_accept());
+        assert!(s.write(TxId(3), ItemId(0)).is_accept(), "restart proceeds to the end");
+    }
+
+    #[test]
+    fn without_fix_restart_starves_again() {
+        let mut s = MtScheduler::with_k(2);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        assert!(s.read(TxId(3), ItemId(1)).is_accept());
+        assert!(!s.write(TxId(3), ItemId(0)).is_accept());
+        // Abort rolls RT(y) back to T0, so the restarted T3 re-derives the
+        // very same TS(3) = <1,*> and hits the very same rejection.
+        s.abort(TxId(3));
+        assert_eq!(s.table().rt(ItemId(1)), TxId(0), "footprint rolled back");
+        s.begin_restarted(TxId(3), TxId(3)); // plain flush, no hint
+        assert!(s.read(TxId(3), ItemId(1)).is_accept());
+        assert_eq!(s.table().ts_expect(TxId(3)).to_string(), "<1,*>");
+        assert!(!s.write(TxId(3), ItemId(0)).is_accept(), "same situation repeats");
+    }
+
+    #[test]
+    fn hot_encoding_copies_prefix() {
+        // Section III-D-5's illustration: T1 = <1,3,*,*>, T2 fresh; hot
+        // encoding yields T1 = <1,3,1,*>, T2 = <1,3,2,*>.
+        let opts = MtOptions {
+            hot_encoding: Some(HotEncoding { threshold: 0 }),
+            ..MtOptions::new(4)
+        };
+        let mut s = MtScheduler::new(opts);
+        s.table.install(TxId(1), TsVec::from_elems(&[Some(1), Some(3), None, None]));
+        s.table.set_wt(ItemId(0), TxId(1));
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        assert_eq!(s.table().ts_expect(TxId(1)).to_string(), "<1,3,1,*>");
+        assert_eq!(s.table().ts_expect(TxId(2)).to_string(), "<1,3,2,*>");
+    }
+
+    #[test]
+    fn commit_reclaims_unreferenced_rows() {
+        let mut s = MtScheduler::with_k(2);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(!s.commit(TxId(1)), "still WT(x): row pinned");
+        assert_eq!(s.table().live_rows(), 2);
+        // Being displaced as WT(x) reclaims the committed row eagerly.
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        assert_eq!(s.table().live_rows(), 2, "only T0 and T2 remain");
+        assert!(s.table().ts(TxId(1)).is_none(), "T1 reclaimed on displacement");
+    }
+
+    #[test]
+    fn events_journal_records_encodings() {
+        let mut s = MtScheduler::new(MtOptions { record_events: true, ..MtOptions::new(2) });
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert_eq!(
+            s.events(),
+            &[SetEvent::Encoded { from: TxId(0), to: TxId(1), changes: vec![(TxId(1), 0, 1)] }]
+        );
+    }
+
+    #[test]
+    fn multi_item_op_rejects_atomically() {
+        let mut s = MtScheduler::with_k(1);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s.write(TxId(2), ItemId(1)).is_accept());
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        // T1 writing {y, x}: y fine, x refused (T2 is newer) → whole op rejected.
+        let op = Operation::new(TxId(1), OpKind::Write, vec![ItemId(1), ItemId(0)]);
+        assert!(!s.process(&op).is_accept());
+    }
+}

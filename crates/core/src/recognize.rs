@@ -1,0 +1,89 @@
+//! Log recognition: feed a fixed interleaving to an online scheduler and
+//! report whether every operation is accepted.
+//!
+//! The paper measures a scheduler's *degree of concurrency* by the set of
+//! logs it accepts without rearranging (Section III-C); these helpers drive
+//! the class-membership experiments of Fig. 4.
+
+use mdts_model::{Log, Operation};
+
+use crate::composite::{NaiveComposite, SharedPrefixComposite};
+use crate::mtk::{Decision, MtOptions, MtScheduler};
+
+/// Anything that can schedule operations online.
+pub trait LogScheduler {
+    /// Processes one operation, returning the verdict.
+    fn process_op(&mut self, op: &Operation) -> Decision;
+}
+
+impl LogScheduler for MtScheduler {
+    fn process_op(&mut self, op: &Operation) -> Decision {
+        self.process(op)
+    }
+}
+
+impl LogScheduler for NaiveComposite {
+    fn process_op(&mut self, op: &Operation) -> Decision {
+        self.process(op)
+    }
+}
+
+impl LogScheduler for SharedPrefixComposite {
+    fn process_op(&mut self, op: &Operation) -> Decision {
+        self.process(op)
+    }
+}
+
+/// Outcome of recognizing one log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Recognition {
+    /// Whether every operation was accepted.
+    pub accepted: bool,
+    /// Position of the first rejected operation, if any.
+    pub rejected_at: Option<usize>,
+}
+
+/// Runs the log through the scheduler; stops at the first rejection.
+pub fn recognize<S: LogScheduler>(scheduler: &mut S, log: &Log) -> Recognition {
+    for (pos, op) in log.ops().iter().enumerate() {
+        if !scheduler.process_op(op).is_accept() {
+            return Recognition { accepted: false, rejected_at: Some(pos) };
+        }
+    }
+    Recognition { accepted: true, rejected_at: None }
+}
+
+/// Membership in TO(k): acceptance by MT(k) with Algorithm 1 defaults.
+pub fn to_k(log: &Log, k: usize) -> bool {
+    recognize(&mut MtScheduler::new(MtOptions::new(k)), log).accepted
+}
+
+/// Membership in TO(k⁺) = TO(1) ∪ … ∪ TO(k): acceptance by the composite
+/// MT(k⁺) (subprotocols run with the paper's simplifying assumption —
+/// reader rule off).
+pub fn to_k_star(log: &Log, k: usize) -> bool {
+    recognize(&mut NaiveComposite::new(k), log).accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognize_reports_first_rejection() {
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        let mut mt1 = MtScheduler::with_k(1);
+        let r = recognize(&mut mt1, &log);
+        assert!(!r.accepted);
+        assert_eq!(r.rejected_at, Some(5));
+        assert!(to_k(&log, 2));
+        assert!(!to_k(&log, 1));
+    }
+
+    #[test]
+    fn to_k_star_covers_union() {
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        assert!(to_k_star(&log, 2), "TO(2) member is a TO(2+) member");
+        assert!(!to_k_star(&log, 1));
+    }
+}

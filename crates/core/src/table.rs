@@ -1,0 +1,312 @@
+//! The timestamp table of Fig. 2: one vector row per transaction, plus the
+//! per-item `RT(x)`/`WT(x)` indices locating the most recent reader and
+//! writer, plus the k-th-column counters.
+
+use std::fmt;
+
+use mdts_model::{ItemId, TxId};
+use mdts_vector::{CmpResult, KthCounters, ScalarComparator, TsVec};
+
+/// The MT(k) timestamp table (Fig. 2).
+///
+/// Rows are timestamp vectors indexed by transaction id; row 0 is the
+/// virtual transaction `T₀` with `TS(0) = ⟨0, *, …⟩`, which "reads and
+/// writes all data items before any other transaction" and is never
+/// reclaimed. `RT(x)`/`WT(x)` start at 0 for every item accordingly
+/// (Algorithm 1, lines 2–3).
+#[derive(Clone, Debug)]
+pub struct TimestampTable {
+    k: usize,
+    /// Vector per transaction id; `None` = never begun or reclaimed.
+    vectors: Vec<Option<TsVec>>,
+    /// `RT(x)` per item id.
+    rt: Vec<TxId>,
+    /// `WT(x)` per item id.
+    wt: Vec<TxId>,
+    counters: KthCounters,
+}
+
+impl TimestampTable {
+    /// Fresh table for vectors of dimension `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        TimestampTable {
+            k,
+            vectors: vec![Some(TsVec::origin(k))],
+            rt: Vec::new(),
+            wt: Vec::new(),
+            counters: KthCounters::new(),
+        }
+    }
+
+    /// Replaces the default counters (DMT(k) installs site-tagged ones).
+    pub fn with_counters(mut self, counters: KthCounters) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// Vector dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Mutable access to the k-th-column counters.
+    pub fn counters_mut(&mut self) -> &mut KthCounters {
+        &mut self.counters
+    }
+
+    /// The counters (for inspection).
+    pub fn counters(&self) -> &KthCounters {
+        &self.counters
+    }
+
+    /// Swaps the table's counters with `other` — DMT(k) swaps in the
+    /// *scheduling site's* site-tagged counters for the duration of each
+    /// operation, so k-th-column values carry that site's tag
+    /// (Section V-B-1).
+    pub fn swap_counters(&mut self, other: &mut KthCounters) {
+        std::mem::swap(&mut self.counters, other);
+    }
+
+    /// Ensures a (fully undefined) vector exists for `tx`.
+    pub fn ensure_tx(&mut self, tx: TxId) {
+        let idx = tx.index();
+        if idx >= self.vectors.len() {
+            self.vectors.resize(idx + 1, None);
+        }
+        if self.vectors[idx].is_none() {
+            self.vectors[idx] = Some(TsVec::undefined(self.k));
+        }
+    }
+
+    /// Installs an explicit initial vector for `tx` — used by the
+    /// starvation-avoidance restart, which pre-sets the first element
+    /// (Section III-D-4).
+    pub fn install(&mut self, tx: TxId, vector: TsVec) {
+        assert_eq!(vector.k(), self.k);
+        let idx = tx.index();
+        if idx >= self.vectors.len() {
+            self.vectors.resize(idx + 1, None);
+        }
+        self.vectors[idx] = Some(vector);
+    }
+
+    /// `TS(tx)`, if the transaction has a live vector.
+    pub fn ts(&self, tx: TxId) -> Option<&TsVec> {
+        self.vectors.get(tx.index()).and_then(|v| v.as_ref())
+    }
+
+    /// `TS(tx)`, panicking if absent (protocol invariant: every transaction
+    /// referenced by `RT`/`WT` or being scheduled has a vector).
+    pub fn ts_expect(&self, tx: TxId) -> &TsVec {
+        self.ts(tx).unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
+    }
+
+    /// Mutable `TS(tx)`.
+    pub fn ts_mut(&mut self, tx: TxId) -> &mut TsVec {
+        self.vectors
+            .get_mut(tx.index())
+            .and_then(|v| v.as_mut())
+            .unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
+    }
+
+    fn ensure_item(&mut self, item: ItemId) {
+        let idx = item.index();
+        if idx >= self.rt.len() {
+            self.rt.resize(idx + 1, TxId::VIRTUAL);
+            self.wt.resize(idx + 1, TxId::VIRTUAL);
+        }
+    }
+
+    /// `RT(x)` — index of the most recent reader (Algorithm 1 line 3
+    /// default: `T₀`).
+    pub fn rt(&self, item: ItemId) -> TxId {
+        self.rt.get(item.index()).copied().unwrap_or(TxId::VIRTUAL)
+    }
+
+    /// `WT(x)` — index of the most recent writer.
+    pub fn wt(&self, item: ItemId) -> TxId {
+        self.wt.get(item.index()).copied().unwrap_or(TxId::VIRTUAL)
+    }
+
+    /// Sets `RT(x) := tx` (Algorithm 1 line 7).
+    pub fn set_rt(&mut self, item: ItemId, tx: TxId) {
+        self.ensure_item(item);
+        self.rt[item.index()] = tx;
+    }
+
+    /// Sets `WT(x) := tx` (Algorithm 1 line 12).
+    pub fn set_wt(&mut self, item: ItemId, tx: TxId) {
+        self.ensure_item(item);
+        self.wt[item.index()] = tx;
+    }
+
+    /// Definition 6 comparison of two transactions' vectors.
+    pub fn compare(&self, a: TxId, b: TxId) -> CmpResult {
+        ScalarComparator::compare(self.ts_expect(a), self.ts_expect(b))
+    }
+
+    /// Strict `TS(a) < TS(b)`.
+    pub fn is_less(&self, a: TxId, b: TxId) -> bool {
+        matches!(self.compare(a, b), CmpResult::Less { .. })
+    }
+
+    /// Whether `tx` is currently the most recent reader or writer of any
+    /// item — if so its vector must not be reclaimed (Section III-D-6b).
+    pub fn is_referenced(&self, tx: TxId) -> bool {
+        self.rt.iter().chain(self.wt.iter()).any(|&t| t == tx)
+    }
+
+    /// Storage reclamation (Section III-D-6b): drops the vector of a
+    /// committed transaction if it is no longer any item's most recent
+    /// read/write timestamp. Returns whether the row was reclaimed. `T₀` is
+    /// never reclaimed.
+    pub fn reclaim(&mut self, tx: TxId) -> bool {
+        if tx.is_virtual() || self.is_referenced(tx) {
+            return false;
+        }
+        if let Some(slot) = self.vectors.get_mut(tx.index()) {
+            if slot.is_some() {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of live vector rows (including `T₀`) — the table footprint
+    /// the paper argues "normally fits in main memory" (III-D-6a).
+    pub fn live_rows(&self) -> usize {
+        self.vectors.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// All live transactions, ascending.
+    pub fn live_txns(&self) -> Vec<TxId> {
+        self.vectors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|_| TxId(i as u32)))
+            .collect()
+    }
+
+    /// A serialization order for the given transactions: a topological sort
+    /// of the strict vector order (Theorem 2's witness). Returns `None` if
+    /// some needed vector is missing.
+    ///
+    /// The vector order is a partial order (Lemmas 1–2); unordered pairs
+    /// are free, so a simple insertion by pairwise comparison suffices.
+    pub fn serial_order(&self, txns: &[TxId]) -> Option<Vec<TxId>> {
+        for &t in txns {
+            self.ts(t)?;
+        }
+        // Insertion topological sort: place each transaction before the
+        // first already-placed transaction that must follow it. Correctness
+        // relies on transitivity of `<` (Lemma 1).
+        let mut order: Vec<TxId> = Vec::with_capacity(txns.len());
+        for &t in txns {
+            let pos = order
+                .iter()
+                .position(|&u| self.is_less(t, u))
+                .unwrap_or(order.len());
+            order.insert(pos, t);
+        }
+        // Verify (cheap, and guards against future regressions).
+        for a in 0..order.len() {
+            for b in (a + 1)..order.len() {
+                if self.is_less(order[b], order[a]) {
+                    return None;
+                }
+            }
+        }
+        Some(order)
+    }
+}
+
+impl fmt::Display for TimestampTable {
+    /// Renders the table in the paper's style: one `TS(i) = ⟨…⟩` row per
+    /// live transaction, then the `RT`/`WT` columns per touched item.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "timestamp table (k = {}):", self.k)?;
+        for (i, v) in self.vectors.iter().enumerate() {
+            if let Some(ts) = v {
+                writeln!(f, "  TS({i}) = {ts}")?;
+            }
+        }
+        for idx in 0..self.rt.len() {
+            writeln!(f, "  item {idx}: RT = {}, WT = {}", self.rt[idx].0, self.wt[idx].0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_matches_algorithm1() {
+        let t = TimestampTable::new(2);
+        assert_eq!(t.ts_expect(TxId::VIRTUAL).to_string(), "<0,*>");
+        assert_eq!(t.rt(ItemId(5)), TxId::VIRTUAL);
+        assert_eq!(t.wt(ItemId(5)), TxId::VIRTUAL);
+        assert_eq!(t.counters().ucount(), 1);
+        assert_eq!(t.counters().lcount(), 0);
+    }
+
+    #[test]
+    fn ensure_tx_is_idempotent() {
+        let mut t = TimestampTable::new(2);
+        t.ensure_tx(TxId(3));
+        t.ts_mut(TxId(3)).define(0, 7);
+        t.ensure_tx(TxId(3));
+        assert_eq!(t.ts_expect(TxId(3)).get(0), Some(7), "existing vector untouched");
+    }
+
+    #[test]
+    fn reclaim_respects_references_and_t0() {
+        let mut t = TimestampTable::new(2);
+        t.ensure_tx(TxId(1));
+        t.set_rt(ItemId(0), TxId(1));
+        assert!(!t.reclaim(TxId(1)), "still RT(x)");
+        t.set_rt(ItemId(0), TxId(2));
+        assert!(t.reclaim(TxId(1)));
+        assert!(!t.reclaim(TxId(1)), "already gone");
+        assert!(!t.reclaim(TxId::VIRTUAL), "T0 is permanent");
+        assert_eq!(t.live_rows(), 1);
+    }
+
+    #[test]
+    fn serial_order_sorts_by_vector_order() {
+        let mut t = TimestampTable::new(2);
+        // Example 2's resulting vectors: T1=<1,2>, T2=<1,1>, T3=<1,0>.
+        t.install(TxId(1), TsVec::from_elems(&[Some(1), Some(2)]));
+        t.install(TxId(2), TsVec::from_elems(&[Some(1), Some(1)]));
+        t.install(TxId(3), TsVec::from_elems(&[Some(1), Some(0)]));
+        let order = t.serial_order(&[TxId(1), TxId(2), TxId(3)]).unwrap();
+        assert_eq!(order, vec![TxId(3), TxId(2), TxId(1)]);
+    }
+
+    #[test]
+    fn serial_order_keeps_unordered_pairs_free() {
+        let mut t = TimestampTable::new(2);
+        t.install(TxId(1), TsVec::from_elems(&[Some(1), None]));
+        t.install(TxId(2), TsVec::from_elems(&[Some(2), None]));
+        t.install(TxId(3), TsVec::from_elems(&[Some(2), None])); // equal to T2
+        let order = t.serial_order(&[TxId(3), TxId(1), TxId(2)]).unwrap();
+        assert_eq!(order[0], TxId(1), "T1 precedes both");
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut t = TimestampTable::new(2);
+        t.ensure_tx(TxId(1));
+        t.set_wt(ItemId(0), TxId(1));
+        let s = t.to_string();
+        assert!(s.contains("TS(0) = <0,*>"));
+        assert!(s.contains("TS(1) = <*,*>"));
+        assert!(s.contains("WT = 1"));
+    }
+}

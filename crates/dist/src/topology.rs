@@ -1,0 +1,57 @@
+//! Site topology: which site schedules a transaction and which site is
+//! home to each object.
+
+use mdts_model::{ItemId, TxId};
+
+/// A static assignment of transactions and items to sites `0..n_sites`.
+///
+/// Transactions are scheduled at their initiation site; vectors live at
+/// their transaction's site; item records live at the item's home site.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_sites: u32,
+}
+
+impl Topology {
+    /// A topology with `n_sites ≥ 1` sites and deterministic round-robin
+    /// homes.
+    pub fn new(n_sites: u32) -> Self {
+        assert!(n_sites >= 1);
+        Topology { n_sites }
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> u32 {
+        self.n_sites
+    }
+
+    /// The site that initiates (and schedules for) a transaction. `T₀`'s
+    /// row is replicated conceptually; we home it at site 0.
+    pub fn site_of_tx(&self, tx: TxId) -> u32 {
+        tx.0 % self.n_sites
+    }
+
+    /// The home site of an item's record (`RT(x)`, `WT(x)` and the data).
+    pub fn site_of_item(&self, item: ItemId) -> u32 {
+        item.0 % self.n_sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_round_robin() {
+        let t = Topology::new(3);
+        assert_eq!(t.site_of_tx(TxId(4)), 1);
+        assert_eq!(t.site_of_item(ItemId(5)), 2);
+        assert_eq!(t.site_of_tx(TxId::VIRTUAL), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sites_rejected() {
+        let _ = Topology::new(0);
+    }
+}

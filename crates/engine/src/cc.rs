@@ -1,0 +1,485 @@
+//! The [`ConcurrencyControl`] trait and one adapter per protocol.
+//!
+//! All adapters work in the deferred-write discipline (VI-C-2): `write`
+//! *announces* a write (locks under 2PL, records elsewhere); value
+//! visibility is the engine's business, and the protocols validate the
+//! deferred writes in [`ConcurrencyControl::validate_commit`].
+
+use mdts_baselines::{
+    BasicTimestampOrdering, IntervalScheduler, LockManager, LockMode, LockOutcome, Occ,
+};
+use mdts_baselines::basic_to::ToVerdict;
+use mdts_core::{Decision, MtOptions, MtScheduler, NaiveComposite};
+use mdts_model::{ItemId, TxId};
+
+/// Verdict for one access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Proceed.
+    Granted,
+    /// Proceed, but the write's value will be discarded (Thomas rule).
+    Ignored,
+    /// Wait and retry (a lock is held by someone else).
+    Blocked,
+    /// The transaction must abort and may restart.
+    Abort,
+    /// Every active transaction must abort (the composite protocol's
+    /// all-subprotocols-stopped rule, Algorithm 2 step 4-i).
+    AbortAll,
+}
+
+/// Verdict at commit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CommitDecision {
+    /// Commit; the listed deferred writes are dropped (Thomas rule), the
+    /// rest are applied.
+    Commit {
+        /// Items whose buffered write must not be applied.
+        skip: Vec<ItemId>,
+    },
+    /// The transaction must abort.
+    Abort,
+    /// Every active transaction must abort.
+    AbortAll,
+}
+
+impl CommitDecision {
+    /// Plain commit.
+    pub fn commit() -> Self {
+        CommitDecision::Commit { skip: Vec::new() }
+    }
+}
+
+/// A pluggable concurrency-control protocol.
+///
+/// Item-granular; value management is the engine's job. Implementations
+/// are driven under the engine's global lock, so they need no internal
+/// synchronization.
+pub trait ConcurrencyControl: Send {
+    /// Protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// A new transaction begins.
+    fn begin(&mut self, tx: TxId);
+
+    /// A restart of `aborted` begins as `new_tx` (protocols with restart
+    /// hints — the MT(k) starvation fix, TO's fresh timestamps — use this).
+    fn begin_restarted(&mut self, new_tx: TxId, aborted: TxId) {
+        let _ = aborted;
+        self.begin(new_tx);
+    }
+
+    /// Client reads `item`.
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict;
+
+    /// Client announces a write of `item` (value stays in the private
+    /// workspace until commit).
+    fn write(&mut self, tx: TxId, item: ItemId) -> Verdict;
+
+    /// Validate the deferred writes and decide the commit.
+    fn validate_commit(&mut self, tx: TxId, writes: &[ItemId]) -> CommitDecision;
+
+    /// The transaction committed; release its resources. Returns
+    /// transactions whose blocked requests may now proceed.
+    fn committed(&mut self, tx: TxId) -> Vec<TxId>;
+
+    /// The transaction aborted; release its resources.
+    fn aborted(&mut self, tx: TxId) -> Vec<TxId>;
+}
+
+// ---------------------------------------------------------------------
+// MT(k)
+// ---------------------------------------------------------------------
+
+/// MT(k) under deferred writes: reads are validated when issued (orders
+/// against `RT`/`WT`), writes when the transaction commits — exactly the
+/// two-phase-commit variant of Section VI-C-2.
+pub struct MtCc {
+    sched: MtScheduler,
+}
+
+impl MtCc {
+    /// MT(k) with default Algorithm 1 options plus the starvation fix
+    /// (engines restart transactions, so the fix is the sensible default).
+    pub fn new(k: usize) -> Self {
+        MtCc::with_options(MtOptions { starvation_flush: true, ..MtOptions::new(k) })
+    }
+
+    /// MT(k) with explicit options.
+    pub fn with_options(opts: MtOptions) -> Self {
+        MtCc { sched: MtScheduler::new(opts) }
+    }
+
+    /// The underlying scheduler (read access for tests).
+    pub fn scheduler(&self) -> &MtScheduler {
+        &self.sched
+    }
+}
+
+impl ConcurrencyControl for MtCc {
+    fn name(&self) -> &'static str {
+        "MT(k)"
+    }
+
+    fn begin(&mut self, tx: TxId) {
+        self.sched.begin(tx);
+    }
+
+    fn begin_restarted(&mut self, new_tx: TxId, aborted: TxId) {
+        self.sched.begin_restarted(new_tx, aborted);
+    }
+
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        match self.sched.read(tx, item) {
+            Decision::Accept { .. } => Verdict::Granted,
+            Decision::Reject(_) => Verdict::Abort,
+        }
+    }
+
+    fn write(&mut self, _tx: TxId, _item: ItemId) -> Verdict {
+        Verdict::Granted // deferred: validated at commit
+    }
+
+    fn validate_commit(&mut self, tx: TxId, writes: &[ItemId]) -> CommitDecision {
+        let mut skip = Vec::new();
+        for &item in writes {
+            match self.sched.write(tx, item) {
+                Decision::Accept { ignored } => skip.extend(ignored),
+                Decision::Reject(_) => return CommitDecision::Abort,
+            }
+        }
+        CommitDecision::Commit { skip }
+    }
+
+    fn committed(&mut self, tx: TxId) -> Vec<TxId> {
+        self.sched.commit(tx);
+        Vec::new()
+    }
+
+    fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
+        self.sched.abort(tx);
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// MT(k+)
+// ---------------------------------------------------------------------
+
+/// MT(k⁺) under deferred writes, with the paper's rule that when every
+/// subprotocol has been stopped, *all* active transactions abort and the
+/// subprotocols restart (Algorithm 2, step 4-i).
+pub struct CompositeCc {
+    k: usize,
+    inner: NaiveComposite,
+}
+
+impl CompositeCc {
+    /// MT(k⁺).
+    pub fn new(k: usize) -> Self {
+        CompositeCc { k, inner: NaiveComposite::new(k) }
+    }
+
+    fn reset(&mut self) {
+        self.inner = NaiveComposite::new(self.k);
+    }
+
+    fn map(&mut self, d: Decision) -> Verdict {
+        match d {
+            Decision::Accept { .. } => Verdict::Granted,
+            Decision::Reject(_) => {
+                // All subprotocols stopped: restart them and signal the
+                // epoch change to the engine.
+                self.reset();
+                Verdict::AbortAll
+            }
+        }
+    }
+}
+
+impl ConcurrencyControl for CompositeCc {
+    fn name(&self) -> &'static str {
+        "MT(k+)"
+    }
+
+    fn begin(&mut self, _tx: TxId) {}
+
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        let d = self.inner.process(&mdts_model::Operation::read(tx, item));
+        self.map(d)
+    }
+
+    fn write(&mut self, _tx: TxId, _item: ItemId) -> Verdict {
+        Verdict::Granted
+    }
+
+    fn validate_commit(&mut self, tx: TxId, writes: &[ItemId]) -> CommitDecision {
+        for &item in writes {
+            let d = self.inner.process(&mdts_model::Operation::write(tx, item));
+            if self.map(d) == Verdict::AbortAll {
+                return CommitDecision::AbortAll;
+            }
+        }
+        CommitDecision::commit()
+    }
+
+    fn committed(&mut self, _tx: TxId) -> Vec<TxId> {
+        Vec::new()
+    }
+
+    fn aborted(&mut self, _tx: TxId) -> Vec<TxId> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strict 2PL
+// ---------------------------------------------------------------------
+
+/// Strict two-phase locking: read/write acquire locks (blocking), all
+/// locks released at commit or abort; deadlock victims abort.
+pub struct TwoPlCc {
+    locks: LockManager,
+}
+
+impl TwoPlCc {
+    /// Fresh lock-based protocol.
+    pub fn new() -> Self {
+        TwoPlCc { locks: LockManager::new() }
+    }
+}
+
+impl Default for TwoPlCc {
+    fn default() -> Self {
+        TwoPlCc::new()
+    }
+}
+
+impl ConcurrencyControl for TwoPlCc {
+    fn name(&self) -> &'static str {
+        "2PL"
+    }
+
+    fn begin(&mut self, _tx: TxId) {}
+
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        match self.locks.request(tx, item, LockMode::Shared) {
+            LockOutcome::Granted => Verdict::Granted,
+            LockOutcome::Blocked => Verdict::Blocked,
+            LockOutcome::Deadlock => Verdict::Abort,
+        }
+    }
+
+    fn write(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        match self.locks.request(tx, item, LockMode::Exclusive) {
+            LockOutcome::Granted => Verdict::Granted,
+            LockOutcome::Blocked => Verdict::Blocked,
+            LockOutcome::Deadlock => Verdict::Abort,
+        }
+    }
+
+    fn validate_commit(&mut self, _tx: TxId, _writes: &[ItemId]) -> CommitDecision {
+        CommitDecision::commit() // exclusive locks already held
+    }
+
+    fn committed(&mut self, tx: TxId) -> Vec<TxId> {
+        self.locks.release_all(tx)
+    }
+
+    fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
+        self.locks.release_all(tx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Basic TO
+// ---------------------------------------------------------------------
+
+/// Single-valued timestamp ordering under deferred writes.
+pub struct BasicToCc {
+    sched: BasicTimestampOrdering,
+}
+
+impl BasicToCc {
+    /// Basic TO (optionally with the Thomas write rule).
+    pub fn new(thomas: bool) -> Self {
+        BasicToCc {
+            sched: if thomas {
+                BasicTimestampOrdering::with_thomas_rule()
+            } else {
+                BasicTimestampOrdering::new()
+            },
+        }
+    }
+}
+
+impl ConcurrencyControl for BasicToCc {
+    fn name(&self) -> &'static str {
+        "TO(1)"
+    }
+
+    fn begin(&mut self, tx: TxId) {
+        let _ = self.sched.timestamp(tx);
+    }
+
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        match self.sched.read(tx, item) {
+            ToVerdict::Granted => Verdict::Granted,
+            ToVerdict::Ignored => Verdict::Ignored,
+            ToVerdict::Abort => Verdict::Abort,
+        }
+    }
+
+    fn write(&mut self, _tx: TxId, _item: ItemId) -> Verdict {
+        Verdict::Granted
+    }
+
+    fn validate_commit(&mut self, tx: TxId, writes: &[ItemId]) -> CommitDecision {
+        let mut skip = Vec::new();
+        for &item in writes {
+            match self.sched.write(tx, item) {
+                ToVerdict::Granted => {}
+                ToVerdict::Ignored => skip.push(item),
+                ToVerdict::Abort => return CommitDecision::Abort,
+            }
+        }
+        CommitDecision::Commit { skip }
+    }
+
+    fn committed(&mut self, _tx: TxId) -> Vec<TxId> {
+        Vec::new()
+    }
+
+    fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
+        self.sched.forget(tx);
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// OCC
+// ---------------------------------------------------------------------
+
+/// Optimistic concurrency control (backward validation).
+pub struct OccCc {
+    sched: Occ,
+}
+
+impl OccCc {
+    /// Fresh optimistic protocol.
+    pub fn new() -> Self {
+        OccCc { sched: Occ::new() }
+    }
+}
+
+impl Default for OccCc {
+    fn default() -> Self {
+        OccCc::new()
+    }
+}
+
+impl ConcurrencyControl for OccCc {
+    fn name(&self) -> &'static str {
+        "OCC"
+    }
+
+    fn begin(&mut self, tx: TxId) {
+        self.sched.begin(tx);
+    }
+
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        self.sched.read(tx, item);
+        Verdict::Granted
+    }
+
+    fn write(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        self.sched.write(tx, item);
+        Verdict::Granted
+    }
+
+    fn validate_commit(&mut self, tx: TxId, _writes: &[ItemId]) -> CommitDecision {
+        if self.sched.commit(tx) {
+            CommitDecision::commit()
+        } else {
+            CommitDecision::Abort
+        }
+    }
+
+    fn committed(&mut self, _tx: TxId) -> Vec<TxId> {
+        Vec::new() // commit already recorded in validate_commit
+    }
+
+    fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
+        self.sched.abort(tx);
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intervals
+// ---------------------------------------------------------------------
+
+/// Bayer-style dynamic timestamp intervals under deferred writes.
+pub struct IntervalCc {
+    sched: IntervalScheduler,
+}
+
+impl IntervalCc {
+    /// Fresh interval protocol. Uses the renormalizing variant: a
+    /// long-running engine would otherwise fragment the line to exhaustion
+    /// (the Section VI-A critique, reproduced by exp13); renumbering is
+    /// the standard remedy and preserves every encoded order.
+    pub fn new() -> Self {
+        IntervalCc { sched: IntervalScheduler::with_renormalization() }
+    }
+
+    /// Shrink statistics (for the Section VI-A comparison).
+    pub fn stats(&self) -> mdts_baselines::IntervalStats {
+        self.sched.stats()
+    }
+}
+
+impl Default for IntervalCc {
+    fn default() -> Self {
+        IntervalCc::new()
+    }
+}
+
+impl ConcurrencyControl for IntervalCc {
+    fn name(&self) -> &'static str {
+        "Intervals"
+    }
+
+    fn begin(&mut self, _tx: TxId) {}
+
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        if self.sched.read(tx, item) {
+            Verdict::Granted
+        } else {
+            Verdict::Abort
+        }
+    }
+
+    fn write(&mut self, _tx: TxId, _item: ItemId) -> Verdict {
+        Verdict::Granted
+    }
+
+    fn validate_commit(&mut self, tx: TxId, writes: &[ItemId]) -> CommitDecision {
+        for &item in writes {
+            if !self.sched.write(tx, item) {
+                return CommitDecision::Abort;
+            }
+        }
+        CommitDecision::commit()
+    }
+
+    fn committed(&mut self, tx: TxId) -> Vec<TxId> {
+        self.sched.finish(tx);
+        Vec::new()
+    }
+
+    fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
+        self.sched.finish(tx);
+        Vec::new()
+    }
+}

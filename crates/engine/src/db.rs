@@ -1,0 +1,278 @@
+//! The database: store + write buffers + a pluggable protocol behind one
+//! lock, with a retrying transaction driver.
+//!
+//! Concurrency model: protocol state and store live in a single
+//! `parking_lot::Mutex`; client threads hold it only for the duration of
+//! one protocol decision. Blocking protocols (2PL) park on a condvar and
+//! are woken whenever locks are released. This is the classical
+//! "scheduler as a critical section" structure — the protocols themselves
+//! are the object of study, not lock-free engineering.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use mdts_model::{ItemId, TxId};
+use mdts_storage::{Store, WriteBuffer};
+
+use crate::cc::{CommitDecision, ConcurrencyControl, Verdict};
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Terminal failure of [`Database::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxError {
+    /// The transaction aborted more than `max_restarts` times.
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::RetriesExhausted => write!(f, "transaction retries exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Control-flow marker: the current transaction incarnation has been
+/// aborted; propagate with `?` out of the transaction closure.
+#[derive(Debug)]
+pub struct Aborted;
+
+struct State<V> {
+    store: Store<V>,
+    buffers: WriteBuffer<V>,
+    cc: Box<dyn ConcurrencyControl>,
+    next_tx: u32,
+    epoch: u64,
+}
+
+struct Shared<V> {
+    state: Mutex<State<V>>,
+    cond: Condvar,
+    metrics: Metrics,
+    name: &'static str,
+}
+
+/// A transactional database over values `V`.
+pub struct Database<V> {
+    shared: Arc<Shared<V>>,
+}
+
+impl<V> Clone for Database<V> {
+    fn clone(&self) -> Self {
+        Database { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<V: Clone + Send + 'static> Database<V> {
+    /// Empty database under the given protocol.
+    pub fn new(cc: Box<dyn ConcurrencyControl>) -> Self {
+        Database::with_store(cc, Store::new())
+    }
+
+    /// Database with a pre-populated store.
+    pub fn with_store(cc: Box<dyn ConcurrencyControl>, store: Store<V>) -> Self {
+        let name = cc.name();
+        Database {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    store,
+                    buffers: WriteBuffer::new(),
+                    cc,
+                    next_tx: 0,
+                    epoch: 0,
+                }),
+                cond: Condvar::new(),
+                metrics: Metrics::default(),
+                name,
+            }),
+        }
+    }
+
+    /// The protocol's display name.
+    pub fn protocol_name(&self) -> &'static str {
+        self.shared.name
+    }
+
+    /// Current committed contents.
+    pub fn snapshot(&self) -> std::collections::BTreeMap<ItemId, V> {
+        self.shared.state.lock().store.snapshot()
+    }
+
+    /// Current counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Runs `body` as a transaction, retrying on abort up to
+    /// `max_restarts` times. The closure reads and writes through the
+    /// [`Tx`] handle and must propagate [`Aborted`] with `?`.
+    pub fn run<T>(
+        &self,
+        max_restarts: usize,
+        mut body: impl FnMut(&mut Tx<'_, V>) -> Result<T, Aborted>,
+    ) -> Result<T, TxError> {
+        let mut prev: Option<TxId> = None;
+        for attempt in 0..=max_restarts {
+            let (id, epoch) = {
+                let mut st = self.shared.state.lock();
+                st.next_tx += 1;
+                let id = TxId(st.next_tx);
+                match prev {
+                    Some(p) => st.cc.begin_restarted(id, p),
+                    None => st.cc.begin(id),
+                }
+                (id, st.epoch)
+            };
+            let mut tx = Tx { shared: &self.shared, id, epoch };
+            if let Ok(value) = body(&mut tx) {
+                if tx.commit() {
+                    Metrics::bump(&self.shared.metrics.commits);
+                    return Ok(value);
+                }
+            }
+            // The failing call already cleaned up this incarnation.
+            prev = Some(id);
+            if attempt < max_restarts {
+                Metrics::bump(&self.shared.metrics.restarts);
+                std::thread::yield_now();
+            }
+        }
+        Err(TxError::RetriesExhausted)
+    }
+}
+
+/// A live transaction handle.
+pub struct Tx<'a, V> {
+    shared: &'a Shared<V>,
+    id: TxId,
+    epoch: u64,
+}
+
+impl<V: Clone + Send + 'static> Tx<'_, V> {
+    /// This incarnation's transaction id.
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    fn cleanup(&self, st: &mut MutexGuard<'_, State<V>>) {
+        st.buffers.discard(self.id);
+        let _woken = st.cc.aborted(self.id);
+        Metrics::bump(&self.shared.metrics.aborts);
+        self.shared.cond.notify_all();
+    }
+
+    fn epoch_ok(&self, st: &mut MutexGuard<'_, State<V>>) -> bool {
+        if st.epoch == self.epoch {
+            return true;
+        }
+        Metrics::bump(&self.shared.metrics.epoch_aborts);
+        self.cleanup(st);
+        false
+    }
+
+    fn abort_all(&self, st: &mut MutexGuard<'_, State<V>>) {
+        st.epoch += 1;
+        self.cleanup(st);
+    }
+
+    /// Reads an item (own uncommitted writes are visible; nobody else's
+    /// are). `Ok(None)` means the item has never been written.
+    pub fn read(&mut self, item: ItemId) -> Result<Option<V>, Aborted> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if !self.epoch_ok(&mut st) {
+                return Err(Aborted);
+            }
+            match st.cc.read(self.id, item) {
+                Verdict::Granted | Verdict::Ignored => {
+                    Metrics::bump(&self.shared.metrics.reads);
+                    let value = st
+                        .buffers
+                        .own_read(self.id, item)
+                        .cloned()
+                        .or_else(|| st.store.get(item).cloned());
+                    return Ok(value);
+                }
+                Verdict::Blocked => {
+                    Metrics::bump(&self.shared.metrics.blocked_waits);
+                    self.shared.cond.wait(&mut st);
+                }
+                Verdict::Abort => {
+                    self.cleanup(&mut st);
+                    return Err(Aborted);
+                }
+                Verdict::AbortAll => {
+                    self.abort_all(&mut st);
+                    return Err(Aborted);
+                }
+            }
+        }
+    }
+
+    /// Writes an item into the private workspace (applied at commit).
+    pub fn write(&mut self, item: ItemId, value: V) -> Result<(), Aborted> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if !self.epoch_ok(&mut st) {
+                return Err(Aborted);
+            }
+            match st.cc.write(self.id, item) {
+                Verdict::Granted => {
+                    Metrics::bump(&self.shared.metrics.writes);
+                    st.buffers.write(self.id, item, value);
+                    return Ok(());
+                }
+                Verdict::Ignored => {
+                    Metrics::bump(&self.shared.metrics.ignored_writes);
+                    return Ok(());
+                }
+                Verdict::Blocked => {
+                    Metrics::bump(&self.shared.metrics.blocked_waits);
+                    self.shared.cond.wait(&mut st);
+                }
+                Verdict::Abort => {
+                    self.cleanup(&mut st);
+                    return Err(Aborted);
+                }
+                Verdict::AbortAll => {
+                    self.abort_all(&mut st);
+                    return Err(Aborted);
+                }
+            }
+        }
+    }
+
+    /// Commit: validate deferred writes, apply, release. Returns whether
+    /// the transaction committed.
+    fn commit(&mut self) -> bool {
+        let mut st = self.shared.state.lock();
+        if !self.epoch_ok(&mut st) {
+            return false;
+        }
+        let writes = st.buffers.write_set(self.id);
+        match st.cc.validate_commit(self.id, &writes) {
+            CommitDecision::Commit { skip } => {
+                for item in skip {
+                    Metrics::bump(&self.shared.metrics.ignored_writes);
+                    st.buffers.discard_item(self.id, item);
+                }
+                let State { store, buffers, .. } = &mut *st;
+                buffers.apply(self.id, store);
+                let _woken = st.cc.committed(self.id);
+                self.shared.cond.notify_all();
+                true
+            }
+            CommitDecision::Abort => {
+                self.cleanup(&mut st);
+                false
+            }
+            CommitDecision::AbortAll => {
+                self.abort_all(&mut st);
+                false
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The executable transaction engine.
+//!
+//! Where the other crates treat the protocols as *log recognizers*, this
+//! crate runs them: a [`Database`] holds the store and a pluggable
+//! [`ConcurrencyControl`]; client threads run closures against
+//! transaction handles; aborted transactions are rolled back and retried
+//! with fresh ids.
+//!
+//! Writes are **deferred** throughout, the paper's preferred scheme
+//! (VI-C-2): every write goes to a private workspace
+//! ([`mdts_storage::WriteBuffer`]), is validated by the protocol at commit
+//! and only then applied. Consequently no transaction ever observes
+//! uncommitted data — there are no dirty reads, no cascading aborts, and a
+//! committed transaction can never be undone.
+//!
+//! Protocols available as [`ConcurrencyControl`] implementations:
+//!
+//! | adapter | protocol |
+//! |---|---|
+//! | [`MtCc`] | MT(k), with all [`mdts_core::MtOptions`] refinements |
+//! | [`CompositeCc`] | MT(k⁺) with the paper's abort-all-and-restart rule |
+//! | [`TwoPlCc`] | strict two-phase locking (blocking, deadlock victims) |
+//! | [`BasicToCc`] | single-valued timestamp ordering |
+//! | [`OccCc`] | optimistic with backward validation |
+//! | [`IntervalCc`] | Bayer-style dynamic timestamp intervals |
+
+pub mod cc;
+pub mod db;
+pub mod metrics;
+pub mod workload;
+
+pub use cc::{
+    BasicToCc, CommitDecision, CompositeCc, ConcurrencyControl, IntervalCc, MtCc, OccCc,
+    TwoPlCc, Verdict,
+};
+pub use db::{Database, Tx, TxError};
+pub use metrics::MetricsSnapshot;
+pub use workload::{run_bank_mix, BankConfig, BankReport};
+
+#[cfg(test)]
+mod engine_tests;

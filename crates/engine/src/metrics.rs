@@ -1,0 +1,66 @@
+//! Engine metrics: lock-free counters sampled into snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters, updated by all client threads.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub commits: AtomicU64,
+    pub aborts: AtomicU64,
+    pub restarts: AtomicU64,
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub ignored_writes: AtomicU64,
+    pub blocked_waits: AtomicU64,
+    pub epoch_aborts: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            ignored_writes: self.ignored_writes.load(Ordering::Relaxed),
+            blocked_waits: self.blocked_waits.load(Ordering::Relaxed),
+            epoch_aborts: self.epoch_aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of the engine counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transaction incarnations (each restart counts its abort).
+    pub aborts: u64,
+    /// Restarts performed by the retry driver.
+    pub restarts: u64,
+    /// Read accesses granted.
+    pub reads: u64,
+    /// Write accesses granted.
+    pub writes: u64,
+    /// Writes dropped by the Thomas rule.
+    pub ignored_writes: u64,
+    /// Times a transaction had to wait for a lock.
+    pub blocked_waits: u64,
+    /// Aborts caused by a composite abort-all epoch.
+    pub epoch_aborts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Aborts per commit — the abort-rate figure the experiments report.
+    pub fn abort_rate(&self) -> f64 {
+        if self.commits == 0 {
+            return 0.0;
+        }
+        self.aborts as f64 / self.commits as f64
+    }
+}

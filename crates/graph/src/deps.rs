@@ -1,0 +1,209 @@
+//! The dependency relation of Definition 7 and the DSR test of Theorem 1.
+//!
+//! Two operations conflict (Definition 1) when they come from different
+//! transactions, access a common item, and at least one writes. The
+//! dependency digraph has an edge `T_i → T_j` whenever some operation of
+//! `T_i` precedes and conflicts with one of `T_j`. A log is D-serializable
+//! (DSR) iff that digraph is acyclic (Theorem 1); a topological sort then
+//! yields an equivalent serial order.
+//!
+//! For the TO(k) analysis the paper adds condition iv) of Definition 3:
+//! read-read pairs on a common item are *also* ordered. [`dependency_graph`]
+//! can include those edges, giving the digraph whose acyclicity is the
+//! outer necessary condition for TO(k) membership.
+
+use mdts_model::{ItemId, Log, OpId, OpKind, TxId};
+
+use crate::digraph::Digraph;
+
+/// Which conflict produced a dependency edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DepKind {
+    /// `W_i[x] … R_j[x]` — `T_j` reads after `T_i` writes.
+    WriteRead,
+    /// `R_i[x] … W_j[x]`.
+    ReadWrite,
+    /// `W_i[x] … W_j[x]`.
+    WriteWrite,
+    /// `R_i[x] … R_j[x]` — not a conflict (Definition 1) but ordered by
+    /// condition iv) of Definition 3 in the TO(k) analysis.
+    ReadRead,
+}
+
+/// One dependency edge with its provenance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DepEdge {
+    /// Earlier transaction.
+    pub from: TxId,
+    /// Later transaction.
+    pub to: TxId,
+    /// Conflict kind.
+    pub kind: DepKind,
+    /// Common item that produced the edge.
+    pub item: ItemId,
+    /// Position of the earlier operation.
+    pub from_pos: OpId,
+    /// Position of the later operation.
+    pub to_pos: OpId,
+}
+
+/// Dependency digraph of a log plus the edge provenance list.
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    /// Transactions in ascending id order; node `n` of [`Self::digraph`] is
+    /// `txns[n]`.
+    pub txns: Vec<TxId>,
+    /// The digraph over transaction indices.
+    pub digraph: Digraph,
+    /// All edges with provenance (first occurrence per ordered pair+kind+item).
+    pub edges: Vec<DepEdge>,
+}
+
+impl DependencyGraph {
+    /// Node index of a transaction.
+    pub fn node_of(&self, tx: TxId) -> Option<usize> {
+        self.txns.binary_search(&tx).ok()
+    }
+
+    /// Whether `from → to` (direct edge).
+    pub fn depends(&self, from: TxId, to: TxId) -> bool {
+        match (self.node_of(from), self.node_of(to)) {
+            (Some(f), Some(t)) => self.digraph.has_edge(f, t),
+            _ => false,
+        }
+    }
+
+    /// A serialization order (topological sort), if acyclic.
+    pub fn serial_order(&self) -> Option<Vec<TxId>> {
+        self.digraph
+            .topological_sort()
+            .map(|order| order.into_iter().map(|n| self.txns[n]).collect())
+    }
+}
+
+fn classify(a: OpKind, b: OpKind) -> DepKind {
+    match (a, b) {
+        (OpKind::Write, OpKind::Read) => DepKind::WriteRead,
+        (OpKind::Read, OpKind::Write) => DepKind::ReadWrite,
+        (OpKind::Write, OpKind::Write) => DepKind::WriteWrite,
+        (OpKind::Read, OpKind::Read) => DepKind::ReadRead,
+    }
+}
+
+/// Builds the dependency digraph of Definition 7.
+///
+/// With `include_read_read`, read-read pairs on a common item are also
+/// ordered (condition iv) of Definition 3 — the TO(k) outer condition).
+pub fn dependency_graph(log: &Log, include_read_read: bool) -> DependencyGraph {
+    let txns = log.transactions();
+    let node = |tx: TxId| txns.binary_search(&tx).expect("tx from this log");
+    let mut digraph = Digraph::new(txns.len());
+    let mut edges = Vec::new();
+    let ops = log.ops();
+    for p2 in 0..ops.len() {
+        for p1 in 0..p2 {
+            let (a, b) = (&ops[p1], &ops[p2]);
+            if a.tx == b.tx || !a.items_intersect(b) {
+                continue;
+            }
+            let kind = classify(a.kind, b.kind);
+            if kind == DepKind::ReadRead && !include_read_read {
+                continue;
+            }
+            let (f, t) = (node(a.tx), node(b.tx));
+            if !digraph.has_edge(f, t) {
+                // Record only the first witness per ordered pair; later
+                // conflicts between the same pair add no information.
+                let item = *a
+                    .items()
+                    .iter()
+                    .find(|i| b.items().contains(i))
+                    .expect("sets intersect");
+                edges.push(DepEdge {
+                    from: a.tx,
+                    to: b.tx,
+                    kind,
+                    item,
+                    from_pos: p1,
+                    to_pos: p2,
+                });
+            }
+            digraph.add_edge(f, t);
+        }
+    }
+    DependencyGraph { txns, digraph, edges }
+}
+
+/// Theorem 1: the log is D-serializable iff its dependency relation is a
+/// partial order, i.e. the conflict digraph is acyclic.
+pub fn is_dsr(log: &Log) -> bool {
+    dependency_graph(log, false).digraph.is_acyclic()
+}
+
+/// An equivalent serial order for a DSR log (`None` if not DSR).
+pub fn serialization_order(log: &Log) -> Option<Vec<TxId>> {
+    dependency_graph(log, false).serial_order()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_dependencies() {
+        // Fig. 1(c): W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y] gives
+        // T1→T3 (x), T1→T2 (y), T2→T3 (y).
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] R2[y'] W3[y]").unwrap();
+        let g = dependency_graph(&log, false);
+        assert!(g.depends(TxId(1), TxId(3)));
+        assert!(g.depends(TxId(1), TxId(2)));
+        assert!(g.depends(TxId(2), TxId(3)));
+        assert!(!g.depends(TxId(3), TxId(2)));
+        assert_eq!(g.serial_order(), Some(vec![TxId(1), TxId(2), TxId(3)]));
+        assert!(is_dsr(&log));
+    }
+
+    #[test]
+    fn cyclic_log_is_not_dsr() {
+        // R1[x] R2[y] W2[x] W1[y]: T1→T2 via x, T2→T1 via y.
+        let log = Log::parse("R1[x] R2[y] W2[x] W1[y]").unwrap();
+        assert!(!is_dsr(&log));
+        assert_eq!(serialization_order(&log), None);
+    }
+
+    #[test]
+    fn read_read_edges_only_when_requested() {
+        let log = Log::parse("R1[x] R2[x]").unwrap();
+        assert_eq!(dependency_graph(&log, false).edges.len(), 0);
+        let g = dependency_graph(&log, true);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].kind, DepKind::ReadRead);
+    }
+
+    #[test]
+    fn edge_provenance_is_first_conflict() {
+        let log = Log::parse("W1[x] R2[x] R2[x]").unwrap();
+        let g = dependency_graph(&log, false);
+        assert_eq!(g.edges.len(), 1);
+        let e = g.edges[0];
+        assert_eq!((e.from_pos, e.to_pos), (0, 1));
+        assert_eq!(e.kind, DepKind::WriteRead);
+    }
+
+    #[test]
+    fn example2_serial_orders() {
+        // Example 2: L is equivalent to T3 T2 T1 or T2 T3 T1; our
+        // deterministic topo sort returns T2 T3 T1.
+        let log = Log::parse("R1[x] R2[y] R3[z] W1[y] W1[z]").unwrap();
+        let order = serialization_order(&log).unwrap();
+        assert_eq!(*order.last().unwrap(), TxId(1), "T1 is last in any equivalent serial log");
+    }
+
+    #[test]
+    fn multi_item_ops_conflict_once_per_pair() {
+        let log = Log::parse("W1[x,y] R2[x,y]").unwrap();
+        let g = dependency_graph(&log, false);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.digraph.edge_count(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! A small dense digraph with cycle detection and topological sorting.
+//!
+//! Nodes are `usize` indices (transaction ids in practice). The graph is
+//! deliberately simple — analysis logs have at most a few thousand
+//! transactions — and fully deterministic: neighbor sets are ordered, so
+//! topological sorts are stable across runs.
+
+use std::collections::BTreeSet;
+
+/// Dense digraph over nodes `0..n`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Digraph {
+    succ: Vec<BTreeSet<usize>>,
+}
+
+impl Digraph {
+    /// Graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph { succ: vec![BTreeSet::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// True iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Adds the edge `from → to` (idempotent). Self-loops are allowed and
+    /// make the graph cyclic.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.succ[from].insert(to);
+    }
+
+    /// Whether the edge exists.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.succ[from].contains(&to)
+    }
+
+    /// Successors of a node, ascending.
+    pub fn successors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succ[node].iter().copied()
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(|s| s.len()).sum()
+    }
+
+    /// Kahn's algorithm. Returns a topological order, or `None` if the
+    /// graph is cyclic. Ties broken by ascending node index (deterministic).
+    pub fn topological_sort(&self) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for node in 0..n {
+            for &s in &self.succ[node] {
+                indeg[s] += 1;
+            }
+        }
+        let mut ready: BTreeSet<usize> =
+            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&v) = ready.iter().next() {
+            ready.remove(&v);
+            order.push(v);
+            for &s in &self.succ[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.insert(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_sort().is_some()
+    }
+
+    /// One cycle as a node sequence (first node repeated at the end), or
+    /// `None` if acyclic. Iterative DFS — no recursion, logs can be large.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.len();
+        let mut color = vec![WHITE; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            // Stack holds (node, iterator position over successors).
+            let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            color[start] = GRAY;
+            stack.push((start, self.succ[start].iter().copied().collect(), 0));
+            while let Some((node, succs, idx)) = stack.last_mut() {
+                if *idx < succs.len() {
+                    let next = succs[*idx];
+                    *idx += 1;
+                    match color[next] {
+                        WHITE => {
+                            color[next] = GRAY;
+                            parent[next] = *node;
+                            let nsucc: Vec<usize> =
+                                self.succ[next].iter().copied().collect();
+                            stack.push((next, nsucc, 0));
+                        }
+                        GRAY => {
+                            // Found a back edge node → next; walk parents.
+                            let mut cycle = vec![next];
+                            let mut cur = *node;
+                            while cur != next {
+                                cycle.push(cur);
+                                cur = parent[cur];
+                            }
+                            cycle.push(next);
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[*node] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `order` is a valid topological order of the graph: every
+    /// edge goes forward in the order and every node appears exactly once.
+    pub fn respects_order(&self, order: &[usize]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.len()];
+        for (p, &v) in order.iter().enumerate() {
+            if v >= self.len() || pos[v] != usize::MAX {
+                return false;
+            }
+            pos[v] = p;
+        }
+        (0..self.len())
+            .all(|v| self.succ[v].iter().all(|&s| pos[v] < pos[s]))
+    }
+
+    /// Union with another graph over the same node set.
+    ///
+    /// # Panics
+    /// Panics if the node counts differ.
+    pub fn union(&self, other: &Digraph) -> Digraph {
+        assert_eq!(self.len(), other.len());
+        let mut out = self.clone();
+        for node in 0..other.len() {
+            for &s in &other.succ[node] {
+                out.add_edge(node, s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_sort_linear_chain() {
+        let mut g = Digraph::new(4);
+        g.add_edge(2, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 3);
+        assert_eq!(g.topological_sort(), Some(vec![2, 1, 0, 3]));
+        assert!(g.is_acyclic());
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn cycle_detected_and_reported() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3);
+        // Every consecutive pair is an edge.
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "cycle step {}→{} missing", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Digraph::new(2);
+        g.add_edge(1, 1);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle(), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn respects_order_checks_edges_and_permutation() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        assert!(g.respects_order(&[0, 1, 2]));
+        assert!(g.respects_order(&[2, 0, 1]));
+        assert!(!g.respects_order(&[1, 0, 2]));
+        assert!(!g.respects_order(&[0, 1])); // not a permutation
+        assert!(!g.respects_order(&[0, 0, 1])); // duplicate
+    }
+
+    #[test]
+    fn union_merges_edges() {
+        let mut a = Digraph::new(3);
+        a.add_edge(0, 1);
+        let mut b = Digraph::new(3);
+        b.add_edge(1, 2);
+        let u = a.union(&b);
+        assert!(u.has_edge(0, 1) && u.has_edge(1, 2));
+        assert_eq!(u.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_graph_sorts() {
+        let g = Digraph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.topological_sort(), Some(vec![]));
+    }
+}

@@ -1,0 +1,19 @@
+//! Serializability theory for the multidimensional timestamp protocols:
+//! dependency digraphs (Definition 7), the DSR test (Theorem 1), and the
+//! companion classes of the Fig. 4 hierarchy — SSR, view-SR, 2PL, TO(1).
+//!
+//! The paper places its new classes TO(k) inside DSR and shows by witness
+//! logs that they are incomparable with 2PL and TO(1) and compatible with
+//! SSR in every combination of the 12 regions of Fig. 4. This crate
+//! provides the recognizers for all the *pre-existing* classes; the TO(k)
+//! recognizers are the MT(k) protocols themselves in `mdts-core`.
+
+pub mod classes;
+pub mod deps;
+pub mod digraph;
+pub mod serial;
+
+pub use classes::{is_2pl_arrival, is_2pl_preclaim, is_ssr, is_to1, ClassFlags};
+pub use deps::{dependency_graph, is_dsr, serialization_order, DepEdge, DepKind};
+pub use digraph::Digraph;
+pub use serial::{final_state_of, is_view_equivalent, is_view_serializable, reads_from};

@@ -1,0 +1,181 @@
+//! View-serializability: reads-from semantics, view equivalence, and an
+//! exact (exponential) view-SR test for the small witness logs of Fig. 4.
+//!
+//! DSR (conflict-based) is the tractable class the paper works in; full
+//! serializability (SR in Fig. 4) is view serializability, whose
+//! recognition is NP-complete in general. For the ≤8-transaction witness
+//! logs an exhaustive permutation search is exact and instant.
+
+use std::collections::BTreeMap;
+
+use mdts_model::{ItemId, Log, OpKind, TxId};
+
+/// Key identifying one read access: `(transaction, ordinal of the read
+/// among the transaction's operations, item)`. Using the ordinal rather
+/// than the log position makes the relation comparable across different
+/// interleavings of the same transactions.
+pub type ReadKey = (TxId, usize, ItemId);
+
+/// The reads-from relation of a log: each read access maps to the
+/// transaction whose write it observes (`TxId(0)` = the initial database
+/// state written by the virtual `T₀`). A read observes the latest preceding
+/// write on the item, including the reader's own earlier writes.
+pub fn reads_from(log: &Log) -> BTreeMap<ReadKey, TxId> {
+    let mut last_writer: BTreeMap<ItemId, TxId> = BTreeMap::new();
+    let mut op_ordinal: BTreeMap<TxId, usize> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    for op in log.ops() {
+        let ord = op_ordinal.entry(op.tx).or_insert(0);
+        match op.kind {
+            OpKind::Read => {
+                for &item in op.items() {
+                    let w = last_writer.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+                    out.insert((op.tx, *ord, item), w);
+                }
+            }
+            OpKind::Write => {
+                for &item in op.items() {
+                    last_writer.insert(item, op.tx);
+                }
+            }
+        }
+        *ord += 1;
+    }
+    out
+}
+
+/// The final-write map of a log: each written item maps to the transaction
+/// whose write survives.
+pub fn final_state_of(log: &Log) -> BTreeMap<ItemId, TxId> {
+    let mut out = BTreeMap::new();
+    for op in log.ops() {
+        if op.kind == OpKind::Write {
+            for &item in op.items() {
+                out.insert(item, op.tx);
+            }
+        }
+    }
+    out
+}
+
+/// The serial log executing `order`'s transactions back to back, each with
+/// its operations in the original (program) order.
+fn serialize(log: &Log, order: &[TxId]) -> Log {
+    let mut out = Log::new();
+    for &tx in order {
+        for op in log.ops().iter().filter(|o| o.tx == tx) {
+            out.push(op.clone());
+        }
+    }
+    out
+}
+
+/// View equivalence of the log to the serial execution of `order`: same
+/// reads-from relation and same final writes.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the log's transactions.
+pub fn is_view_equivalent(log: &Log, order: &[TxId]) -> bool {
+    let mut sorted = order.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(sorted, log.transactions(), "order must permute the log's transactions");
+    let serial = serialize(log, order);
+    reads_from(log) == reads_from(&serial) && final_state_of(log) == final_state_of(&serial)
+}
+
+/// Exact view-serializability by permutation search.
+///
+/// Returns a witness serial order, or `None` if no equivalent serial order
+/// exists. Cost is `n!` view-equivalence checks; callers should keep
+/// `n ≤ 9` (the Fig. 4 witnesses have ≤ 6).
+pub fn is_view_serializable(log: &Log) -> Option<Vec<TxId>> {
+    let mut txns = log.transactions();
+    // Heap's algorithm, iterative.
+    if txns.is_empty() {
+        return Some(vec![]);
+    }
+    if is_view_equivalent(log, &txns) {
+        return Some(txns);
+    }
+    let n = txns.len();
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                txns.swap(0, i);
+            } else {
+                txns.swap(c[i], i);
+            }
+            if is_view_equivalent(log, &txns) {
+                return Some(txns);
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_from_initial_state() {
+        let log = Log::parse("R1[x] W1[x] R2[x]").unwrap();
+        let rf = reads_from(&log);
+        assert_eq!(rf[&(TxId(1), 0, ItemId(0))], TxId::VIRTUAL);
+        assert_eq!(rf[&(TxId(2), 0, ItemId(0))], TxId(1));
+    }
+
+    #[test]
+    fn read_own_write() {
+        let log = Log::parse("W1[x] R1[x]").unwrap();
+        let rf = reads_from(&log);
+        assert_eq!(rf[&(TxId(1), 1, ItemId(0))], TxId(1));
+    }
+
+    #[test]
+    fn final_state_is_last_writer() {
+        let log = Log::parse("W1[x] W2[x] W1[y]").unwrap();
+        let fs = final_state_of(&log);
+        assert_eq!(fs[&ItemId(0)], TxId(2));
+        assert_eq!(fs[&ItemId(1)], TxId(1));
+    }
+
+    #[test]
+    fn dsr_log_is_view_serializable() {
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y] W3[y]").unwrap();
+        let order = is_view_serializable(&log).unwrap();
+        assert!(is_view_equivalent(&log, &order));
+    }
+
+    #[test]
+    fn classic_nonserializable_rejected() {
+        // Lost update: both read initial x then both write it.
+        let log = Log::parse("R1[x] R2[x] W1[x] W2[x]").unwrap();
+        assert!(is_view_serializable(&log).is_none());
+    }
+
+    #[test]
+    fn view_but_not_conflict_serializable() {
+        // The classical blind-write example (Thomas-style): conflict graph
+        // is cyclic, yet the log is view-equivalent to T1 T2 T3 because
+        // T3's final write masks the others.
+        let log = Log::parse("R1[x] W2[x] W1[x] W3[x]").unwrap();
+        assert!(!crate::deps::is_dsr(&log));
+        let order = is_view_serializable(&log).unwrap();
+        assert_eq!(order, vec![TxId(1), TxId(2), TxId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permute")]
+    fn bad_order_panics() {
+        let log = Log::parse("R1[x] R2[x]").unwrap();
+        let _ = is_view_equivalent(&log, &[TxId(1)]);
+    }
+}

@@ -1,0 +1,405 @@
+//! Workload generators for the experiments.
+//!
+//! The paper evaluates protocols by the *set of logs they accept* and gives
+//! qualitative guidelines (Section VI-B) in terms of conflict rate,
+//! transaction length `q`, and vector size `k`. These generators produce the
+//! corresponding synthetic workloads:
+//!
+//! * [`TwoStepConfig`] — the two-step model of Section II (`R_i` then `W_i`,
+//!   each over an access set);
+//! * [`MultiStepConfig`] — the multi-step (q-step) model with single-item
+//!   operations;
+//! * [`Zipf`] — skewed item selection for the hot-item experiments of
+//!   Section III-D-5;
+//! * [`interleave`] — a uniformly random merge of per-transaction operation
+//!   sequences into a [`Log`].
+//!
+//! All randomness comes from a caller-provided [`rand::Rng`], so experiments
+//! are reproducible from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::log::Log;
+use crate::ops::{ItemId, OpKind, Operation, TxId};
+
+/// Zipf-distributed item sampler over `n` items with skew `theta`.
+///
+/// `theta = 0` is uniform; `theta ≈ 0.8–1.2` concentrates accesses on a few
+/// hot items (item 0 is the hottest). Sampling is by binary search over the
+/// precomputed CDF: O(log n) per sample.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(theta >= 0.0, "skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff the domain is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples one item id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ItemId {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        ItemId(idx.min(self.cdf.len() - 1) as u32)
+    }
+
+    /// Samples `count` *distinct* item ids (count must be ≤ `len`).
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<ItemId> {
+        assert!(count <= self.len(), "cannot sample {count} distinct from {}", self.len());
+        let mut out: Vec<ItemId> = Vec::with_capacity(count);
+        // Rejection sampling is fine for count ≪ n; fall back to a shuffle
+        // when the request is a large fraction of the domain.
+        if count * 3 >= self.len() {
+            let mut all: Vec<ItemId> = (0..self.len() as u32).map(ItemId).collect();
+            all.shuffle(rng);
+            all.truncate(count);
+            return all;
+        }
+        while out.len() < count {
+            let it = self.sample(rng);
+            if !out.contains(&it) {
+                out.push(it);
+            }
+        }
+        out
+    }
+}
+
+/// Configuration for two-step transactions (Section II): each `T_i` is one
+/// atomic read over `read_size` items followed by one atomic write over
+/// `write_size` items.
+#[derive(Clone, Debug)]
+pub struct TwoStepConfig {
+    /// Number of transactions.
+    pub n_txns: usize,
+    /// Database size `|D|`.
+    pub n_items: usize,
+    /// `|S(R_i)|`.
+    pub read_size: usize,
+    /// `|S(W_i)|`.
+    pub write_size: usize,
+    /// If true, the write set is drawn from the read set (the common
+    /// read-then-update pattern); otherwise drawn independently.
+    pub write_from_read: bool,
+    /// Zipf skew for item selection (0 = uniform).
+    pub zipf_theta: f64,
+}
+
+impl Default for TwoStepConfig {
+    fn default() -> Self {
+        TwoStepConfig {
+            n_txns: 8,
+            n_items: 16,
+            read_size: 2,
+            write_size: 2,
+            write_from_read: true,
+            zipf_theta: 0.0,
+        }
+    }
+}
+
+impl TwoStepConfig {
+    /// Generates the per-transaction operation sequences.
+    pub fn transactions<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Vec<Operation>> {
+        assert!(self.read_size >= 1 && self.write_size >= 1);
+        assert!(self.read_size <= self.n_items && self.write_size <= self.n_items);
+        let zipf = Zipf::new(self.n_items, self.zipf_theta);
+        (1..=self.n_txns as u32)
+            .map(|t| {
+                let tx = TxId(t);
+                let read_set = zipf.sample_distinct(rng, self.read_size);
+                let write_set = if self.write_from_read && self.write_size <= self.read_size {
+                    let mut rs = read_set.clone();
+                    rs.shuffle(rng);
+                    rs.truncate(self.write_size);
+                    rs
+                } else {
+                    zipf.sample_distinct(rng, self.write_size)
+                };
+                vec![
+                    Operation::new(tx, OpKind::Read, read_set),
+                    Operation::new(tx, OpKind::Write, write_set),
+                ]
+            })
+            .collect()
+    }
+
+    /// Generates transactions and a uniformly random interleaving.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Log {
+        interleave(self.transactions(rng), rng)
+    }
+}
+
+/// Configuration for multi-step transactions: `q` single-item operations,
+/// each a write with probability `p_write`.
+#[derive(Clone, Debug)]
+pub struct MultiStepConfig {
+    /// Number of transactions.
+    pub n_txns: usize,
+    /// Database size `|D|`.
+    pub n_items: usize,
+    /// Minimum operations per transaction (≥ 1).
+    pub min_ops: usize,
+    /// Maximum operations per transaction (inclusive).
+    pub max_ops: usize,
+    /// Probability that an operation is a write.
+    pub p_write: f64,
+    /// Zipf skew for item selection (0 = uniform).
+    pub zipf_theta: f64,
+    /// If true, a written item must have been read earlier by the same
+    /// transaction when possible (constrained-write discipline).
+    pub write_after_read: bool,
+}
+
+impl Default for MultiStepConfig {
+    fn default() -> Self {
+        MultiStepConfig {
+            n_txns: 8,
+            n_items: 32,
+            min_ops: 2,
+            max_ops: 6,
+            p_write: 0.4,
+            zipf_theta: 0.0,
+            write_after_read: false,
+        }
+    }
+}
+
+impl MultiStepConfig {
+    /// Generates the per-transaction operation sequences.
+    pub fn transactions<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Vec<Operation>> {
+        assert!(self.min_ops >= 1 && self.min_ops <= self.max_ops);
+        let zipf = Zipf::new(self.n_items, self.zipf_theta);
+        (1..=self.n_txns as u32)
+            .map(|t| {
+                let tx = TxId(t);
+                let q = rng.gen_range(self.min_ops..=self.max_ops);
+                let mut read_so_far: Vec<ItemId> = Vec::new();
+                (0..q)
+                    .map(|_| {
+                        let is_write = rng.gen_bool(self.p_write);
+                        if is_write && self.write_after_read && !read_so_far.is_empty() {
+                            let item = *read_so_far
+                                .get(rng.gen_range(0..read_so_far.len()))
+                                .expect("non-empty");
+                            Operation::write(tx, item)
+                        } else {
+                            let item = zipf.sample(rng);
+                            if is_write {
+                                Operation::write(tx, item)
+                            } else {
+                                read_so_far.push(item);
+                                Operation::read(tx, item)
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Generates transactions and a uniformly random interleaving.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Log {
+        interleave(self.transactions(rng), rng)
+    }
+}
+
+/// Named workload presets used throughout the experiment harnesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// Uniform item selection, balanced read/write mix.
+    Uniform,
+    /// Zipf(1.1) skew — the "frequently accessed item" scenario of
+    /// Section III-D-5.
+    Hotspot,
+    /// 80% reads.
+    ReadHeavy,
+    /// 80% writes.
+    WriteHeavy,
+    /// Few long transactions (large `q`) — Section VI-B guideline (c).
+    LongLived,
+}
+
+impl WorkloadKind {
+    /// All presets, for sweeps.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::Uniform,
+        WorkloadKind::Hotspot,
+        WorkloadKind::ReadHeavy,
+        WorkloadKind::WriteHeavy,
+        WorkloadKind::LongLived,
+    ];
+
+    /// Short identifier for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Hotspot => "hotspot",
+            WorkloadKind::ReadHeavy => "read-heavy",
+            WorkloadKind::WriteHeavy => "write-heavy",
+            WorkloadKind::LongLived => "long-lived",
+        }
+    }
+
+    /// The multi-step configuration for this preset with `n_txns`
+    /// transactions over `n_items` items.
+    pub fn config(self, n_txns: usize, n_items: usize) -> MultiStepConfig {
+        let base = MultiStepConfig { n_txns, n_items, ..MultiStepConfig::default() };
+        match self {
+            WorkloadKind::Uniform => base,
+            WorkloadKind::Hotspot => MultiStepConfig { zipf_theta: 1.1, ..base },
+            WorkloadKind::ReadHeavy => MultiStepConfig { p_write: 0.2, ..base },
+            WorkloadKind::WriteHeavy => MultiStepConfig { p_write: 0.8, ..base },
+            WorkloadKind::LongLived => {
+                MultiStepConfig { min_ops: 8, max_ops: 16, ..base }
+            }
+        }
+    }
+}
+
+/// Uniformly random merge of per-transaction operation sequences,
+/// preserving each transaction's internal order.
+///
+/// At each step a transaction is chosen with probability proportional to its
+/// remaining operation count, which yields a uniform distribution over all
+/// valid interleavings.
+pub fn interleave<R: Rng + ?Sized>(txns: Vec<Vec<Operation>>, rng: &mut R) -> Log {
+    let mut queues: Vec<std::collections::VecDeque<Operation>> =
+        txns.into_iter().map(Into::into).collect();
+    let mut remaining: usize = queues.iter().map(|q| q.len()).sum();
+    let mut log = Log::new();
+    while remaining > 0 {
+        let mut pick = rng.gen_range(0..remaining);
+        let idx = queues
+            .iter()
+            .position(|q| {
+                if pick < q.len() {
+                    true
+                } else {
+                    pick -= q.len();
+                    false
+                }
+            })
+            .expect("remaining > 0 implies a non-empty queue");
+        let op = queues[idx].pop_front().expect("chosen queue is non-empty");
+        log.push(op);
+        remaining -= 1;
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_uniform_covers_domain() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..2000 {
+            seen[z.sample(&mut rng).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampler should hit all items");
+    }
+
+    #[test]
+    fn zipf_skew_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hot = (0..5000).filter(|_| z.sample(&mut rng).0 < 5).count();
+        assert!(hot > 2000, "Zipf(1.2): top-5 of 100 items should draw >40% ({hot}/5000)");
+    }
+
+    #[test]
+    fn zipf_sample_distinct_unique() {
+        let z = Zipf::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for count in [1, 4, 8] {
+            let got = z.sample_distinct(&mut rng, count);
+            let mut dedup = got.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), count);
+        }
+    }
+
+    #[test]
+    fn two_step_generates_two_step_logs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let log = TwoStepConfig::default().generate(&mut rng);
+        log.validate().unwrap();
+        assert!(log.is_two_step());
+        assert_eq!(log.transactions().len(), 8);
+    }
+
+    #[test]
+    fn multi_step_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = MultiStepConfig { min_ops: 3, max_ops: 5, ..Default::default() };
+        let log = cfg.generate(&mut rng);
+        log.validate().unwrap();
+        for s in log.tx_summaries() {
+            assert!((3..=5).contains(&s.num_ops()));
+        }
+    }
+
+    #[test]
+    fn interleave_preserves_per_tx_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = MultiStepConfig::default();
+        let txns = cfg.transactions(&mut rng);
+        let expected: Vec<Vec<Operation>> = txns.clone();
+        let log = interleave(txns, &mut rng);
+        for (t, ops) in expected.iter().enumerate() {
+            let tx = TxId(t as u32 + 1);
+            let got: Vec<&Operation> =
+                log.ops().iter().filter(|o| o.tx == tx).collect();
+            assert_eq!(got.len(), ops.len());
+            for (a, b) in got.iter().zip(ops) {
+                assert_eq!(**a, *b);
+            }
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in WorkloadKind::ALL {
+            let log = kind.config(6, 24).generate(&mut rng);
+            log.validate().unwrap();
+            assert_eq!(log.transactions().len(), 6, "{}", kind.name());
+        }
+        assert!(WorkloadKind::LongLived.config(2, 24).min_ops >= 8);
+    }
+}

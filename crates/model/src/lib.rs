@@ -1,0 +1,33 @@
+//! Formal transaction/log model from Leu & Bhargava, "Multidimensional
+//! Timestamp Protocols for Concurrency Control" (ICDE 1986), Section II.
+//!
+//! A *log* is the quintuple `⟨D, T, Σ, S, π⟩`: the database item set `D`,
+//! the transaction set `T`, the atomic operation set `Σ`, the access
+//! function `S` mapping an atomic operation to the set of items it touches,
+//! and the permutation function `π` giving each operation's sequence number.
+//!
+//! This crate provides:
+//!
+//! * [`Log`], [`Operation`], [`TxId`], [`ItemId`] — the model itself;
+//! * a parser/printer for the paper's compact notation
+//!   (`"W1[x] W1[y] R3[x] R2[y]"`, see [`Log::parse`]);
+//! * log concatenation (`·` in the paper, used to build the composite
+//!   witness logs of Fig. 4, see [`Log::concat`]);
+//! * workload generators for the experiments: two-step and q-step
+//!   transactions, uniform and Zipf-hotspot item selection, random
+//!   interleavings ([`gen`]).
+//!
+//! Everything is deterministic under a caller-supplied RNG; no wall clocks.
+
+pub mod gen;
+pub mod log;
+pub mod notation;
+pub mod ops;
+
+pub use gen::{interleave, MultiStepConfig, TwoStepConfig, WorkloadKind, Zipf};
+pub use log::{Log, LogError, TxSummary};
+pub use notation::ParseError;
+pub use ops::{ItemId, OpId, OpKind, Operation, TxId};
+
+#[cfg(test)]
+mod model_tests;

@@ -1,0 +1,68 @@
+//! Crate-level property tests for the model.
+
+use proptest::prelude::*;
+
+use crate::{interleave, Log, MultiStepConfig, Operation, TwoStepConfig, TxId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_multistep_log() -> impl Strategy<Value = Log> {
+    (1usize..6, 2usize..12, any::<u64>()).prop_map(|(n_txns, n_items, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiStepConfig { n_txns, n_items, ..Default::default() }.generate(&mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_display_round_trip(log in arb_multistep_log()) {
+        let printed = log.to_string();
+        let reparsed = Log::parse(&printed).unwrap();
+        // Item ids may be renumbered by first appearance, so compare the
+        // printed forms, which are canonical.
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn generated_logs_validate(log in arb_multistep_log()) {
+        prop_assert!(log.validate().is_ok());
+    }
+
+    #[test]
+    fn concat_is_associative_on_shape(
+        a in arb_multistep_log(),
+        b in arb_multistep_log(),
+        c in arb_multistep_log(),
+    ) {
+        let left = a.concat(&b).concat(&c);
+        let right = a.concat(&b.concat(&c));
+        prop_assert_eq!(left.len(), right.len());
+        prop_assert_eq!(left.transactions().len(), right.transactions().len());
+        prop_assert_eq!(left.items().len(), right.items().len());
+    }
+
+    #[test]
+    fn two_step_q_is_two(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log = TwoStepConfig::default().generate(&mut rng);
+        prop_assert_eq!(log.max_ops_per_txn(), 2);
+    }
+}
+
+#[test]
+fn interleave_of_empty_is_empty() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let log = interleave(vec![], &mut rng);
+    assert!(log.is_empty());
+}
+
+#[test]
+fn interleave_single_txn_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let ops = vec![
+        Operation::read(TxId(1), crate::ItemId(0)),
+        Operation::write(TxId(1), crate::ItemId(0)),
+    ];
+    let log = interleave(vec![ops.clone()], &mut rng);
+    assert_eq!(log.ops(), &ops[..]);
+}

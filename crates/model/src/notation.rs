@@ -1,0 +1,230 @@
+//! Parser and printer for the paper's compact log notation.
+//!
+//! Grammar (whitespace-separated tokens):
+//!
+//! ```text
+//! log   := op*
+//! op    := kind txid '[' items ']'
+//! kind  := 'R' | 'W'
+//! txid  := decimal ≥ 1
+//! items := name (',' name)*
+//! name  := [A-Za-z_][A-Za-z0-9_']* | decimal
+//! ```
+//!
+//! Examples from the paper parse verbatim:
+//! `"W1[x] W1[y] R3[x] R2[y]"` (Example 1),
+//! `"R1[x] R2[y] R3[z] W1[y] W1[z]"` (Example 2).
+//!
+//! Item names are interned in first-appearance order, so `x` in the paper
+//! is `ItemId(0)` if it appears first. Purely numeric names are *also*
+//! interned (they are names, not raw ids) to keep round-tripping simple.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::log::Log;
+use crate::ops::{ItemId, OpKind, Operation, TxId};
+
+/// Parse failure with byte offset and message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    names: Vec<String>,
+    by_name: HashMap<String, ItemId>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src: src.as_bytes(), pos: 0, names: Vec::new(), by_name: HashMap::new() }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a number");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are utf-8")
+            .parse()
+            .map_err(|e| ParseError { offset: start, message: format!("bad number: {e}") })
+    }
+
+    fn intern(&mut self, name: &str) -> ItemId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ItemId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn parse_item(&mut self) -> Result<ItemId, ParseError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'\'')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected an item name");
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| ParseError { offset: start, message: "non-utf8 item name".into() })?
+            .to_owned();
+        Ok(self.intern(&name))
+    }
+
+    fn parse_op(&mut self) -> Result<Operation, ParseError> {
+        let kind = match self.bump() {
+            Some(b'R') | Some(b'r') => OpKind::Read,
+            Some(b'W') | Some(b'w') => OpKind::Write,
+            _ => return self.err("expected 'R' or 'W'"),
+        };
+        let tx = self.parse_number()?;
+        if tx == 0 {
+            return self.err("transaction id 0 is reserved for the virtual T0");
+        }
+        if self.bump() != Some(b'[') {
+            return self.err("expected '['");
+        }
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            items.push(self.parse_item()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+        Ok(Operation::new(TxId(tx), kind, items))
+    }
+
+    fn parse_log(mut self) -> Result<Log, ParseError> {
+        let mut log = Log::new();
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                break;
+            }
+            log.push(self.parse_op()?);
+        }
+        log.set_item_names(self.names);
+        Ok(log)
+    }
+}
+
+impl Log {
+    /// Parses the paper's compact notation; see the [module docs](self).
+    pub fn parse(src: &str) -> Result<Log, ParseError> {
+        Parser::new(src).parse_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpKind;
+
+    #[test]
+    fn parses_example1() {
+        let log = Log::parse("W1[x] W1[y] R3[x] R2[y]").unwrap();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.op(0).tx, TxId(1));
+        assert_eq!(log.op(0).kind, OpKind::Write);
+        assert_eq!(log.op(2).tx, TxId(3));
+        // x interned first, y second
+        assert_eq!(log.op(0).items(), &[ItemId(0)]);
+        assert_eq!(log.op(1).items(), &[ItemId(1)]);
+        assert_eq!(log.op(2).items(), &[ItemId(0)]);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let src = "R1[x] R2[y] R3[z] W1[y] W1[z]";
+        let log = Log::parse(src).unwrap();
+        assert_eq!(log.to_string(), src);
+        let again = Log::parse(&log.to_string()).unwrap();
+        assert_eq!(log, again);
+    }
+
+    #[test]
+    fn parses_multi_item_access_sets() {
+        let log = Log::parse("R1[x, y] W1[z]").unwrap();
+        assert_eq!(log.op(0).items().len(), 2);
+        assert_eq!(log.to_string(), "R1[x,y] W1[z]");
+    }
+
+    #[test]
+    fn rejects_tx_zero() {
+        assert!(Log::parse("R0[x]").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Log::parse("X1[x]").is_err());
+        assert!(Log::parse("R1 x]").is_err());
+        assert!(Log::parse("R1[]").is_err());
+        assert!(Log::parse("R1[x").is_err());
+        assert!(Log::parse("R[x]").is_err());
+    }
+
+    #[test]
+    fn primes_and_numeric_names_are_distinct_items() {
+        // Example 1's later log uses y and y' as distinct items.
+        let log = Log::parse("R2[y] R2[y'] W3[y]").unwrap();
+        assert_eq!(log.items().len(), 2);
+        assert!(log.op(0).conflicts_with(log.op(2)));
+        assert!(!log.op(1).conflicts_with(log.op(2)));
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = Log::parse("R1[x] Q2[y]").unwrap_err();
+        assert_eq!(err.offset, 7, "offset points at the bad token");
+    }
+}

@@ -1,0 +1,227 @@
+//! Identifiers and atomic operations.
+//!
+//! An atomic operation is `A_i[x]` in the paper: `A ∈ {R, W}`, `i` a
+//! transaction identifier, `x` a database item. The formal model lets one
+//! atomic operation access a *set* of items (the access function `S`), which
+//! is how the two-step model's single read `R_i` covers the whole read set
+//! `S(R_i)`; we support both single-item and set-valued operations.
+
+use std::fmt;
+
+/// A transaction identifier.
+///
+/// `TxId(0)` is reserved for the *virtual transaction* `T₀` that is deemed
+/// to have read and written every item before the log starts (Algorithm 1,
+/// lines 2–3). Real transactions are numbered from 1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TxId(pub u32);
+
+impl TxId {
+    /// The virtual transaction `T₀`.
+    pub const VIRTUAL: TxId = TxId(0);
+
+    /// Whether this is the virtual transaction `T₀`.
+    #[inline]
+    pub fn is_virtual(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index usable for dense per-transaction tables (identity mapping).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A database item identifier (an element of `D`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Index usable for dense per-item tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Position of an operation in a log: the value of the permutation function
+/// `π` minus one (we index from 0; the paper's `π` starts at 1).
+pub type OpId = usize;
+
+/// Read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A read operation `R_i[x]`.
+    Read,
+    /// A write operation `W_i[x]`.
+    Write,
+}
+
+impl OpKind {
+    /// The paper's one-letter mnemonic.
+    pub fn letter(self) -> char {
+        match self {
+            OpKind::Read => 'R',
+            OpKind::Write => 'W',
+        }
+    }
+
+    /// Whether two operations of these kinds on a common item conflict
+    /// (Definition 1: at least one must be a write).
+    pub fn conflicts_with(self, other: OpKind) -> bool {
+        matches!(
+            (self, other),
+            (OpKind::Write, _) | (_, OpKind::Write)
+        )
+    }
+}
+
+/// One atomic operation of a transaction, with its access set `S(op)`.
+///
+/// The access set is kept sorted and deduplicated so that set intersection
+/// is a linear merge.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Operation {
+    /// Owning transaction.
+    pub tx: TxId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Sorted, deduplicated access set (non-empty).
+    items: Vec<ItemId>,
+}
+
+impl Operation {
+    /// Creates an operation; the access set is sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty — the model has no item-less operations.
+    pub fn new(tx: TxId, kind: OpKind, mut items: Vec<ItemId>) -> Self {
+        assert!(!items.is_empty(), "operation must access at least one item");
+        items.sort_unstable();
+        items.dedup();
+        Operation { tx, kind, items }
+    }
+
+    /// Single-item read `R_tx[item]`.
+    pub fn read(tx: TxId, item: ItemId) -> Self {
+        Operation::new(tx, OpKind::Read, vec![item])
+    }
+
+    /// Single-item write `W_tx[item]`.
+    pub fn write(tx: TxId, item: ItemId) -> Self {
+        Operation::new(tx, OpKind::Write, vec![item])
+    }
+
+    /// The access set `S(op)`, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Whether the access sets of `self` and `other` intersect.
+    pub fn items_intersect(&self, other: &Operation) -> bool {
+        // Linear merge over the two sorted sets.
+        let (mut a, mut b) = (self.items.iter(), other.items.iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        while let (Some(ia), Some(ib)) = (x, y) {
+            match ia.cmp(ib) {
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Definition 1: the operations conflict iff they belong to different
+    /// transactions, their access sets intersect, and at least one writes.
+    pub fn conflicts_with(&self, other: &Operation) -> bool {
+        self.tx != other.tx
+            && self.kind.conflicts_with(other.kind)
+            && self.items_intersect(other)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}[", self.kind.letter(), self.tx.0)?;
+        for (n, it) in self.items.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", it.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_tx_is_zero() {
+        assert!(TxId::VIRTUAL.is_virtual());
+        assert!(!TxId(1).is_virtual());
+    }
+
+    #[test]
+    fn access_set_is_sorted_dedup() {
+        let op = Operation::new(
+            TxId(1),
+            OpKind::Read,
+            vec![ItemId(3), ItemId(1), ItemId(3), ItemId(2)],
+        );
+        assert_eq!(op.items(), &[ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_access_set_rejected() {
+        let _ = Operation::new(TxId(1), OpKind::Read, vec![]);
+    }
+
+    #[test]
+    fn conflict_requires_write_and_overlap_and_distinct_txns() {
+        let r1 = Operation::read(TxId(1), ItemId(0));
+        let r2 = Operation::read(TxId(2), ItemId(0));
+        let w2 = Operation::write(TxId(2), ItemId(0));
+        let w2_other = Operation::write(TxId(2), ItemId(9));
+        let w1 = Operation::write(TxId(1), ItemId(0));
+
+        assert!(!r1.conflicts_with(&r2), "read-read never conflicts");
+        assert!(r1.conflicts_with(&w2), "read-write on same item conflicts");
+        assert!(w2.conflicts_with(&r1), "conflict is symmetric");
+        assert!(!r1.conflicts_with(&w2_other), "disjoint items do not conflict");
+        assert!(!w1.conflicts_with(&w1.clone()), "same transaction never conflicts");
+    }
+
+    #[test]
+    fn multi_item_intersection() {
+        let a = Operation::new(TxId(1), OpKind::Write, vec![ItemId(1), ItemId(5), ItemId(9)]);
+        let b = Operation::new(TxId(2), OpKind::Read, vec![ItemId(2), ItemId(5)]);
+        let c = Operation::new(TxId(2), OpKind::Read, vec![ItemId(2), ItemId(6)]);
+        assert!(a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&c));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Operation::write(TxId(1), ItemId(7)).to_string(), "W1[7]");
+        let multi = Operation::new(TxId(3), OpKind::Read, vec![ItemId(2), ItemId(1)]);
+        assert_eq!(multi.to_string(), "R3[1,2]");
+    }
+}

@@ -1,0 +1,146 @@
+//! Partition rules: how transactions are assigned to groups.
+//!
+//! The paper requires groups to be *static* (a transaction may not migrate
+//! during execution) and suggests two concrete rules: by initiation site
+//! (Example 5) and by read/write set (Example 6, Table IV).
+
+use std::collections::BTreeMap;
+
+use mdts_model::{Log, TxId};
+
+/// A group identifier. `GroupId(0)` is reserved for the virtual group
+/// `G₀ = {T₀}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The virtual group containing only `T₀`.
+    pub const VIRTUAL: GroupId = GroupId(0);
+}
+
+/// A static assignment of transactions to groups.
+#[derive(Clone, Debug, Default)]
+pub struct Partition {
+    assignment: BTreeMap<TxId, GroupId>,
+}
+
+impl Partition {
+    /// Empty partition; unassigned transactions resolve to a singleton
+    /// group of their own (`GroupId(tx + offset)` via [`Partition::group_of`]).
+    pub fn new() -> Self {
+        Partition::default()
+    }
+
+    /// Builds from explicit `(transaction, group)` pairs. Group ids must be
+    /// ≥ 1 (0 is the virtual group).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (TxId, GroupId)>) -> Self {
+        let assignment: BTreeMap<TxId, GroupId> = pairs.into_iter().collect();
+        assert!(
+            assignment.values().all(|g| g.0 >= 1),
+            "GroupId(0) is reserved for the virtual group"
+        );
+        assert!(
+            assignment.keys().all(|t| !t.is_virtual()),
+            "T0 always belongs to the virtual group"
+        );
+        Partition { assignment }
+    }
+
+    /// Assigns one transaction (overwrites any previous assignment).
+    pub fn assign(&mut self, tx: TxId, group: GroupId) {
+        assert!(group.0 >= 1 && !tx.is_virtual());
+        self.assignment.insert(tx, group);
+    }
+
+    /// The group of a transaction. `T₀` is in the virtual group;
+    /// unassigned transactions each form a singleton group above every
+    /// explicit id (so "no partition" behaves like MT(k)).
+    pub fn group_of(&self, tx: TxId) -> GroupId {
+        if tx.is_virtual() {
+            return GroupId::VIRTUAL;
+        }
+        if let Some(&g) = self.assignment.get(&tx) {
+            return g;
+        }
+        let base = self.assignment.values().map(|g| g.0).max().unwrap_or(0);
+        GroupId(base + 1 + tx.0)
+    }
+
+    /// Number of explicitly assigned transactions.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True iff nothing is explicitly assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+/// Example 5: transactions initiated at the same site form a group.
+/// `site_of` maps each transaction to its site; sites are numbered from 0
+/// and mapped to groups 1, 2, ….
+pub fn partition_by_site(site_of: impl IntoIterator<Item = (TxId, u32)>) -> Partition {
+    Partition::from_pairs(site_of.into_iter().map(|(tx, site)| (tx, GroupId(site + 1))))
+}
+
+/// Example 6 / Table IV: transactions with identical read and write sets
+/// form a group — "to partition transactions in the same group, they must
+/// share some common properties."
+pub fn partition_by_rw_sets(log: &Log) -> Partition {
+    let mut class_ids: BTreeMap<(Vec<mdts_model::ItemId>, Vec<mdts_model::ItemId>), GroupId> =
+        BTreeMap::new();
+    let mut pairs = Vec::new();
+    for summary in log.tx_summaries() {
+        let key = (summary.read_set.clone(), summary.write_set.clone());
+        let next = GroupId(class_ids.len() as u32 + 1);
+        let g = *class_ids.entry(key).or_insert(next);
+        pairs.push((summary.tx, g));
+    }
+    Partition::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_group_is_fixed() {
+        let p = Partition::new();
+        assert_eq!(p.group_of(TxId::VIRTUAL), GroupId::VIRTUAL);
+    }
+
+    #[test]
+    fn unassigned_transactions_get_singleton_groups() {
+        let mut p = Partition::new();
+        p.assign(TxId(1), GroupId(1));
+        let g2 = p.group_of(TxId(2));
+        let g3 = p.group_of(TxId(3));
+        assert_ne!(g2, g3);
+        assert_ne!(g2, GroupId(1));
+        assert!(g2.0 > 1 && g3.0 > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn group_zero_rejected() {
+        let _ = Partition::from_pairs([(TxId(1), GroupId(0))]);
+    }
+
+    #[test]
+    fn by_site_maps_sites_to_groups() {
+        let p = partition_by_site([(TxId(1), 0), (TxId(2), 0), (TxId(3), 1)]);
+        assert_eq!(p.group_of(TxId(1)), p.group_of(TxId(2)));
+        assert_ne!(p.group_of(TxId(1)), p.group_of(TxId(3)));
+    }
+
+    #[test]
+    fn by_rw_sets_groups_identical_shapes() {
+        use mdts_model::Log;
+        // T1 and T3 read x write y; T2 reads y writes x (Table IV shape).
+        let log = Log::parse("R1[x] W1[y] R2[y] W2[x] R3[x] W3[y]").unwrap();
+        let p = partition_by_rw_sets(&log);
+        assert_eq!(p.group_of(TxId(1)), p.group_of(TxId(3)));
+        assert_ne!(p.group_of(TxId(1)), p.group_of(TxId(2)));
+    }
+}

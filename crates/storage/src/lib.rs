@@ -1,0 +1,31 @@
+//! Database storage substrate for the transaction engine.
+//!
+//! The paper's rollback section (VI-C) sketches two schemes; both are
+//! implemented here as reusable building blocks:
+//!
+//! * **Partial rollback** (VI-C-1): [`UndoLog`] records before-images with
+//!   per-operation savepoints, so a transaction can roll back to the last
+//!   point where serializability was still assured and keep its earlier
+//!   computation.
+//! * **Two-phase commit for writes** (VI-C-2): [`WriteBuffer`] keeps each
+//!   transaction's writes in a private workspace invisible to everyone
+//!   else; at commit the scheduler validates each buffered write and only
+//!   then are the values applied. An abort of a not-yet-committed
+//!   transaction therefore never affects others (no cascading aborts), and
+//!   a committed transaction is never aborted.
+//! * **Multiversion storage** (III-D-6d): [`MultiVersionStore`] keeps
+//!   Reed-style version chains so readers can be served a consistent older
+//!   version instead of aborting.
+//!
+//! Values are generic (`Clone`); the engine instantiates with `i64` for
+//! the bank-style examples and benchmarks.
+
+pub mod mvstore;
+pub mod store;
+pub mod twophase;
+pub mod undo;
+
+pub use mvstore::{MultiVersionStore, Version};
+pub use store::Store;
+pub use twophase::WriteBuffer;
+pub use undo::{Savepoint, UndoLog};

@@ -1,0 +1,118 @@
+//! Deferred (two-phase-commit) writes — Section VI-C-2.
+//!
+//! "In the first phase of a transaction, each write produces a temporary
+//! copy invisible to all the other transactions. In the commit phase, each
+//! write operation is validated … If all the writes of a transaction still
+//! preserve the serializability property, updated values are all written to
+//! the database."
+//!
+//! Consequences the paper lists, which the engine's tests verify:
+//! (a) aborts of uncommitted transactions never affect others (no dirty
+//! reads → no cascading aborts); (b) a committed transaction is never
+//! aborted; (c) the workspace of an aborted transaction is simply dropped.
+
+use std::collections::BTreeMap;
+
+use mdts_model::{ItemId, TxId};
+
+use crate::store::Store;
+
+/// Private deferred-write workspaces, one per active transaction.
+#[derive(Clone, Debug, Default)]
+pub struct WriteBuffer<V> {
+    buffers: BTreeMap<TxId, BTreeMap<ItemId, V>>,
+}
+
+impl<V: Clone> WriteBuffer<V> {
+    /// Empty buffer set.
+    pub fn new() -> Self {
+        WriteBuffer { buffers: BTreeMap::new() }
+    }
+
+    /// Buffers `tx`'s write (later writes to the same item overwrite
+    /// earlier ones within the workspace).
+    pub fn write(&mut self, tx: TxId, item: ItemId, value: V) {
+        self.buffers.entry(tx).or_default().insert(item, value);
+    }
+
+    /// Read-your-own-writes: `tx`'s buffered value, if any. Other
+    /// transactions never see it.
+    pub fn own_read(&self, tx: TxId, item: ItemId) -> Option<&V> {
+        self.buffers.get(&tx).and_then(|b| b.get(&item))
+    }
+
+    /// The items `tx` has buffered writes for (commit-time validation
+    /// iterates these in ascending order).
+    pub fn write_set(&self, tx: TxId) -> Vec<ItemId> {
+        self.buffers.get(&tx).map(|b| b.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// Applies `tx`'s workspace to the store and drops it (the commit
+    /// phase, after validation succeeded).
+    pub fn apply(&mut self, tx: TxId, store: &mut Store<V>) {
+        if let Some(buffer) = self.buffers.remove(&tx) {
+            for (item, value) in buffer {
+                store.set(item, value);
+            }
+        }
+    }
+
+    /// Discards `tx`'s workspace (abort) — nothing ever reached the store.
+    pub fn discard(&mut self, tx: TxId) {
+        self.buffers.remove(&tx);
+    }
+
+    /// Drops a single buffered write (a commit-time Thomas-rule ignore:
+    /// the write is obsolete and must not be applied).
+    pub fn discard_item(&mut self, tx: TxId, item: ItemId) {
+        if let Some(b) = self.buffers.get_mut(&tx) {
+            b.remove(&item);
+        }
+    }
+
+    /// Number of active workspaces.
+    pub fn active(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: ItemId = ItemId(0);
+    const T1: TxId = TxId(1);
+    const T2: TxId = TxId(2);
+
+    #[test]
+    fn writes_invisible_until_commit() {
+        let mut store = Store::with_items(1, 0i64);
+        let mut wb = WriteBuffer::new();
+        wb.write(T1, X, 99);
+        assert_eq!(store.get(X), Some(&0), "store untouched");
+        assert_eq!(wb.own_read(T2, X), None, "T2 cannot see T1's workspace");
+        assert_eq!(wb.own_read(T1, X), Some(&99), "read-your-writes");
+        wb.apply(T1, &mut store);
+        assert_eq!(store.get(X), Some(&99));
+        assert_eq!(wb.active(), 0);
+    }
+
+    #[test]
+    fn discard_leaves_no_trace() {
+        let mut store = Store::with_items(1, 0i64);
+        let mut wb = WriteBuffer::new();
+        wb.write(T1, X, 5);
+        wb.discard(T1);
+        wb.apply(T1, &mut store); // no-op
+        assert_eq!(store.get(X), Some(&0));
+    }
+
+    #[test]
+    fn later_write_wins_within_workspace() {
+        let mut wb = WriteBuffer::new();
+        wb.write(T1, X, 1);
+        wb.write(T1, X, 2);
+        assert_eq!(wb.own_read(T1, X), Some(&2));
+        assert_eq!(wb.write_set(T1), vec![X]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Before-image undo logging with savepoints — the substrate for the
+//! paper's *partial rollback* (Section VI-C-1): "a transaction may be
+//! rolled back to an earlier operation where serializability of the log is
+//! assured … the computation results up to the restart point are
+//! preserved."
+
+use mdts_model::ItemId;
+
+use crate::store::Store;
+
+/// An opaque savepoint token (index into the undo log).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Savepoint(usize);
+
+/// One transaction's undo log of before-images.
+///
+/// Records are appended by [`UndoLog::record_write`] *before* the write is
+/// applied; [`UndoLog::rollback_to`] replays them in reverse onto the
+/// store, restoring exactly the state at the savepoint.
+#[derive(Clone, Debug, Default)]
+pub struct UndoLog<V> {
+    entries: Vec<(ItemId, Option<V>)>,
+}
+
+impl<V: Clone> UndoLog<V> {
+    /// Empty log.
+    pub fn new() -> Self {
+        UndoLog { entries: Vec::new() }
+    }
+
+    /// Marks the current position — typically taken before each operation
+    /// so any operation boundary can become a restart point.
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint(self.entries.len())
+    }
+
+    /// Performs `store[item] = value`, remembering the before-image.
+    pub fn write_through(&mut self, store: &mut Store<V>, item: ItemId, value: V) {
+        let before = store.set(item, value);
+        self.entries.push((item, before));
+    }
+
+    /// Rolls the store back to `sp`, discarding the undone entries.
+    pub fn rollback_to(&mut self, store: &mut Store<V>, sp: Savepoint) {
+        while self.entries.len() > sp.0 {
+            let (item, before) = self.entries.pop().expect("len > sp");
+            match before {
+                Some(v) => {
+                    store.set(item, v);
+                }
+                None => {
+                    store.remove(item);
+                }
+            }
+        }
+    }
+
+    /// Rolls everything back (full abort).
+    pub fn rollback_all(&mut self, store: &mut Store<V>) {
+        self.rollback_to(store, Savepoint(0));
+    }
+
+    /// Forgets the undo information (commit).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of logged writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no writes are logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: ItemId = ItemId(0);
+    const Y: ItemId = ItemId(1);
+
+    #[test]
+    fn rollback_all_restores_initial_state() {
+        let mut store = Store::with_items(2, 10i64);
+        let before = store.snapshot();
+        let mut undo = UndoLog::new();
+        undo.write_through(&mut store, X, 1);
+        undo.write_through(&mut store, Y, 2);
+        undo.write_through(&mut store, X, 3);
+        undo.rollback_all(&mut store);
+        assert_eq!(store.snapshot(), before);
+        assert!(undo.is_empty());
+    }
+
+    #[test]
+    fn partial_rollback_keeps_earlier_writes() {
+        let mut store = Store::with_items(2, 0i64);
+        let mut undo = UndoLog::new();
+        undo.write_through(&mut store, X, 1);
+        let sp = undo.savepoint();
+        undo.write_through(&mut store, Y, 2);
+        undo.write_through(&mut store, X, 3);
+        undo.rollback_to(&mut store, sp);
+        assert_eq!(store.get(X), Some(&1), "pre-savepoint write preserved");
+        assert_eq!(store.get(Y), Some(&0), "post-savepoint writes undone");
+        assert_eq!(undo.len(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_absence() {
+        let mut store: Store<i64> = Store::new();
+        let mut undo = UndoLog::new();
+        undo.write_through(&mut store, X, 7);
+        undo.rollback_all(&mut store);
+        assert_eq!(store.get(X), None, "item created by the txn vanishes again");
+    }
+
+    #[test]
+    fn clear_commits_without_touching_store() {
+        let mut store = Store::with_items(1, 0i64);
+        let mut undo = UndoLog::new();
+        undo.write_through(&mut store, X, 42);
+        undo.clear();
+        undo.rollback_all(&mut store); // no-op now
+        assert_eq!(store.get(X), Some(&42));
+    }
+}

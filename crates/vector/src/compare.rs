@@ -1,0 +1,253 @@
+//! Definition 6 comparison: the scalar O(k) scan and the simulated
+//! vector-processor comparison of Figs. 6–7 (O(log k) parallel steps).
+
+use crate::tsvec::TsVec;
+
+/// Outcome of comparing `a` against `b` per Definition 6.
+///
+/// `at` is the 0-based index `m − 1` of the first position where the
+/// elements are not both-defined-and-equal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpResult {
+    /// Both elements at `at` are defined and `a[at] < b[at]`: `TS(a) < TS(b)`.
+    Less {
+        /// Deciding position.
+        at: usize,
+    },
+    /// Both elements at `at` are defined and `a[at] > b[at]`: `TS(a) > TS(b)`.
+    Greater {
+        /// Deciding position.
+        at: usize,
+    },
+    /// Both elements at `at` are undefined: `TS(a) = TS(b)` (the `=` case of
+    /// procedure `Set` — a new dependency may be encoded at `at`).
+    EqualUndefined {
+        /// First position where both are undefined.
+        at: usize,
+    },
+    /// `a[at]` is undefined, `b[at]` is defined (the `?` case; `a` is the
+    /// vector with room to encode below/above).
+    LeftUndefined {
+        /// Deciding position.
+        at: usize,
+    },
+    /// `b[at]` is undefined, `a[at]` is defined (the `?` case).
+    RightUndefined {
+        /// Deciding position.
+        at: usize,
+    },
+    /// Every element is defined and pairwise equal. The protocols keep the
+    /// k-th column globally distinct, so this never arises between distinct
+    /// transactions; it does arise when comparing a vector with itself.
+    Identical,
+}
+
+impl CmpResult {
+    /// Swaps the roles of the two operands.
+    pub fn flip(self) -> CmpResult {
+        match self {
+            CmpResult::Less { at } => CmpResult::Greater { at },
+            CmpResult::Greater { at } => CmpResult::Less { at },
+            CmpResult::LeftUndefined { at } => CmpResult::RightUndefined { at },
+            CmpResult::RightUndefined { at } => CmpResult::LeftUndefined { at },
+            other => other,
+        }
+    }
+
+    /// `Some(true)` if strictly less, `Some(false)` if strictly greater,
+    /// `None` when the order is not (yet) determined.
+    pub fn strict_less(self) -> Option<bool> {
+        match self {
+            CmpResult::Less { .. } => Some(true),
+            CmpResult::Greater { .. } => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// The straightforward sequential comparator: one left-to-right scan,
+/// O(k) element operations.
+pub struct ScalarComparator;
+
+impl ScalarComparator {
+    /// Definition 6 comparison.
+    pub fn compare(a: &TsVec, b: &TsVec) -> CmpResult {
+        Self::compare_counted(a, b).0
+    }
+
+    /// Comparison plus the number of element comparisons performed — the
+    /// sequential cost that Figs. 6–7 set out to beat.
+    pub fn compare_counted(a: &TsVec, b: &TsVec) -> (CmpResult, usize) {
+        assert_eq!(a.k(), b.k(), "vectors of different dimension are never compared");
+        let mut ops = 0;
+        for m in 0..a.k() {
+            ops += 1;
+            match (a.get(m), b.get(m)) {
+                (Some(x), Some(y)) if x == y => continue,
+                (Some(x), Some(y)) if x < y => return (CmpResult::Less { at: m }, ops),
+                (Some(_), Some(_)) => return (CmpResult::Greater { at: m }, ops),
+                (None, None) => return (CmpResult::EqualUndefined { at: m }, ops),
+                (None, Some(_)) => return (CmpResult::LeftUndefined { at: m }, ops),
+                (Some(_), None) => return (CmpResult::RightUndefined { at: m }, ops),
+            }
+        }
+        (CmpResult::Identical, ops)
+    }
+}
+
+/// Cost of one simulated parallel comparison (Figs. 6–7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelCost {
+    /// Parallel time steps: 4 constant phases + ⌈log₂ k⌉ for the prefix-OR
+    /// tree of phase 3.
+    pub steps: usize,
+    /// Processors used (one per element, as in Fig. 6).
+    pub processors: usize,
+}
+
+/// The five-phase vector-processor comparison of Fig. 6, simulated in
+/// software with explicit parallel-step accounting.
+///
+/// Phases:
+/// 1. load both vectors into processor rows `a`, `b`;
+/// 2. difference row `c`: `c_m = 0` iff `a_m` and `b_m` are both defined and
+///    equal, else `1` (the paper ignores undefined elements in the figure
+///    and notes the refinement does not change the complexity — this is
+///    that refinement);
+/// 3. prefix-OR row `d` via a binary tree (Fig. 7), ⌈log₂ k⌉ steps;
+/// 4. the unique processor with `d_m = 1 ∧ d_{m−1} = 0` identifies the first
+///    difference;
+/// 5. the order is read off `a_m` vs `b_m` at that position.
+pub struct TreeComparator;
+
+impl TreeComparator {
+    /// Definition 6 comparison via the parallel algorithm.
+    pub fn compare(a: &TsVec, b: &TsVec) -> CmpResult {
+        Self::compare_counted(a, b).0
+    }
+
+    /// Comparison plus the simulated parallel cost.
+    pub fn compare_counted(a: &TsVec, b: &TsVec) -> (CmpResult, ParallelCost) {
+        assert_eq!(a.k(), b.k(), "vectors of different dimension are never compared");
+        let k = a.k();
+
+        // Phase 2: difference bits (phase 1, the load, is implicit).
+        let c: Vec<bool> = (0..k)
+            .map(|m| !matches!((a.get(m), b.get(m)), (Some(x), Some(y)) if x == y))
+            .collect();
+
+        // Phase 3: prefix OR by a balanced tree, ⌈log₂ k⌉ doubling rounds
+        // (the Hillis–Steele form of the Fig. 7 tree; same step count).
+        let mut d = c.clone();
+        let mut shift = 1;
+        let mut tree_steps = 0;
+        while shift < k {
+            let prev = d.clone();
+            for m in shift..k {
+                d[m] = prev[m] || prev[m - shift];
+            }
+            shift <<= 1;
+            tree_steps += 1;
+        }
+
+        let cost = ParallelCost { steps: 4 + tree_steps, processors: k };
+
+        // Phase 4: the first difference is the unique m with d[m] && !d[m-1]
+        // (d[-1] treated as 0).
+        let first = (0..k).find(|&m| d[m] && (m == 0 || !d[m - 1]));
+
+        // Phase 5: classify at that position.
+        let result = match first {
+            None => CmpResult::Identical,
+            Some(m) => match (a.get(m), b.get(m)) {
+                (Some(x), Some(y)) if x < y => CmpResult::Less { at: m },
+                (Some(_), Some(_)) => CmpResult::Greater { at: m },
+                (None, None) => CmpResult::EqualUndefined { at: m },
+                (None, Some(_)) => CmpResult::LeftUndefined { at: m },
+                (Some(_), None) => CmpResult::RightUndefined { at: m },
+            },
+        };
+        (result, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(elems: &[Option<i64>]) -> TsVec {
+        TsVec::from_elems(elems)
+    }
+
+    #[test]
+    fn paper_figure6_example() {
+        // TS(1) = <1,3,2,2>, TS(2) = <1,3,5,2>: first difference at the 3rd
+        // element, TS(1) < TS(2).
+        let a = v(&[Some(1), Some(3), Some(2), Some(2)]);
+        let b = v(&[Some(1), Some(3), Some(5), Some(2)]);
+        assert_eq!(ScalarComparator::compare(&a, &b), CmpResult::Less { at: 2 });
+        let (r, cost) = TreeComparator::compare_counted(&a, &b);
+        assert_eq!(r, CmpResult::Less { at: 2 });
+        assert_eq!(cost.processors, 4);
+        assert_eq!(cost.steps, 4 + 2, "k = 4 gives log2(4) = 2 tree steps");
+    }
+
+    #[test]
+    fn definition6_cases() {
+        // <2,1,*> vs <2,*,*> — the second example in Section I-A.
+        let ti = v(&[Some(2), Some(1), None]);
+        let tj = v(&[Some(2), None, None]);
+        assert_eq!(ScalarComparator::compare(&ti, &tj), CmpResult::RightUndefined { at: 1 });
+        assert_eq!(ScalarComparator::compare(&tj, &ti), CmpResult::LeftUndefined { at: 1 });
+
+        let t2 = v(&[Some(2), None]);
+        let t3 = v(&[Some(2), None]);
+        assert_eq!(ScalarComparator::compare(&t2, &t3), CmpResult::EqualUndefined { at: 1 });
+
+        let lo = v(&[Some(1), None]);
+        let hi = v(&[Some(2), None]);
+        assert_eq!(ScalarComparator::compare(&lo, &hi), CmpResult::Less { at: 0 });
+        assert_eq!(ScalarComparator::compare(&hi, &lo), CmpResult::Greater { at: 0 });
+    }
+
+    #[test]
+    fn identical_only_for_fully_equal_defined() {
+        let a = v(&[Some(1), Some(2)]);
+        assert_eq!(ScalarComparator::compare(&a, &a.clone()), CmpResult::Identical);
+    }
+
+    #[test]
+    fn scalar_cost_is_prefix_length() {
+        let a = v(&[Some(1), Some(2), Some(9), Some(9)]);
+        let b = v(&[Some(1), Some(2), Some(3), None]);
+        let (r, ops) = ScalarComparator::compare_counted(&a, &b);
+        assert_eq!(r, CmpResult::Greater { at: 2 });
+        assert_eq!(ops, 3);
+    }
+
+    #[test]
+    fn tree_steps_grow_logarithmically() {
+        for (k, expect_tree) in [(1, 0), (2, 1), (4, 2), (8, 3), (1024, 10)] {
+            let a = TsVec::undefined(k);
+            let b = TsVec::undefined(k);
+            let (_, cost) = TreeComparator::compare_counted(&a, &b);
+            assert_eq!(cost.steps, 4 + expect_tree, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive_and_correct() {
+        let a = v(&[Some(1), None]);
+        let b = v(&[Some(2), None]);
+        let r = ScalarComparator::compare(&a, &b);
+        assert_eq!(r.flip(), ScalarComparator::compare(&b, &a));
+        assert_eq!(r.flip().flip(), r);
+        assert_eq!(r.strict_less(), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimension")]
+    fn dimension_mismatch_panics() {
+        let _ = ScalarComparator::compare(&TsVec::undefined(2), &TsVec::undefined(3));
+    }
+}

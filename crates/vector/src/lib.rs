@@ -1,0 +1,37 @@
+//! Multidimensional timestamp vectors (Leu & Bhargava, ICDE 1986).
+//!
+//! A transaction's timestamp is a vector `TS(i) = ⟨t₁, …, t_k⟩` whose
+//! elements are integers or *undefined* (`*`). Vectors are compared
+//! lexicographically, but — crucially — scanning stops at the first position
+//! where the elements are not both defined and equal (Definition 6):
+//!
+//! * both defined, unequal → the vectors are strictly ordered;
+//! * both undefined → the vectors are *equal* (still unordered — a future
+//!   dependency may order them either way);
+//! * exactly one undefined → the order is *open*: the protocol may encode a
+//!   new dependency by defining the missing element above or below its
+//!   counterpart.
+//!
+//! This crate provides:
+//!
+//! * [`TsVec`] and [`CmpResult`] — the vectors and Definition 6;
+//! * [`KthCounters`] — the `ucount`/`lcount` discipline that keeps the k-th
+//!   column globally distinct (Algorithm 1, line 4 and procedure `Set`);
+//! * [`ScalarComparator`] — the O(k) sequential comparison;
+//! * [`TreeComparator`] — the five-phase simulated vector-processor
+//!   comparison of Figs. 6–7, O(log k) parallel steps;
+//! * [`interval_view`] — the Section VI-A reading of a vector as a shrinking
+//!   timestamp interval.
+
+pub mod compare;
+pub mod counters;
+pub mod interval;
+pub mod tsvec;
+
+pub use compare::{CmpResult, ParallelCost, ScalarComparator, TreeComparator};
+pub use counters::KthCounters;
+pub use interval::interval_view;
+pub use tsvec::TsVec;
+
+#[cfg(test)]
+mod order_props;

@@ -1,0 +1,77 @@
+//! Property tests for Lemmas 1 and 2: the strict `<` of Definition 6 is a
+//! partial order (transitive and irreflexive), and the scalar and parallel
+//! comparators agree everywhere.
+
+use proptest::prelude::*;
+
+use crate::compare::{CmpResult, ScalarComparator, TreeComparator};
+use crate::tsvec::TsVec;
+
+fn arb_vec(k: usize) -> impl Strategy<Value = TsVec> {
+    // Small element domain to make equal prefixes (the interesting cases)
+    // likely. A defined-prefix/undefined-suffix shape mirrors the protocol's
+    // actual vectors, but we also allow arbitrary "holes" — Definition 6 is
+    // total over those too, and the comparators must agree on them.
+    proptest::collection::vec(proptest::option::weighted(0.7, -3i64..4), k)
+        .prop_map(|elems| TsVec::from_elems(&elems))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn scalar_and_tree_agree(a in arb_vec(6), b in arb_vec(6)) {
+        prop_assert_eq!(
+            ScalarComparator::compare(&a, &b),
+            TreeComparator::compare(&a, &b)
+        );
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric(a in arb_vec(5), b in arb_vec(5)) {
+        let ab = ScalarComparator::compare(&a, &b);
+        let ba = ScalarComparator::compare(&b, &a);
+        prop_assert_eq!(ab.flip(), ba);
+    }
+
+    /// Lemma 2: irreflexivity — no vector is strictly less than itself.
+    #[test]
+    fn lemma2_irreflexive(a in arb_vec(5)) {
+        prop_assert!(!a.is_less(&a));
+    }
+
+    /// Lemma 1: transitivity of strict `<`.
+    #[test]
+    fn lemma1_transitive(a in arb_vec(4), b in arb_vec(4), c in arb_vec(4)) {
+        if a.is_less(&b) && b.is_less(&c) {
+            prop_assert!(a.is_less(&c), "a={a} b={b} c={c}");
+        }
+    }
+
+    /// Definition 6's case analysis is exhaustive: every pair lands in
+    /// exactly one variant, and `Identical` only when literally identical
+    /// and fully defined.
+    #[test]
+    fn identical_iff_fully_defined_equal(a in arb_vec(5), b in arb_vec(5)) {
+        let r = ScalarComparator::compare(&a, &b);
+        let identical = a == b && a.defined_count() == a.k();
+        prop_assert_eq!(matches!(r, CmpResult::Identical), identical);
+    }
+
+    /// The deciding index reported is the first non-(defined-equal) column.
+    #[test]
+    fn deciding_index_is_minimal(a in arb_vec(6), b in arb_vec(6)) {
+        let r = ScalarComparator::compare(&a, &b);
+        let at = match r {
+            CmpResult::Less { at }
+            | CmpResult::Greater { at }
+            | CmpResult::EqualUndefined { at }
+            | CmpResult::LeftUndefined { at }
+            | CmpResult::RightUndefined { at } => at,
+            CmpResult::Identical => return Ok(()),
+        };
+        for m in 0..at {
+            prop_assert!(matches!((a.get(m), b.get(m)), (Some(x), Some(y)) if x == y));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The timestamp vector `TS(i)` and Definition 6.
+
+use std::fmt;
+
+use crate::compare::{CmpResult, ScalarComparator};
+
+/// A k-dimensional timestamp vector. `None` is the paper's undefined
+/// element `*`.
+///
+/// Elements are write-once: the protocols only ever *define* an undefined
+/// element; they never overwrite a defined one ([`TsVec::define`] enforces
+/// this). The one exception is the starvation fix of Section III-D-4, which
+/// flushes the whole vector ([`TsVec::flush`]).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TsVec {
+    elems: Box<[Option<i64>]>,
+}
+
+impl TsVec {
+    /// A fully undefined vector `⟨*, …, *⟩` of dimension `k` (Algorithm 1,
+    /// line 1).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn undefined(k: usize) -> Self {
+        assert!(k >= 1, "timestamp vectors need at least one dimension");
+        TsVec { elems: vec![None; k].into_boxed_slice() }
+    }
+
+    /// The virtual transaction's vector `⟨0, *, …, *⟩` (Algorithm 1,
+    /// line 2).
+    pub fn origin(k: usize) -> Self {
+        let mut v = TsVec::undefined(k);
+        v.define(0, 0);
+        v
+    }
+
+    /// Builds a vector from explicit elements; handy in tests and the
+    /// paper's table reproductions.
+    pub fn from_elems(elems: &[Option<i64>]) -> Self {
+        assert!(!elems.is_empty());
+        TsVec { elems: elems.to_vec().into_boxed_slice() }
+    }
+
+    /// Dimension `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `TS(i, m)` with `m` 0-based (the paper indexes from 1).
+    #[inline]
+    pub fn get(&self, m: usize) -> Option<i64> {
+        self.elems[m]
+    }
+
+    /// Raw elements.
+    #[inline]
+    pub fn elems(&self) -> &[Option<i64>] {
+        &self.elems
+    }
+
+    /// Defines element `m` (0-based).
+    ///
+    /// # Panics
+    /// Panics if the element is already defined — the protocol never
+    /// overwrites encoded dependency information.
+    #[inline]
+    pub fn define(&mut self, m: usize, value: i64) {
+        debug_assert!(
+            self.elems[m].is_none(),
+            "element {m} already defined to {:?}; write-once discipline violated",
+            self.elems[m]
+        );
+        self.elems[m] = Some(value);
+    }
+
+    /// Number of defined elements.
+    pub fn defined_count(&self) -> usize {
+        self.elems.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether every element is still undefined (a transaction that has not
+    /// yet been ordered against anything).
+    pub fn is_fully_undefined(&self) -> bool {
+        self.elems.iter().all(|e| e.is_none())
+    }
+
+    /// Starvation fix (Section III-D-4): flush the vector and pre-set the
+    /// first element, so the restarted transaction is already ordered after
+    /// the transaction that aborted it.
+    pub fn flush(&mut self, first: i64) {
+        for e in self.elems.iter_mut() {
+            *e = None;
+        }
+        self.elems[0] = Some(first);
+    }
+
+    /// Definition 6 comparison against `other` (scalar path).
+    pub fn compare(&self, other: &TsVec) -> CmpResult {
+        ScalarComparator::compare(self, other)
+    }
+
+    /// `TS(self) < TS(other)` in the strict sense of Definition 6 (both
+    /// deciding elements defined).
+    pub fn is_less(&self, other: &TsVec) -> bool {
+        matches!(self.compare(other), CmpResult::Less { .. })
+    }
+
+    /// The prefix `⟨t₁ … t_l⟩` (0-based exclusive end), used by the
+    /// composite protocol's shared-prefix tables (Section IV).
+    pub fn prefix(&self, len: usize) -> &[Option<i64>] {
+        &self.elems[..len]
+    }
+}
+
+impl fmt::Display for TsVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (n, e) in self.elems.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            match e {
+                Some(v) => write!(f, "{v}")?,
+                None => write!(f, "*")?,
+            }
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_zero_then_undefined() {
+        let v = TsVec::origin(3);
+        assert_eq!(v.get(0), Some(0));
+        assert_eq!(v.get(1), None);
+        assert_eq!(v.to_string(), "<0,*,*>");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dimension_rejected() {
+        let _ = TsVec::undefined(0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "write-once")]
+    fn define_is_write_once() {
+        let mut v = TsVec::undefined(2);
+        v.define(0, 1);
+        v.define(0, 2);
+    }
+
+    #[test]
+    fn flush_resets_and_presets_first() {
+        let mut v = TsVec::from_elems(&[Some(1), Some(4), None]);
+        v.flush(7);
+        assert_eq!(v.to_string(), "<7,*,*>");
+        assert_eq!(v.defined_count(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let v = TsVec::from_elems(&[Some(2), None]);
+        assert_eq!(v.to_string(), "<2,*>");
+    }
+}

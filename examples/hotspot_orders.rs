@@ -1,0 +1,54 @@
+//! Hot items and the optimized right-end encoding (Section III-D-5).
+//!
+//! An order-processing workload where a few catalog rows are read by
+//! almost every transaction (Zipf skew). The normal encoding makes every
+//! access of a hot item chain the vectors into a near-total order; the
+//! optimized encoding pushes those dependencies toward the right end of
+//! the vectors, keeping bystanders unordered and acceptance higher.
+//!
+//! Run with: `cargo run --release --example hotspot_orders`
+
+use mdts::core::{recognize, HotEncoding, MtOptions, MtScheduler};
+use mdts::model::{MultiStepConfig, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn acceptance(cfg: &MultiStepConfig, k: usize, hot: Option<HotEncoding>, trials: u64) -> f64 {
+    let mut accepted = 0u64;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log = cfg.generate(&mut rng);
+        let opts = MtOptions { hot_encoding: hot, ..MtOptions::new(k) };
+        if recognize(&mut MtScheduler::new(opts), &log).accepted {
+            accepted += 1;
+        }
+    }
+    accepted as f64 / trials as f64
+}
+
+fn main() {
+    let trials = 2000;
+    println!("order processing: 6 clerks, 24 catalog rows, Zipf-hot best-sellers\n");
+    println!(
+        "{:>4} {:>12} {:>18} {:>18}",
+        "k", "workload", "normal encoding", "right-end encoding"
+    );
+    for kind in [WorkloadKind::Uniform, WorkloadKind::Hotspot] {
+        let cfg = kind.config(6, 24);
+        for k in [2usize, 4, 8] {
+            let plain = acceptance(&cfg, k, None, trials);
+            let hot = acceptance(&cfg, k, Some(HotEncoding { threshold: 3 }), trials);
+            println!(
+                "{k:>4} {:>12} {:>17.1}% {:>17.1}%",
+                kind.name(),
+                plain * 100.0,
+                hot * 100.0
+            );
+        }
+    }
+    println!(
+        "\nThe gap between the two encodings opens on the hotspot workload \
+         and with larger k,\nwhere the right-end rule has spare columns to \
+         spend (Section III-D-5)."
+    );
+}

@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the full public API. See README.md.
+pub use mdts_baselines as baselines;
+pub use mdts_core as core;
+pub use mdts_dist as dist;
+pub use mdts_engine as engine;
+pub use mdts_graph as graph;
+pub use mdts_model as model;
+pub use mdts_nested as nested;
+pub use mdts_storage as storage;
+pub use mdts_vector as vector;

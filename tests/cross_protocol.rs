@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the protocol implementations
+//! (`mdts-core`, `mdts-baselines`) against the class theory (`mdts-graph`),
+//! on workloads from `mdts-model`.
+
+use mdts::baselines::{BasicTimestampOrdering, IntervalScheduler, Occ, StrictTwoPhaseLocking};
+use mdts::core::{recognize, to_k, to_k_star, MtOptions, MtScheduler};
+use mdts::graph::{is_dsr, is_to1, serialization_order};
+use mdts::model::{Log, MultiStepConfig, TwoStepConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_logs(n: usize, seed: u64) -> Vec<Log> {
+    (0..n as u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ i);
+            MultiStepConfig { n_txns: 4, n_items: 5, max_ops: 3, ..Default::default() }
+                .generate(&mut rng)
+        })
+        .collect()
+}
+
+/// Definition 4's class (graph-side `is_to1`) is contained in MT(1)'s
+/// acceptance: the protocol assigns first-encounter counter values, which
+/// realize the `s_i = π(R_i)` ordering whenever one exists.
+#[test]
+fn definition4_class_inside_mt1() {
+    let mut inside = 0;
+    for log in random_logs(800, 11) {
+        if is_to1(&log) {
+            inside += 1;
+            assert!(to_k(&log, 1), "Definition 4 log rejected by MT(1): {log}");
+        }
+    }
+    assert!(inside > 10, "sampler found too few TO(1) logs");
+}
+
+/// MT(1) with the reader rule accepts strictly more than Definition 4
+/// (lines 9–10 admit re-reads that condition iv forbids).
+#[test]
+fn mt1_reader_rule_exceeds_definition4() {
+    let witness = random_logs(20_000, 12)
+        .into_iter()
+        .find(|log| to_k(log, 1) && !is_to1(log));
+    assert!(witness.is_some(), "expected an MT(1) \\ Definition-4 witness");
+}
+
+/// The execution a deferred-write engine actually performs: every
+/// transaction's writes land at its commit point (its last operation).
+/// OCC certifies *this* schedule, not the literal interleaving.
+fn deferred_projection(log: &Log) -> Log {
+    use mdts::model::{OpKind, Operation};
+    let last_pos: std::collections::BTreeMap<_, _> =
+        log.tx_summaries().iter().map(|s| (s.tx, s.last_pos())).collect();
+    let mut buffered: std::collections::BTreeMap<_, Vec<Operation>> = Default::default();
+    let mut out = Log::new();
+    for (pos, op) in log.ops().iter().enumerate() {
+        match op.kind {
+            OpKind::Read => out.push(op.clone()),
+            OpKind::Write => buffered.entry(op.tx).or_default().push(op.clone()),
+        }
+        if last_pos[&op.tx] == pos {
+            for w in buffered.remove(&op.tx).unwrap_or_default() {
+                out.push(w);
+            }
+        }
+    }
+    out
+}
+
+/// Every protocol in the repository accepts only serializable executions:
+/// the inline-validating protocols certify the literal interleaving, OCC
+/// certifies its deferred-write projection.
+#[test]
+fn all_recognizers_are_sound() {
+    for log in random_logs(600, 13) {
+        let accepted_by: Vec<&str> = [
+            ("MT(2)", to_k(&log, 2)),
+            ("MT(4)", to_k(&log, 4)),
+            ("MT(3+)", to_k_star(&log, 3)),
+            ("2PL", StrictTwoPhaseLocking::accepts(&log)),
+            ("TO", BasicTimestampOrdering::accepts(&log)),
+            ("Intervals", IntervalScheduler::accepts(&log)),
+        ]
+        .iter()
+        .filter_map(|&(n, ok)| ok.then_some(n))
+        .collect();
+        if !accepted_by.is_empty() {
+            assert!(is_dsr(&log), "{accepted_by:?} accepted non-DSR log {log}");
+        }
+        if Occ::accepts(&log) {
+            let deferred = deferred_projection(&log);
+            assert!(is_dsr(&deferred), "OCC accepted a non-DSR deferred schedule: {deferred}");
+        }
+    }
+}
+
+/// The MT(k) vector order and the dependency-graph topological order agree
+/// on the last transaction of the equivalent serial order whenever the
+/// graph order is unique.
+#[test]
+fn vector_order_is_a_valid_serialization() {
+    for log in random_logs(600, 14) {
+        let mut s = MtScheduler::new(MtOptions::new(3));
+        if !recognize(&mut s, &log).accepted {
+            continue;
+        }
+        let vec_order = s.table().serial_order(&log.transactions()).expect("sortable");
+        let dep = mdts::graph::dependency_graph(&log, false);
+        // The vector order must be a topological order of the dependency
+        // digraph (positions of every edge increase).
+        let pos: std::collections::HashMap<_, _> =
+            vec_order.iter().enumerate().map(|(p, &t)| (t, p)).collect();
+        for e in &dep.edges {
+            assert!(pos[&e.from] < pos[&e.to], "edge {} → {} inverted in {log}", e.from, e.to);
+        }
+        // And serialization_order agrees that the log is DSR.
+        assert!(serialization_order(&log).is_some());
+    }
+}
+
+/// The hierarchy of Fig. 4 holds pointwise across the recognizers on
+/// two-step workloads: TO(k) ⊆ DSR, TO(k) ⊆ TO(k⁺), strict-2PL ⊆ DSR.
+#[test]
+fn pointwise_containments_two_step() {
+    for seed in 0..500u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log = TwoStepConfig { n_txns: 4, n_items: 4, read_size: 1, write_size: 1, ..Default::default() }
+            .generate(&mut rng);
+        for k in 1..=3 {
+            if to_k(&log, k) {
+                assert!(is_dsr(&log));
+            }
+            // The composite runs subprotocols without the reader rule, so
+            // compare against the same setting.
+            let mut sub = MtScheduler::new(MtOptions::for_composite(k));
+            if recognize(&mut sub, &log).accepted {
+                assert!(to_k_star(&log, k), "MT({k}) ⊄ MT({k}+) on {log}");
+            }
+        }
+        if StrictTwoPhaseLocking::accepts(&log) {
+            assert!(is_dsr(&log));
+        }
+    }
+}
