@@ -178,8 +178,8 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..300 {
-            let log = MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }
-                .generate(&mut rng);
+            let log =
+                MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }.generate(&mut rng);
             if BasicTimestampOrdering::accepts(&log) {
                 assert!(is_dsr(&log), "TO accepted a non-serializable log: {log}");
             }

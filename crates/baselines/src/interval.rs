@@ -95,14 +95,11 @@ impl IntervalScheduler {
     /// all `<`/`=` relations between endpoints (hence every encoded order
     /// and every overlap).
     fn renumber(&mut self) {
-        let mut points: Vec<u64> =
-            self.intervals.values().flat_map(|iv| [iv.lo, iv.hi]).collect();
+        let mut points: Vec<u64> = self.intervals.values().flat_map(|iv| [iv.lo, iv.hi]).collect();
         points.sort_unstable();
         points.dedup();
         let step = HI / (points.len() as u64 + 1);
-        let rank = |p: u64| -> u64 {
-            (points.partition_point(|&q| q < p) as u64 + 1) * step
-        };
+        let rank = |p: u64| -> u64 { (points.partition_point(|&q| q < p) as u64 + 1) * step };
         for iv in self.intervals.values_mut() {
             *iv = Interval { lo: rank(iv.lo), hi: rank(iv.hi) };
         }
@@ -310,8 +307,8 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(13);
         for _ in 0..300 {
-            let log = MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }
-                .generate(&mut rng);
+            let log =
+                MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }.generate(&mut rng);
             if IntervalScheduler::accepts(&log) {
                 assert!(is_dsr(&log), "intervals accepted a non-serializable log: {log}");
             }

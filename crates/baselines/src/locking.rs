@@ -66,17 +66,15 @@ impl LockManager {
     }
 
     fn can_grant(locks: &ItemLocks, tx: TxId, mode: LockMode) -> bool {
-        locks
-            .holders
-            .iter()
-            .all(|(&h, &m)| h == tx || m.compatible(mode) && mode.compatible(m))
+        locks.holders.iter().all(|(&h, &m)| h == tx || m.compatible(mode) && mode.compatible(m))
     }
 
     /// Whether `tx` currently holds the item in a mode covering `mode`.
     pub fn holds(&self, tx: TxId, item: ItemId, mode: LockMode) -> bool {
-        self.items.get(&item).and_then(|l| l.holders.get(&tx)).is_some_and(|&m| {
-            m == LockMode::Exclusive || mode == LockMode::Shared
-        })
+        self.items
+            .get(&item)
+            .and_then(|l| l.holders.get(&tx))
+            .is_some_and(|&m| m == LockMode::Exclusive || mode == LockMode::Shared)
     }
 
     /// Transactions `tx` would wait for if it requested `mode` on `item`:
@@ -282,8 +280,16 @@ mod tests {
         let mut lm = LockManager::new();
         assert_eq!(lm.request(TxId(1), X, LockMode::Shared), LockOutcome::Granted);
         assert_eq!(lm.request(TxId(1), X, LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.request(TxId(1), X, LockMode::Exclusive), LockOutcome::Granted, "sole-holder upgrade");
-        assert_eq!(lm.request(TxId(1), X, LockMode::Shared), LockOutcome::Granted, "exclusive covers shared");
+        assert_eq!(
+            lm.request(TxId(1), X, LockMode::Exclusive),
+            LockOutcome::Granted,
+            "sole-holder upgrade"
+        );
+        assert_eq!(
+            lm.request(TxId(1), X, LockMode::Shared),
+            LockOutcome::Granted,
+            "exclusive covers shared"
+        );
     }
 
     #[test]
@@ -328,8 +334,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut checked = 0;
         for _ in 0..400 {
-            let log = MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }
-                .generate(&mut rng);
+            let log =
+                MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }.generate(&mut rng);
             if StrictTwoPhaseLocking::accepts(&log) {
                 checked += 1;
                 assert!(is_dsr(&log), "strict 2PL accepted a non-serializable log: {log}");

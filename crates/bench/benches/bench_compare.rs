@@ -20,10 +20,14 @@ fn bench_compare(c: &mut Criterion) {
     for k in [4usize, 16, 64, 256, 1024] {
         let (a, b) = worst_case_pair(k);
         group.bench_with_input(BenchmarkId::new("scalar", k), &k, |bench, _| {
-            bench.iter(|| ScalarComparator::compare(std::hint::black_box(&a), std::hint::black_box(&b)))
+            bench.iter(|| {
+                ScalarComparator::compare(std::hint::black_box(&a), std::hint::black_box(&b))
+            })
         });
         group.bench_with_input(BenchmarkId::new("tree_simulated", k), &k, |bench, _| {
-            bench.iter(|| TreeComparator::compare(std::hint::black_box(&a), std::hint::black_box(&b)))
+            bench.iter(|| {
+                TreeComparator::compare(std::hint::black_box(&a), std::hint::black_box(&b))
+            })
         });
     }
     group.finish();

@@ -9,8 +9,7 @@ use rand::SeedableRng;
 
 fn workload(seed: u64) -> Log {
     let mut rng = StdRng::seed_from_u64(seed);
-    MultiStepConfig { n_txns: 16, n_items: 16, max_ops: 4, ..Default::default() }
-        .generate(&mut rng)
+    MultiStepConfig { n_txns: 16, n_items: 16, max_ops: 4, ..Default::default() }.generate(&mut rng)
 }
 
 fn bench_composites(c: &mut Criterion) {

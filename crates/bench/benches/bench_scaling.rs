@@ -1,0 +1,53 @@
+//! Criterion bench for the sharded engine's thread scaling: the exp19
+//! sweep as a benchmark — MT(k) on the sharded scheduler vs the same
+//! protocol serialized behind one mutex, at 1/4/8 threads, uniform
+//! low-contention (so any gap is engine overhead, not conflicts).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mdts_engine::{run_bank_mix, run_bank_mix_concurrent, BankConfig, MtCc, ShardedMtCc};
+
+fn cfg(threads: usize) -> BankConfig {
+    BankConfig {
+        accounts: 1024,
+        threads,
+        txns_per_thread: 400 / threads,
+        zipf_theta: 0.0,
+        read_only_fraction: 0.25,
+        think_sleep_us: 50,
+        max_restarts: 2000,
+        ..Default::default()
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("mt3_sharded/{threads}t"), |b| {
+            b.iter_batched(
+                || Box::new(ShardedMtCc::new(3)),
+                |cc| {
+                    let r = run_bank_mix_concurrent(cc, &cfg(threads));
+                    assert!(r.invariant_holds());
+                    r.metrics.commits
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function(format!("mt3_serialized/{threads}t"), |b| {
+            b.iter_batched(
+                || Box::new(MtCc::new(3)),
+                |cc| {
+                    let r = run_bank_mix(cc, &cfg(threads));
+                    assert!(r.invariant_holds());
+                    r.metrics.commits
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -60,10 +60,7 @@ pub struct AcceptanceSweep {
 impl AcceptanceSweep {
     /// Acceptance rate of recognizer `name`.
     pub fn rate(&self, name: &str) -> Option<f64> {
-        self.counts
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| *c as f64 / self.trials as f64)
+        self.counts.iter().find(|(n, _)| n == name).map(|(_, c)| *c as f64 / self.trials as f64)
     }
 }
 
@@ -87,11 +84,7 @@ pub fn acceptance_rate(
     }
     AcceptanceSweep {
         trials,
-        counts: recognizers
-            .iter()
-            .map(|r| r.name.clone())
-            .zip(counts)
-            .collect(),
+        counts: recognizers.iter().map(|r| r.name.clone()).zip(counts).collect(),
     }
 }
 

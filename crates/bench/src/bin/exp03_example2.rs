@@ -19,13 +19,7 @@ fn main() {
     let snaps = replay_with_snapshots(&mut s, &log, &txns);
 
     let mut table = Table::new(&["op", "TS(0)", "TS(1)", "TS(2)", "TS(3)"]);
-    table.row(&[
-        "(init)".into(),
-        "<0,*>".into(),
-        "<*,*>".into(),
-        "<*,*>".into(),
-        "<*,*>".into(),
-    ]);
+    table.row(&["(init)".into(), "<0,*>".into(), "<*,*>".into(), "<*,*>".into(), "<*,*>".into()]);
     for (op, row, ok) in &snaps {
         assert!(ok);
         let mut cells = vec![op.clone()];

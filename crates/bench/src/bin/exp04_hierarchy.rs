@@ -72,7 +72,10 @@ fn main() {
     println!("\nwitnesses for the separations:");
     type Pred = Box<dyn Fn(&RegionFlags) -> bool>;
     let cases: Vec<(&str, Pred)> = vec![
-        ("TO(3) \\ TO(1)   (multidimensionality helps)", Box::new(|f: &RegionFlags| f.to3 && !f.to1)),
+        (
+            "TO(3) \\ TO(1)   (multidimensionality helps)",
+            Box::new(|f: &RegionFlags| f.to3 && !f.to1),
+        ),
         ("TO(1) \\ TO(3)   (TO(k-1) ⊄ TO(k))", Box::new(|f: &RegionFlags| f.to1 && !f.to3)),
         ("DSR \\ TO(3)     (region 4/9 material)", Box::new(|f: &RegionFlags| f.dsr && !f.to3)),
         ("TO(3) \\ 2PL", Box::new(|f: &RegionFlags| f.to3 && !f.two_pl)),

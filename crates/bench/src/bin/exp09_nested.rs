@@ -27,9 +27,7 @@ fn main() {
         let g = |g: u32| {
             s.group_ts(GroupId(g)).map(|v| v.to_string()).unwrap_or_else(|| "<*,*>".into())
         };
-        let x = |t: u32| {
-            s.tx_ts(TxId(t)).map(|v| v.to_string()).unwrap_or_else(|| "<*,*>".into())
-        };
+        let x = |t: u32| s.tx_ts(TxId(t)).map(|v| v.to_string()).unwrap_or_else(|| "<*,*>".into());
         vec![g(0), g(1), g(2), x(1), x(2), x(3)]
     };
     for op in log.ops() {
@@ -93,9 +91,8 @@ fn main() {
         (
             "single group",
             Box::new(|log: &Log| {
-                let p = Partition::from_pairs(
-                    log.transactions().into_iter().map(|t| (t, GroupId(1))),
-                );
+                let p =
+                    Partition::from_pairs(log.transactions().into_iter().map(|t| (t, GroupId(1))));
                 NestedScheduler::new(3, 2, p).recognize(log).is_ok()
             }),
         ),

@@ -15,10 +15,8 @@ fn main() {
     // Table IV's two shapes: G1 = read {x,z} write {y,z};
     //                        G2 = read {y,w} write {x,w}.
     // Two transactions of each shape:
-    let log = Log::parse(
-        "R1[x,z] W1[y,z] R2[y,w] W2[x,w] R3[x,z] W3[y,z] R4[y,w] W4[x,w]",
-    )
-    .unwrap();
+    let log =
+        Log::parse("R1[x,z] W1[y,z] R2[y,w] W2[x,w] R3[x,z] W3[y,z] R4[y,w] W4[x,w]").unwrap();
     println!("workload: {log}\n");
 
     let partition = partition_by_rw_sets(&log);

@@ -13,13 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn logs_with_q(q: usize, trials: u64) -> Vec<Log> {
-    let cfg = MultiStepConfig {
-        n_txns: 4,
-        n_items: 4,
-        min_ops: q,
-        max_ops: q,
-        ..Default::default()
-    };
+    let cfg =
+        MultiStepConfig { n_txns: 4, n_items: 4, min_ops: q, max_ops: q, ..Default::default() };
     (0..trials)
         .map(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -8,8 +8,8 @@
 //! 3. both-ends vs one-end shrinking (the interval view of a vector);
 //! 4. starvation under fixed-interval restarts vs the MT(k) flush.
 
-use mdts_bench::{print_table, Table};
 use mdts_baselines::IntervalScheduler;
+use mdts_bench::{print_table, Table};
 use mdts_core::{to_k, MtOptions, MtScheduler};
 use mdts_model::{ItemId, Log, TxId, WorkloadKind};
 use mdts_vector::{interval_view, TsVec};

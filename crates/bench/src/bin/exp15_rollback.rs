@@ -10,8 +10,8 @@
 
 use mdts_bench::{print_table, Table};
 use mdts_model::ItemId;
-use mdts_storage::{Store, UndoLog, WriteBuffer};
 use mdts_model::TxId;
+use mdts_storage::{Store, UndoLog, WriteBuffer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,7 +41,7 @@ fn main() {
         undo.rollback_to(&mut store, savepoints[fail_at]);
         preserved_partial += fail_at as u64;
         work_redone_partial += 1; // re-execute one operation
-        // Full restart: everything redone.
+                                  // Full restart: everything redone.
         preserved_full += 0;
         work_redone_full += fail_at as u64 + 1;
         // Sanity: the store reflects exactly the preserved prefix.

@@ -9,8 +9,8 @@
 //!   after the newest writer is slotted *between* two writers of the
 //!   chain and served the older version.
 
-use mdts_bench::{print_table, Table};
 use mdts_baselines::{BasicTimestampOrdering, MvTimestampOrdering};
+use mdts_bench::{print_table, Table};
 use mdts_core::{to_k, MvMtScheduler};
 use mdts_model::{MultiStepConfig, WorkloadKind};
 use rand::rngs::StdRng;

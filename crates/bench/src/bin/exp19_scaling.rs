@@ -1,0 +1,115 @@
+//! exp19 — multicore scaling of the sharded engine: MT(k) on the
+//! item-sharded scheduler against the same protocol serialized behind one
+//! mutex, plus 2PL and TO(1), from 1 to 16 client threads.
+//!
+//! Total work is held constant (the thread count divides a fixed
+//! transaction budget), so a flat protocol shows flat throughput and a
+//! scalable one shows wall-clock speedup. Transactions carry a sleep-based
+//! think time between their read and write phases — the I/O wait of the
+//! paper's transactions — so overlapping them is what buys throughput, and
+//! anything that serializes transactions across the wait (a global engine
+//! mutex, 2PL's read locks on a hot item) caps the speedup regardless of
+//! core count. The uniform/low-contention sweep measures the engine's own
+//! scalability (conflicts are rare — any flattening is engine overhead);
+//! the Zipf sweep measures how much of that headroom survives a contended
+//! hotspot.
+
+use mdts_bench::{print_table, Table};
+use mdts_engine::{
+    run_bank_mix, run_bank_mix_concurrent, BankConfig, BankReport, BasicToCc, MtCc, ShardedMtCc,
+    TwoPlCc,
+};
+
+const TOTAL_TXNS: usize = 4_000;
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+const K: usize = 3;
+const THINK_SLEEP_US: u64 = 100;
+
+#[derive(Clone, Copy)]
+enum Protocol {
+    MtSharded,
+    MtSerialized,
+    TwoPl,
+    To1,
+}
+
+impl Protocol {
+    fn all() -> [Protocol; 4] {
+        [Protocol::MtSharded, Protocol::MtSerialized, Protocol::TwoPl, Protocol::To1]
+    }
+
+    fn run(self, cfg: &BankConfig) -> BankReport {
+        match self {
+            Protocol::MtSharded => run_bank_mix_concurrent(Box::new(ShardedMtCc::new(K)), cfg),
+            Protocol::MtSerialized => run_bank_mix(Box::new(MtCc::new(K)), cfg),
+            Protocol::TwoPl => run_bank_mix(Box::new(TwoPlCc::new()), cfg),
+            Protocol::To1 => run_bank_mix(Box::new(BasicToCc::new(true)), cfg),
+        }
+    }
+}
+
+fn main() {
+    println!("== exp19: multicore scaling, sharded vs serialized engine ==\n");
+    for (label, accounts, theta) in [
+        ("uniform low contention (4096 accounts)", 4096u32, 0.0f64),
+        ("Zipf hotspot (256 accounts, theta 0.9)", 256, 0.9),
+    ] {
+        println!("{label}:");
+        let mut t = Table::new(&[
+            "protocol",
+            "threads",
+            "commits",
+            "aborts/commit",
+            "blocked",
+            "txn/s",
+            "speedup",
+            "p50",
+            "p99",
+            "invariant",
+        ]);
+        for protocol in Protocol::all() {
+            let mut base_tps = None;
+            for threads in THREADS {
+                let cfg = BankConfig {
+                    accounts,
+                    threads,
+                    txns_per_thread: TOTAL_TXNS / threads,
+                    zipf_theta: theta,
+                    read_only_fraction: 0.25,
+                    think_sleep_us: THINK_SLEEP_US,
+                    max_restarts: 2_000,
+                    ..Default::default()
+                };
+                let r = protocol.run(&cfg);
+                let base = *base_tps.get_or_insert(r.throughput);
+                t.row(&[
+                    r.protocol.into(),
+                    threads.to_string(),
+                    r.metrics.commits.to_string(),
+                    format!("{:.2}", r.metrics.abort_rate()),
+                    r.metrics.blocked_waits.to_string(),
+                    format!("{:.0}", r.throughput),
+                    format!("{:.2}x", r.throughput / base.max(1e-9)),
+                    r.metrics.latency.p50.to_string(),
+                    r.metrics.latency.p99.to_string(),
+                    if r.invariant_holds() { "ok" } else { "VIOLATED" }.into(),
+                ]);
+                assert!(r.invariant_holds(), "{} violated serializability", r.protocol);
+            }
+        }
+        print_table(&t);
+        println!();
+    }
+    println!(
+        "reading the shape: under uniform load MT(k)'s throughput climbs with the\n\
+         thread count — transactions overlap their think/I/O waits because nothing\n\
+         in the engine serializes them (the old global-mutex engine held every wait\n\
+         under one lock). Under the Zipf hotspot the timestamp protocols keep\n\
+         overlapping and pay in aborts, while 2PL holds read locks across the wait\n\
+         and pays in blocked time on the hot items. The sharded scheduler adds\n\
+         per-access headroom over the serialized protocol mutex that one core\n\
+         cannot show in wall-clock figures, but the abort/blocked columns are\n\
+         hardware-independent. Latencies are logical ticks, comparable across rows\n\
+         of the same sweep."
+    );
+}

@@ -169,10 +169,7 @@ impl SharedPrefixComposite {
 
     /// This transaction's element in LASTCOL(h).
     pub fn lastcol_of(&self, tx: TxId, h: usize) -> Option<i64> {
-        self.rows
-            .get(tx.index())
-            .and_then(|r| r.as_ref())
-            .and_then(|r| r.lastcol[h - 1])
+        self.rows.get(tx.index()).and_then(|r| r.as_ref()).and_then(|r| r.lastcol[h - 1])
     }
 
     fn smallest_alive(&self) -> Option<usize> {

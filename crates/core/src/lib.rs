@@ -34,17 +34,22 @@
 //!   by the class-hierarchy experiments (Fig. 4).
 //! * [`MvMtScheduler`] — the multiversion extension of III-D-6d: version
 //!   chains per item under the vector order; reads never abort.
+//! * [`SharedMtScheduler`] — MT(k) behind `&self`: item-sharded `RT`/`WT`,
+//!   read-mostly vector rows, lock-free k-th-column counters and O(1)
+//!   refcount reclamation, for multi-threaded engines.
 
 pub mod composite;
 pub mod mtk;
 pub mod mvmt;
 pub mod recognize;
+pub mod shared;
 pub mod table;
 
 pub use composite::{NaiveComposite, SharedPrefixComposite};
 pub use mtk::{Decision, HotEncoding, MtOptions, MtScheduler, Reject, SetEvent};
 pub use mvmt::MvMtScheduler;
 pub use recognize::{recognize, to_k, to_k_star, LogScheduler, Recognition};
+pub use shared::SharedMtScheduler;
 pub use table::TimestampTable;
 
 #[cfg(test)]

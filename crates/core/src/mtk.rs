@@ -192,9 +192,23 @@ pub struct MtScheduler {
     /// from the pre-abort state — the semantics the Fig. 5 starvation
     /// scenario assumes.
     footprint: HashMap<TxId, Vec<(ItemId, Slot, TxId)>>,
-    /// Committed transactions whose vectors are still pinned by `RT`/`WT`
-    /// references; reclaimed the moment they are displaced (III-D-6b).
-    committed: std::collections::HashSet<TxId>,
+    /// Finished (committed or abort-anchored) transactions whose vectors
+    /// are still pinned by `RT`/`WT` references; reclaimed the moment they
+    /// are displaced (III-D-6b).
+    finished: std::collections::HashSet<TxId>,
+    /// Items whose `RT` chain shields invisible readers: a lines-9–10
+    /// acceptance did not update `RT`, so the accepted reader's only
+    /// protection against later writers is the decided order
+    /// `reader < RT(x)`. Rolling `RT(x)` back on abort can erase it — a
+    /// later writer could then slip *between* the invisible reader's read
+    /// and its own write-validation without ever being compared against
+    /// either (a lost update). For these items an aborting `RT` holder is
+    /// left in place as an inert anchor instead. The mark is sticky:
+    /// displacing the holder transfers the protection to the new holder,
+    /// but a rollback of *that* holder's abort would silently restore the
+    /// old anchor, so rollback stays disabled for the item's `RT` slot for
+    /// good.
+    shielded: std::collections::HashSet<ItemId>,
     events: Vec<SetEvent>,
 }
 
@@ -208,7 +222,8 @@ impl MtScheduler {
             access_counts: Vec::new(),
             restart_hints: HashMap::new(),
             footprint: HashMap::new(),
-            committed: std::collections::HashSet::new(),
+            finished: std::collections::HashSet::new(),
+            shielded: std::collections::HashSet::new(),
             events: Vec::new(),
         }
     }
@@ -286,14 +301,14 @@ impl MtScheduler {
         }
         // Still the most recent reader/writer of some item: remember it so
         // the row is reclaimed as soon as it is displaced.
-        self.committed.insert(tx);
+        self.finished.insert(tx);
         false
     }
 
-    /// Reclaims `prev` if it committed earlier and is no longer referenced.
+    /// Reclaims `prev` if it finished earlier and is no longer referenced.
     fn reclaim_if_superseded(&mut self, prev: TxId) {
-        if self.committed.contains(&prev) && self.table.reclaim(prev) {
-            self.committed.remove(&prev);
+        if self.finished.contains(&prev) && self.table.reclaim(prev) {
+            self.finished.remove(&prev);
         }
     }
 
@@ -301,11 +316,18 @@ impl MtScheduler {
     /// the previous holders, then drops its vector if nothing references it
     /// anymore.
     ///
-    /// If a previous holder's vector has since been reclaimed, that slot
-    /// keeps pointing at the aborted transaction instead: its vector then
-    /// stays behind as an inert anchor for the ordering constraints other
-    /// transactions already encoded against it (conservative but safe —
-    /// extra constraints never violate serializability).
+    /// Two cases keep the slot pointing at the aborted transaction instead,
+    /// its vector staying behind as an inert anchor for the ordering
+    /// constraints other transactions already encoded against it
+    /// (conservative but safe — extra constraints never violate
+    /// serializability):
+    ///
+    /// * the previous holder's vector has since been reclaimed, or
+    /// * the slot is a *shielded* `RT` — an invisible lines-9–10 reader
+    ///   depends on the decided order `reader < RT(x)`, and rolling the
+    ///   slot back past its anchor would let a later writer slip between
+    ///   that reader's read and its write-validation unchecked (a lost
+    ///   update). See [`MtScheduler::read`].
     pub fn abort(&mut self, tx: TxId) {
         if let Some(entries) = self.footprint.remove(&tx) {
             for (item, slot, prev) in entries.into_iter().rev() {
@@ -313,6 +335,9 @@ impl MtScheduler {
                     Slot::Rt => self.table.rt(item),
                     Slot::Wt => self.table.wt(item),
                 };
+                if slot == Slot::Rt && self.shielded.contains(&item) {
+                    continue;
+                }
                 if current == tx && self.table.ts(prev).is_some() {
                     match slot {
                         Slot::Rt => self.table.set_rt(item, prev),
@@ -321,12 +346,19 @@ impl MtScheduler {
                 }
             }
         }
-        self.table.reclaim(tx);
+        if !self.table.reclaim(tx) {
+            // Left behind as an anchor somewhere: reclaim on displacement.
+            self.finished.insert(tx);
+        }
     }
 
     fn set_rt_tracked(&mut self, item: ItemId, tx: TxId) {
         let prev = self.table.rt(item);
         if prev != tx {
+            // Note the shield stays even though the new holder is ordered
+            // after the old one (protections transfer): if the new holder
+            // aborts, its rollback would restore the old anchor with no
+            // record that invisible readers still hide behind it.
             self.footprint.entry(tx).or_default().push((item, Slot::Rt, prev));
             self.table.set_rt(item, tx);
             self.reclaim_if_superseded(prev);
@@ -533,6 +565,11 @@ impl MtScheduler {
                         wt == tx || self.table.is_less(wt, tx)
                     };
                     if after_writer {
+                        // The read proceeds invisibly: `RT(x)` is not
+                        // updated, so this reader's only protection is the
+                        // decided order `tx < RT(x)`. Mark the anchor so an
+                        // abort of the holder cannot roll it away.
+                        self.shielded.insert(item);
                         return Decision::accept();
                     }
                 }
@@ -749,10 +786,8 @@ mod tests {
     fn hot_encoding_copies_prefix() {
         // Section III-D-5's illustration: T1 = <1,3,*,*>, T2 fresh; hot
         // encoding yields T1 = <1,3,1,*>, T2 = <1,3,2,*>.
-        let opts = MtOptions {
-            hot_encoding: Some(HotEncoding { threshold: 0 }),
-            ..MtOptions::new(4)
-        };
+        let opts =
+            MtOptions { hot_encoding: Some(HotEncoding { threshold: 0 }), ..MtOptions::new(4) };
         let mut s = MtScheduler::new(opts);
         s.table.install(TxId(1), TsVec::from_elems(&[Some(1), Some(3), None, None]));
         s.table.set_wt(ItemId(0), TxId(1));

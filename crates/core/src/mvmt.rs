@@ -72,8 +72,7 @@ impl MvMtScheduler {
         let n = self.chains[&item].len();
         for idx in (0..n).rev() {
             let writer = self.chains[&item][idx].writer;
-            let successor =
-                (idx + 1 < n).then(|| self.chains[&item][idx + 1].writer);
+            let successor = (idx + 1 < n).then(|| self.chains[&item][idx + 1].writer);
             // Order after this version's writer…
             if !self.inner.order(writer, tx) {
                 continue; // writer is after tx: version too new
@@ -281,11 +280,8 @@ mod tests {
             let k = 2 * log.max_ops_per_txn().max(1) - 1;
             let Some((s, rf)) = MvMtScheduler::reads_from(&log, k) else { continue };
             checked += 1;
-            let order = s
-                .inner()
-                .table()
-                .serial_order(&log.transactions())
-                .expect("vector order sortable");
+            let order =
+                s.inner().table().serial_order(&log.transactions()).expect("vector order sortable");
             // Serial replay in the vector order.
             let mut last_writer: BTreeMap<ItemId, TxId> = BTreeMap::new();
             let mut serial_first_read: BTreeMap<(TxId, ItemId), TxId> = BTreeMap::new();

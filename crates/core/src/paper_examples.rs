@@ -26,11 +26,8 @@ fn table1_example2_vectors() {
     assert_eq!(ts(&s, 3), "<1,0>");
 
     // The dependency edges a–e in order, with their encodings.
-    let encoded: Vec<&SetEvent> = s
-        .events()
-        .iter()
-        .filter(|e| matches!(e, SetEvent::Encoded { .. }))
-        .collect();
+    let encoded: Vec<&SetEvent> =
+        s.events().iter().filter(|e| matches!(e, SetEvent::Encoded { .. })).collect();
     let expect = [
         // a: T0 → T1 sets TS(1,1) = 1
         (TxId(0), TxId(1), vec![(TxId(1), 0, 1)]),
@@ -98,8 +95,7 @@ fn table2_example3_normal_encoding() {
 /// with respect to vectors that shared T1's prefix.
 #[test]
 fn optimized_encoding_preserves_partial_order() {
-    let opts =
-        MtOptions { hot_encoding: Some(HotEncoding { threshold: 1 }), ..MtOptions::new(4) };
+    let opts = MtOptions { hot_encoding: Some(HotEncoding { threshold: 1 }), ..MtOptions::new(4) };
     let mut s = MtScheduler::new(opts);
     let mut t1 = TsVec::undefined(4);
     t1.define(0, 1);

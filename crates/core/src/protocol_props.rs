@@ -23,8 +23,15 @@ fn arb_log() -> impl Strategy<Value = Log> {
     (2usize..7, 2usize..8, 0.2f64..0.8, any::<u64>()).prop_map(
         |(n_txns, n_items, p_write, seed)| {
             let mut rng = StdRng::seed_from_u64(seed);
-            MultiStepConfig { n_txns, n_items, p_write, min_ops: 1, max_ops: 4, ..Default::default() }
-                .generate(&mut rng)
+            MultiStepConfig {
+                n_txns,
+                n_items,
+                p_write,
+                min_ops: 1,
+                max_ops: 4,
+                ..Default::default()
+            }
+            .generate(&mut rng)
         },
     )
 }

@@ -1,0 +1,985 @@
+//! A concurrent MT(k) scheduler: Algorithm 1 behind `&self`.
+//!
+//! [`MtScheduler`](crate::MtScheduler) keeps the whole timestamp table
+//! behind one `&mut self` — fine for log recognition, but an engine that
+//! wants to schedule operations from many threads would have to serialize
+//! every operation through one mutex. [`SharedMtScheduler`] splits the
+//! table's state along the axes it is actually accessed on:
+//!
+//! * **`RT(x)`/`WT(x)` live in item shards** — a power-of-two array of
+//!   mutexes, striped by item id. An operation on `x` holds only the shard
+//!   of `x`; operations on items in different shards never contend here.
+//!   Holding the shard across the whole pick–Set–update sequence is what
+//!   makes an operation atomic with respect to other accesses of `x` — the
+//!   shard mutex plays the role of Algorithm 1's implicit critical section,
+//!   but per item group instead of global.
+//! * **Vector rows sit behind one `RwLock`** — comparisons (the common
+//!   case: most `Set(j, i)` calls find the order already decided) take the
+//!   read lock and run in parallel; only an actual *encoding* (defining
+//!   vector elements) takes the write lock, re-compares, and defines. The
+//!   re-comparison under the write lock is essential: between dropping the
+//!   read lock and acquiring the write lock, an encoder working on behalf
+//!   of another item may have closed the very same open order (the two
+//!   transactions can be `RT`/`WT` of many items at once). Re-deciding
+//!   under the write lock preserves the write-once discipline of
+//!   [`TsVec::define`].
+//! * **The k-th-column counters are the lock-free
+//!   [`AtomicKthCounters`]** — `ucount`/`lcount` draws need no lock at
+//!   all; distinctness, not program order, is the invariant Algorithm 1
+//!   needs of them.
+//! * **Reclamation (III-D-6b) is refcount-driven and O(1)** — each row
+//!   carries an atomic count of the `RT`/`WT` entries naming it, bumped on
+//!   displacement under the owning shard's lock. `commit` marks the row
+//!   finished; whoever drops the last reference frees it. No scan over the
+//!   items, and no global pause.
+//!
+//! **Lock order** (deadlock freedom): item shard → rows lock → hints
+//! mutex. A thread holds at most one shard at a time (multi-item
+//! operations take them one by one), and nothing acquires a shard while
+//! holding the rows lock.
+//!
+//! # Divergences from the sequential scheduler
+//!
+//! * An operation orders `T_i` after *both* `RT(x)` and `WT(x)` — first
+//!   the larger (Algorithm 1's `Set(j, i)`), then, if distinct, the
+//!   smaller. Sequentially the second call is always a no-op (`TS` orders
+//!   are transitive), so acceptance is identical to
+//!   [`MtScheduler`](crate::MtScheduler); concurrently it closes the race
+//!   where the "larger of the two" changed between the unsynchronized
+//!   pick and the encode. When the *second* ordering fails for a read, the
+//!   read is already ordered after the writer — exactly the lines 9–10
+//!   situation — and proceeds without becoming the most recent reader.
+//! * `abort` does not roll `RT`/`WT` back to previous holders; the aborted
+//!   transaction's vector stays behind as an inert anchor until displaced
+//!   (the sequential scheduler's fallback behaviour, here unconditional).
+//!   Anchors only add ordering constraints, which never endangers
+//!   serializability.
+//! * Hot-item right-end encoding (III-D-5) and the event journal are not
+//!   supported — both are paper-table instrumentation, and the donor-prefix
+//!   copy would have to hold the write lock for O(k) defines per access.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use mdts_model::{ItemId, OpKind, Operation, TxId};
+use mdts_vector::{AtomicKthCounters, CmpResult, ScalarComparator, TsVec};
+
+use crate::mtk::{Decision, MtOptions, Reject};
+
+/// One timestamp-table row: the vector plus its reclamation state.
+#[derive(Debug)]
+struct Row {
+    vec: TsVec,
+    /// Number of `RT`/`WT` entries naming this transaction. Bumped under
+    /// the owning item's shard lock; read during reclamation.
+    refs: AtomicU32,
+    /// Set once the transaction committed or aborted — the row may be
+    /// dropped as soon as `refs` reaches zero.
+    finished: AtomicBool,
+}
+
+impl Row {
+    fn new(vec: TsVec) -> Self {
+        Row { vec, refs: AtomicU32::new(0), finished: AtomicBool::new(false) }
+    }
+}
+
+/// Per-shard `RT`/`WT` maps (items are striped over shards by id).
+#[derive(Default, Debug)]
+struct ShardItems {
+    rt: HashMap<ItemId, TxId>,
+    wt: HashMap<ItemId, TxId>,
+}
+
+/// Outcome of the concurrent `Set(j, i)`.
+enum SetOutcome {
+    Ok,
+    Refused { at: usize },
+}
+
+/// The concurrent MT(k) scheduler. All methods take `&self`; the type is
+/// `Send + Sync` and meant to be shared across worker threads (e.g. behind
+/// an `Arc`).
+#[derive(Debug)]
+pub struct SharedMtScheduler {
+    opts: MtOptions,
+    shard_mask: usize,
+    shards: Box<[Mutex<ShardItems>]>,
+    /// Vector rows indexed by transaction id; `None` = never begun or
+    /// reclaimed. Row 0 is `T₀` (`⟨0, *, …⟩`), never reclaimed.
+    rows: RwLock<Vec<Option<Row>>>,
+    counters: AtomicKthCounters,
+    /// Starvation-avoidance restart hints (III-D-4).
+    hints: Mutex<HashMap<TxId, i64>>,
+}
+
+/// Default number of item shards (power of two).
+pub const DEFAULT_SHARDS: usize = 64;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SharedMtScheduler {
+    /// Creates a scheduler with [`DEFAULT_SHARDS`] item shards.
+    ///
+    /// # Panics
+    /// Panics if `opts.k == 0`, or if `opts` requests hot-item encoding or
+    /// the event journal (unsupported here, see the module docs).
+    pub fn new(opts: MtOptions) -> Self {
+        Self::with_shards(opts, DEFAULT_SHARDS)
+    }
+
+    /// Algorithm 1 defaults for dimension `k`.
+    pub fn with_k(k: usize) -> Self {
+        Self::new(MtOptions::new(k))
+    }
+
+    /// Creates a scheduler with at least `shards` item shards (rounded up
+    /// to a power of two so striping is a mask).
+    pub fn with_shards(opts: MtOptions, shards: usize) -> Self {
+        assert!(opts.k >= 1, "vector dimension k must be at least 1");
+        assert!(
+            opts.hot_encoding.is_none(),
+            "hot-item encoding is not supported by the concurrent scheduler"
+        );
+        assert!(
+            !opts.record_events,
+            "the SetEvent journal is not supported by the concurrent scheduler"
+        );
+        let n = shards.max(1).next_power_of_two();
+        let shards: Box<[Mutex<ShardItems>]> =
+            (0..n).map(|_| Mutex::new(ShardItems::default())).collect();
+        SharedMtScheduler {
+            opts,
+            shard_mask: n - 1,
+            shards,
+            rows: RwLock::new(vec![Some(Row::new(TsVec::origin(opts.k)))]),
+            counters: AtomicKthCounters::new(),
+            hints: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration.
+    pub fn options(&self) -> &MtOptions {
+        &self.opts
+    }
+
+    /// Vector dimension `k`.
+    pub fn k(&self) -> usize {
+        self.opts.k
+    }
+
+    /// Number of item shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn rows_read(&self) -> RwLockReadGuard<'_, Vec<Option<Row>>> {
+        self.rows.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn rows_write(&self) -> RwLockWriteGuard<'_, Vec<Option<Row>>> {
+        self.rows.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn shard_of(&self, item: ItemId) -> &Mutex<ShardItems> {
+        &self.shards[item.index() & self.shard_mask]
+    }
+
+    fn vec_in(rows: &[Option<Row>], tx: TxId) -> &TsVec {
+        rows.get(tx.index())
+            .and_then(|r| r.as_ref())
+            .map(|r| &r.vec)
+            .unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
+    }
+
+    fn compare_in(rows: &[Option<Row>], a: TxId, b: TxId) -> CmpResult {
+        ScalarComparator::compare(Self::vec_in(rows, a), Self::vec_in(rows, b))
+    }
+
+    // ---- lifecycle -------------------------------------------------------
+
+    /// Ensures a (fully undefined) vector row exists for `tx`.
+    pub fn begin(&self, tx: TxId) {
+        self.ensure_tx(tx);
+    }
+
+    fn ensure_tx(&self, tx: TxId) {
+        let idx = tx.index();
+        {
+            let rows = self.rows_read();
+            if rows.get(idx).is_some_and(|r| r.is_some()) {
+                return;
+            }
+        }
+        let mut rows = self.rows_write();
+        if idx >= rows.len() {
+            rows.resize_with(idx + 1, || None);
+        }
+        if rows[idx].is_none() {
+            rows[idx] = Some(Row::new(TsVec::undefined(self.opts.k)));
+        }
+    }
+
+    /// Registers a restart of `aborted` under a fresh id: if the
+    /// starvation fix recorded a hint, the new incarnation starts with
+    /// `TS = ⟨TS(blocker,1)+1, *, …⟩` (Section III-D-4).
+    ///
+    /// Unlike the sequential scheduler, the in-place flush (`new_tx ==
+    /// aborted`) is not supported: the aborted row may still anchor
+    /// ordering constraints other threads encoded against it, so the new
+    /// incarnation must use a fresh id.
+    pub fn begin_restarted(&self, new_tx: TxId, aborted: TxId) {
+        assert_ne!(new_tx, aborted, "concurrent restarts must use a fresh transaction id");
+        match lock(&self.hints).remove(&aborted) {
+            Some(first) => {
+                let mut v = TsVec::undefined(self.opts.k);
+                v.define(0, first);
+                let mut rows = self.rows_write();
+                let idx = new_tx.index();
+                if idx >= rows.len() {
+                    rows.resize_with(idx + 1, || None);
+                }
+                debug_assert!(rows[idx].is_none(), "restart id {new_tx} already in use");
+                rows[idx] = Some(Row::new(v));
+            }
+            None => self.ensure_tx(new_tx),
+        }
+    }
+
+    /// Notes a commit and attempts reclamation (III-D-6b). Returns whether
+    /// the row could be dropped already; otherwise it is dropped — in O(1)
+    /// — by whoever displaces its last `RT`/`WT` reference.
+    pub fn commit(&self, tx: TxId) -> bool {
+        lock(&self.hints).remove(&tx);
+        self.finish(tx)
+    }
+
+    /// Notes an abort. `RT`/`WT` entries naming `tx` are *not* rolled
+    /// back; the row stays as an inert ordering anchor until displaced.
+    /// The starvation hint (if any) is kept for `begin_restarted`.
+    pub fn abort(&self, tx: TxId) {
+        self.finish(tx);
+    }
+
+    fn finish(&self, tx: TxId) -> bool {
+        if tx.is_virtual() {
+            return false;
+        }
+        {
+            let rows = self.rows_read();
+            let Some(row) = rows.get(tx.index()).and_then(|r| r.as_ref()) else {
+                return false;
+            };
+            row.finished.store(true, Ordering::Release);
+            if row.refs.load(Ordering::Acquire) != 0 {
+                return false;
+            }
+        }
+        self.try_reclaim(tx)
+    }
+
+    /// Drops the row if (still) unreferenced and finished. The write lock
+    /// synchronizes with every shard-locked refcount update.
+    fn try_reclaim(&self, tx: TxId) -> bool {
+        let mut rows = self.rows_write();
+        let idx = tx.index();
+        match rows.get(idx).and_then(|r| r.as_ref()) {
+            Some(row)
+                if row.refs.load(Ordering::Acquire) == 0
+                    && row.finished.load(Ordering::Acquire) =>
+            {
+                rows[idx] = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn inc_ref(&self, tx: TxId) {
+        if tx.is_virtual() {
+            return; // T₀ is never reclaimed; skip the bookkeeping.
+        }
+        let rows = self.rows_read();
+        Self::row_expect(&rows, tx).refs.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn dec_ref(&self, tx: TxId) {
+        if tx.is_virtual() {
+            return;
+        }
+        let (dropped_last, finished) = {
+            let rows = self.rows_read();
+            let row = Self::row_expect(&rows, tx);
+            let prev = row.refs.fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "refcount underflow for {tx}");
+            (prev == 1, row.finished.load(Ordering::Acquire))
+        };
+        if dropped_last && finished {
+            self.try_reclaim(tx);
+        }
+    }
+
+    fn row_expect(rows: &[Option<Row>], tx: TxId) -> &Row {
+        rows.get(tx.index())
+            .and_then(|r| r.as_ref())
+            .unwrap_or_else(|| panic!("no live row for referenced transaction {tx}"))
+    }
+
+    // ---- procedure Set ---------------------------------------------------
+
+    /// Public form of procedure `Set(j, i)`: try to establish (or verify)
+    /// `TS(j) < TS(i)`. Returns `false` iff the vectors already say
+    /// `TS(j) > TS(i)`.
+    pub fn order(&self, j: TxId, i: TxId) -> bool {
+        matches!(self.set_less(j, i), SetOutcome::Ok)
+    }
+
+    fn set_less(&self, j: TxId, i: TxId) -> SetOutcome {
+        if j == i {
+            return SetOutcome::Ok; // line 15
+        }
+        // Optimistic pass: most Set calls find the order already decided,
+        // and a read lock lets them run in parallel.
+        {
+            let rows = self.rows_read();
+            match Self::compare_in(&rows, j, i) {
+                CmpResult::Less { .. } => return SetOutcome::Ok,
+                CmpResult::Greater { at } => return SetOutcome::Refused { at },
+                _ => {}
+            }
+        }
+        // The order looked open: re-decide under the write lock (a
+        // concurrent encoder may have closed it meanwhile) and encode.
+        let k = self.opts.k;
+        let mut rows = self.rows_write();
+        match Self::compare_in(&rows, j, i) {
+            CmpResult::Less { .. } => SetOutcome::Ok,
+            CmpResult::Greater { at } => SetOutcome::Refused { at },
+            CmpResult::Identical => {
+                // Unreachable between distinct transactions: the k-th
+                // column always holds globally distinct counter values.
+                debug_assert!(false, "identical fully-defined vectors for {j} and {i}");
+                SetOutcome::Refused { at: k - 1 }
+            }
+            CmpResult::EqualUndefined { at } => {
+                if at == k - 1 {
+                    let (a, b) = self.counters.fresh_pair();
+                    Self::define_in(&mut rows, j, at, a);
+                    Self::define_in(&mut rows, i, at, b);
+                } else {
+                    Self::define_in(&mut rows, j, at, 1);
+                    Self::define_in(&mut rows, i, at, 2);
+                }
+                SetOutcome::Ok
+            }
+            CmpResult::RightUndefined { at } => {
+                // TS(i, at) undefined; TS(j, at) defined.
+                let bound = Self::vec_in(&rows, j).get(at).expect("defined by case");
+                let value =
+                    if at == k - 1 { self.counters.fresh_upper_above(bound) } else { bound + 1 };
+                Self::define_in(&mut rows, i, at, value);
+                SetOutcome::Ok
+            }
+            CmpResult::LeftUndefined { at } => {
+                // TS(j, at) undefined; TS(i, at) defined.
+                let bound = Self::vec_in(&rows, i).get(at).expect("defined by case");
+                let value =
+                    if at == k - 1 { self.counters.fresh_lower_below(bound) } else { bound - 1 };
+                Self::define_in(&mut rows, j, at, value);
+                SetOutcome::Ok
+            }
+        }
+    }
+
+    fn define_in(rows: &mut [Option<Row>], tx: TxId, at: usize, value: i64) {
+        rows.get_mut(tx.index())
+            .and_then(|r| r.as_mut())
+            .unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
+            .vec
+            .define(at, value);
+    }
+
+    // ---- scheduling ------------------------------------------------------
+
+    /// Lines 5–6: the larger of `RT(x)` and `WT(x)` under the vector
+    /// order. Returns `(larger, smaller)`.
+    fn pick(&self, s: &ShardItems, item: ItemId) -> (TxId, TxId) {
+        let rt = s.rt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+        let wt = s.wt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+        if rt == wt {
+            return (rt, wt);
+        }
+        let rows = self.rows_read();
+        if matches!(Self::compare_in(&rows, rt, wt), CmpResult::Less { .. }) {
+            (wt, rt)
+        } else {
+            (rt, wt)
+        }
+    }
+
+    fn set_rt_locked(&self, s: &mut ShardItems, item: ItemId, tx: TxId) {
+        let prev = s.rt.insert(item, tx).unwrap_or(TxId::VIRTUAL);
+        if prev != tx {
+            self.inc_ref(tx);
+            self.dec_ref(prev);
+        }
+    }
+
+    fn set_wt_locked(&self, s: &mut ShardItems, item: ItemId, tx: TxId) {
+        let prev = s.wt.insert(item, tx).unwrap_or(TxId::VIRTUAL);
+        if prev != tx {
+            self.inc_ref(tx);
+            self.dec_ref(prev);
+        }
+    }
+
+    fn note_reject(&self, tx: TxId, against: TxId) {
+        if self.opts.starvation_flush {
+            // Blocker's first element is defined whenever Set refused (the
+            // deciding column has both elements defined; column 0 is at or
+            // before it).
+            let first = {
+                let rows = self.rows_read();
+                Self::vec_in(&rows, against).get(0)
+            };
+            if let Some(first) = first {
+                lock(&self.hints).insert(tx, first + 1);
+            }
+        }
+    }
+
+    /// Orders `tx` after both current holders of `item`, larger first.
+    /// Returns `Ok` when fully ordered; `Refused` carries which holder
+    /// blocked. The holders cannot change underneath us — the caller holds
+    /// the shard lock — but their *vectors* may gain elements from
+    /// concurrent encoders, which is why the smaller holder is verified
+    /// too rather than trusted to transitivity.
+    fn order_after_holders(
+        &self,
+        tx: TxId,
+        larger: TxId,
+        smaller: TxId,
+    ) -> Result<(), (TxId, usize)> {
+        match self.set_less(larger, tx) {
+            SetOutcome::Ok => {}
+            SetOutcome::Refused { at } => return Err((larger, at)),
+        }
+        if smaller != larger {
+            match self.set_less(smaller, tx) {
+                SetOutcome::Ok => {}
+                SetOutcome::Refused { at } => return Err((smaller, at)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedules a read of `item` by `tx` (the `read` arm of `Scheduler`).
+    pub fn read(&self, tx: TxId, item: ItemId) -> Decision {
+        self.ensure_tx(tx);
+        let mut s = lock(self.shard_of(item));
+        let rt = s.rt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+        let wt = s.wt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+        let (larger, smaller) = self.pick(&s, item);
+        match self.order_after_holders(tx, larger, smaller) {
+            Ok(()) => {
+                self.set_rt_locked(&mut s, item, tx); // line 7
+                Decision::accept()
+            }
+            Err((against, at)) => {
+                // Lines 9–10: proceed without becoming the most recent
+                // reader if ordered after the latest writer. When the
+                // blocker is the reader and the writer was the *larger*
+                // holder, Set(wt, tx) already succeeded above.
+                if self.opts.reader_rule && against == rt && rt != wt {
+                    let after_writer = if larger == wt {
+                        true // ordered after wt before rt refused
+                    } else if self.opts.relaxed_reader_rule {
+                        matches!(self.set_less(wt, tx), SetOutcome::Ok)
+                    } else {
+                        wt == tx || self.is_less(wt, tx)
+                    };
+                    if after_writer {
+                        return Decision::accept();
+                    }
+                }
+                self.note_reject(tx, against);
+                Decision::Reject(Reject { tx, against, item, column: at })
+            }
+        }
+    }
+
+    /// Schedules a write of `item` by `tx` (the `write` arm of
+    /// `Scheduler`).
+    pub fn write(&self, tx: TxId, item: ItemId) -> Decision {
+        self.ensure_tx(tx);
+        let mut s = lock(self.shard_of(item));
+        let rt = s.rt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+        let wt = s.wt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+        let (larger, smaller) = self.pick(&s, item);
+        match self.order_after_holders(tx, larger, smaller) {
+            Ok(()) => {
+                self.set_wt_locked(&mut s, item, tx); // line 12
+                Decision::accept()
+            }
+            Err((against, at)) => {
+                // Thomas write rule (III-D-6c): if the blocked writer sits
+                // between all readers and the newer writer, ignore the
+                // write. When the blocker is the writer and the reader was
+                // the larger holder, Set(rt, tx) already succeeded above.
+                if self.opts.thomas_write_rule && against == wt && rt != wt {
+                    let after_reader =
+                        larger == rt || matches!(self.set_less(rt, tx), SetOutcome::Ok);
+                    if after_reader {
+                        return Decision::Accept { ignored: vec![item] };
+                    }
+                }
+                self.note_reject(tx, against);
+                Decision::Reject(Reject { tx, against, item, column: at })
+            }
+        }
+    }
+
+    /// Schedules a whole (possibly multi-item) operation. Items are
+    /// processed in ascending order (the access set is sorted), taking the
+    /// shards one at a time; the first rejection rejects the operation.
+    /// Element definitions made for earlier items remain — they are valid
+    /// constraints regardless, and the issuing transaction aborts anyway.
+    pub fn process(&self, op: &Operation) -> Decision {
+        let mut ignored = Vec::new();
+        for &item in op.items() {
+            let d = match op.kind {
+                OpKind::Read => self.read(op.tx, item),
+                OpKind::Write => self.write(op.tx, item),
+            };
+            match d {
+                Decision::Accept { ignored: ig } => ignored.extend(ig),
+                Decision::Reject(r) => return Decision::Reject(r),
+            }
+        }
+        Decision::Accept { ignored }
+    }
+
+    // ---- inspection ------------------------------------------------------
+
+    /// `TS(tx)` (a clone), if the transaction has a live row.
+    pub fn ts(&self, tx: TxId) -> Option<TsVec> {
+        let rows = self.rows_read();
+        rows.get(tx.index()).and_then(|r| r.as_ref()).map(|r| r.vec.clone())
+    }
+
+    /// Whether `TS(a) < TS(b)` under Definition 6.
+    pub fn is_less(&self, a: TxId, b: TxId) -> bool {
+        let rows = self.rows_read();
+        matches!(Self::compare_in(&rows, a, b), CmpResult::Less { .. })
+    }
+
+    /// `RT(item)`.
+    pub fn rt(&self, item: ItemId) -> TxId {
+        lock(self.shard_of(item)).rt.get(&item).copied().unwrap_or(TxId::VIRTUAL)
+    }
+
+    /// `WT(item)`.
+    pub fn wt(&self, item: ItemId) -> TxId {
+        lock(self.shard_of(item)).wt.get(&item).copied().unwrap_or(TxId::VIRTUAL)
+    }
+
+    /// Number of `RT`/`WT` entries naming `tx` (0 for `T₀` and reclaimed
+    /// rows — `T₀`'s references are not tracked; it is never reclaimed).
+    pub fn ref_count(&self, tx: TxId) -> u32 {
+        let rows = self.rows_read();
+        rows.get(tx.index()).and_then(|r| r.as_ref()).map_or(0, |r| r.refs.load(Ordering::Acquire))
+    }
+
+    /// Number of live vector rows (including `T₀`).
+    pub fn live_rows(&self) -> usize {
+        let rows = self.rows_read();
+        rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// A serial order consistent with the final vectors: the given
+    /// transactions (all of which must have live rows) sorted by the total
+    /// key `(defined < undefined, value)` per column — a linear extension
+    /// of the strict vector order, cf.
+    /// [`TimestampTable::serial_order`](crate::TimestampTable::serial_order).
+    pub fn serial_order(&self, txns: &[TxId]) -> Vec<TxId> {
+        let rows = self.rows_read();
+        let mut out = txns.to_vec();
+        let k = self.opts.k;
+        let key_at = |t: TxId, m: usize| match Self::vec_in(&rows, t).get(m) {
+            Some(v) => (0u8, v),
+            None => (1u8, 0),
+        };
+        out.sort_by(|&a, &b| (0..k).map(|m| key_at(a, m)).cmp((0..k).map(|m| key_at(b, m))));
+        debug_assert!(
+            out.iter().enumerate().all(|(p, &a)| {
+                out[p + 1..]
+                    .iter()
+                    .all(|&b| !Self::vec_in(&rows, b).is_less(Self::vec_in(&rows, a)))
+            }),
+            "sorted order contradicts the strict vector order"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use mdts_model::{Log, MultiStepConfig};
+
+    use super::*;
+    use crate::mtk::MtScheduler;
+
+    #[test]
+    fn first_op_defines_first_element() {
+        let s = SharedMtScheduler::with_k(2);
+        assert!(s.read(TxId(1), ItemId(0)).is_accept());
+        assert_eq!(s.ts(TxId(1)).unwrap().to_string(), "<1,*>");
+        assert_eq!(s.rt(ItemId(0)), TxId(1));
+    }
+
+    #[test]
+    fn conflicting_write_after_later_writer_rejected() {
+        let s = SharedMtScheduler::with_k(2);
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        let d = s.write(TxId(1), ItemId(0));
+        assert_eq!(
+            d,
+            Decision::Reject(Reject { tx: TxId(1), against: TxId(2), item: ItemId(0), column: 0 })
+        );
+    }
+
+    /// Lines 9–10: a read refused against a later reader proceeds when
+    /// already ordered after the latest writer — without becoming `RT`.
+    #[test]
+    fn reader_rule_lets_read_slip_before_later_reader() {
+        let run = |reader_rule: bool| {
+            let opts = MtOptions { reader_rule, ..MtOptions::new(2) };
+            let s = SharedMtScheduler::new(opts);
+            let (x, y) = (ItemId(0), ItemId(1));
+            // Pre-order T1 < T2 < T3 on y.
+            assert!(s.write(TxId(1), y).is_accept());
+            assert!(s.write(TxId(2), y).is_accept());
+            assert!(s.write(TxId(3), y).is_accept());
+            // x: WT = T1, RT = T3.
+            assert!(s.write(TxId(1), x).is_accept());
+            assert!(s.read(TxId(3), x).is_accept());
+            (s.read(TxId(2), x), s.rt(x))
+        };
+        let (d, rt) = run(true);
+        assert_eq!(d, Decision::accept(), "ordered after WT=T1, slips before RT=T3");
+        assert_eq!(rt, TxId(3), "the slipped read must not displace RT");
+        let (d, _) = run(false);
+        assert!(!d.is_accept(), "without lines 9-10 the read is rejected");
+    }
+
+    /// III-D-6c: a write ordered after all readers but before the newer
+    /// writer is ignored, not aborted.
+    #[test]
+    fn thomas_write_rule_ignores_obsolete_write() {
+        let run = |thomas: bool| {
+            let opts = MtOptions { thomas_write_rule: thomas, ..MtOptions::new(2) };
+            let s = SharedMtScheduler::new(opts);
+            let (x, y) = (ItemId(0), ItemId(1));
+            assert!(s.write(TxId(1), y).is_accept());
+            assert!(s.write(TxId(2), y).is_accept()); // T1 < T2
+            assert!(s.write(TxId(2), x).is_accept()); // WT(x) = T2
+            (s.write(TxId(1), x), s.wt(x))
+        };
+        let (d, wt) = run(true);
+        assert_eq!(d, Decision::Accept { ignored: vec![ItemId(0)] });
+        assert_eq!(wt, TxId(2), "the ignored write must not displace WT");
+        let (d, _) = run(false);
+        assert!(!d.is_accept());
+    }
+
+    /// III-D-4: a rejected transaction restarts above its blocker's first
+    /// element and cannot hit the same refusal again.
+    #[test]
+    fn starvation_flush_restarts_above_blocker() {
+        let opts = MtOptions { starvation_flush: true, ..MtOptions::new(2) };
+        let s = SharedMtScheduler::new(opts);
+        let (x, y) = (ItemId(0), ItemId(1));
+        assert!(s.write(TxId(2), y).is_accept()); // TS(2) = <1,*>
+        assert!(s.write(TxId(3), y).is_accept()); // TS(3) = <2,*>
+        assert!(s.write(TxId(3), x).is_accept()); // WT(x) = T3
+        assert!(!s.write(TxId(2), x).is_accept()); // refused against T3
+        s.abort(TxId(2));
+        s.begin_restarted(TxId(4), TxId(2));
+        assert_eq!(s.ts(TxId(4)).unwrap(), TsVec::from_elems(&[Some(3), None]));
+        assert!(s.write(TxId(4), x).is_accept(), "the restart clears the blocker");
+    }
+
+    /// III-D-6b: commit alone cannot reclaim a row that is still `RT`/`WT`
+    /// somewhere; the displacement drops it in O(1).
+    #[test]
+    fn commit_reclaims_on_displacement() {
+        let s = SharedMtScheduler::with_k(2);
+        let x = ItemId(0);
+        assert!(s.write(TxId(1), x).is_accept());
+        assert_eq!(s.ref_count(TxId(1)), 1);
+        assert!(!s.commit(TxId(1)), "still WT(x): not reclaimable yet");
+        assert!(s.ts(TxId(1)).is_some());
+        assert!(s.write(TxId(2), x).is_accept()); // displaces WT(x)
+        assert_eq!(s.ts(TxId(1)), None, "displacement reclaimed the row");
+        // An unreferenced committer reclaims immediately.
+        s.begin(TxId(3));
+        assert!(s.commit(TxId(3)));
+        assert_eq!(s.ts(TxId(3)), None);
+    }
+
+    fn run_both(log: &Log, opts: MtOptions) {
+        let mut seq = MtScheduler::new(opts);
+        let shr = SharedMtScheduler::new(opts);
+        for (pos, op) in log.ops().iter().enumerate() {
+            let d = seq.process(op);
+            let ds = shr.process(op);
+            assert_eq!(d, ds, "decision differs at op {pos} of {log}");
+            if !d.is_accept() {
+                break;
+            }
+        }
+        // Same decisions must leave byte-identical vectors behind.
+        for tx in log.transactions() {
+            assert_eq!(seq.table().ts(tx).cloned(), shr.ts(tx), "vectors differ for {tx} on {log}");
+        }
+    }
+
+    fn arb_log() -> impl Strategy<Value = Log> {
+        (2usize..7, 2usize..8, 0.2f64..0.8, any::<u64>()).prop_map(
+            |(n_txns, n_items, p_write, seed)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                MultiStepConfig {
+                    n_txns,
+                    n_items,
+                    p_write,
+                    min_ops: 1,
+                    max_ops: 4,
+                    ..Default::default()
+                }
+                .generate(&mut rng)
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Driven single-threaded, the concurrent scheduler is
+        /// operation-for-operation identical to Algorithm 1's sequential
+        /// implementation — same decisions, same final vectors.
+        #[test]
+        fn sequential_equivalence(log in arb_log(), k in 1usize..6) {
+            run_both(&log, MtOptions::new(k));
+        }
+
+        /// ... with the refinement options on as well.
+        #[test]
+        fn sequential_equivalence_with_refinements(log in arb_log(), k in 2usize..5) {
+            let opts = MtOptions {
+                relaxed_reader_rule: true,
+                thomas_write_rule: true,
+                starvation_flush: true,
+                ..MtOptions::new(k)
+            };
+            run_both(&log, opts);
+        }
+    }
+
+    /// Disjoint working sets scale without interference: every operation
+    /// accepts, and the k-th-column values drawn concurrently stay
+    /// distinct.
+    #[test]
+    fn concurrent_disjoint_transactions_all_accept() {
+        const THREADS: u32 = 8;
+        const TXNS_PER_THREAD: u32 = 50;
+        let s = SharedMtScheduler::with_k(3);
+        let rejected = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                let rejected = &rejected;
+                scope.spawn(move || {
+                    for n in 0..TXNS_PER_THREAD {
+                        let tx = TxId(1 + t * TXNS_PER_THREAD + n);
+                        let item = ItemId(t); // one private item per thread
+                        s.begin(tx);
+                        let ok = s.read(tx, item).is_accept() && s.write(tx, item).is_accept();
+                        if ok {
+                            s.commit(tx);
+                        } else {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            s.abort(tx);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(rejected.load(Ordering::Relaxed), 0, "disjoint items never conflict");
+        // Each item's final RT/WT pin at most two rows per thread; all
+        // other committed rows were reclaimed on displacement.
+        assert!(
+            s.live_rows() <= 1 + 2 * THREADS as usize,
+            "reclamation fell behind: {} live rows",
+            s.live_rows()
+        );
+    }
+
+    /// Contended smoke test: threads hammer a tiny hot set; whatever
+    /// commits must leave mutually consistent vectors (the debug verify in
+    /// `serial_order` cross-checks the linear extension quadratically).
+    #[test]
+    fn concurrent_hotspot_is_consistent() {
+        const THREADS: u32 = 8;
+        const TXNS_PER_THREAD: u32 = 40;
+        let s = SharedMtScheduler::with_shards(MtOptions::new(4), 4);
+        let committed = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                let committed = &committed;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE + t as u64);
+                    for n in 0..TXNS_PER_THREAD {
+                        let tx = TxId(1 + t * TXNS_PER_THREAD + n);
+                        s.begin(tx);
+                        let mut ok = true;
+                        for _ in 0..3 {
+                            let item = ItemId(rng.gen_range(0u32..3));
+                            let d = if rng.gen_bool(0.5) {
+                                s.read(tx, item)
+                            } else {
+                                s.write(tx, item)
+                            };
+                            if !d.is_accept() {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            lock(committed).push(tx);
+                        }
+                    }
+                });
+            }
+        });
+        // Commit nothing until the end so every vector stays live for the
+        // final cross-check; then the sort's debug_assert verifies no pair
+        // contradicts the strict order.
+        let committed = lock(&committed);
+        assert!(!committed.is_empty(), "some transactions must get through");
+        let order = s.serial_order(&committed);
+        assert_eq!(order.len(), committed.len());
+        for &tx in committed.iter() {
+            s.commit(tx);
+        }
+    }
+
+    /// Recomputes what the O(#items) reclamation scan would: for every
+    /// transaction, the number of `RT`/`WT` entries naming it.
+    fn scan_refs(s: &SharedMtScheduler, items: &[ItemId]) -> HashMap<TxId, u32> {
+        let mut counts = HashMap::new();
+        for &item in items {
+            for holder in [s.rt(item), s.wt(item)] {
+                if holder != TxId::VIRTUAL {
+                    *counts.entry(holder).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The O(1) refcount invariants, checkable at any quiescent point:
+    /// the maintained counts equal the scan, every `RT`/`WT` entry names
+    /// a live row, and every finished unreferenced row is reclaimed.
+    fn check_reclaim_invariants(
+        s: &SharedMtScheduler,
+        txns: &[TxId],
+        items: &[ItemId],
+        finished: &std::collections::HashSet<TxId>,
+    ) {
+        let scan = scan_refs(s, items);
+        for (&tx, &n) in &scan {
+            assert!(s.ts(tx).is_some(), "{tx} is RT/WT of something but has no row");
+            assert_eq!(s.ref_count(tx), n, "refcount of {tx} diverged from the scan");
+        }
+        for &tx in txns {
+            if !scan.contains_key(&tx) {
+                assert_eq!(s.ref_count(tx), 0, "{tx} counts references the scan cannot see");
+                if finished.contains(&tx) {
+                    assert_eq!(s.ts(tx), None, "finished unreferenced {tx} was not reclaimed");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// III-D-6b: after *every* step of a random schedule with random
+        /// interleaved commits and aborts, the O(1) refcounts agree with
+        /// the O(#items) scan they replaced, and rows are reclaimed
+        /// exactly when finished and unreferenced.
+        #[test]
+        fn refcount_reclaim_matches_scan(log in arb_log(), k in 1usize..5, seed in any::<u64>()) {
+            let opts = MtOptions {
+                thomas_write_rule: true,
+                starvation_flush: true,
+                ..MtOptions::new(k)
+            };
+            let s = SharedMtScheduler::with_shards(opts, 2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let txns = log.transactions();
+            let items: Vec<ItemId> = {
+                let mut v: Vec<ItemId> =
+                    log.ops().iter().flat_map(|op| op.items().iter().copied()).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let mut dead = std::collections::HashSet::new();
+            let mut finished = std::collections::HashSet::new();
+            for op in log.ops() {
+                if dead.contains(&op.tx) {
+                    continue;
+                }
+                if s.process(op).is_accept() {
+                    if rng.gen_bool(0.2) {
+                        s.commit(op.tx);
+                        dead.insert(op.tx);
+                        finished.insert(op.tx);
+                    }
+                } else {
+                    s.abort(op.tx);
+                    dead.insert(op.tx);
+                    finished.insert(op.tx);
+                }
+                check_reclaim_invariants(&s, &txns, &items, &finished);
+            }
+            for &tx in &txns {
+                if !dead.contains(&tx) {
+                    if rng.gen_bool(0.5) {
+                        s.commit(tx);
+                    } else {
+                        s.abort(tx);
+                    }
+                    finished.insert(tx);
+                    check_reclaim_invariants(&s, &txns, &items, &finished);
+                }
+            }
+            // Everything is finished: the live rows are T₀ plus exactly
+            // the rows still pinned by an RT/WT reference.
+            let pinned = scan_refs(&s, &items).len();
+            prop_assert_eq!(s.live_rows(), 1 + pinned, "reclamation left orphan rows behind");
+        }
+    }
+}

@@ -23,6 +23,11 @@ pub struct TimestampTable {
     rt: Vec<TxId>,
     /// `WT(x)` per item id.
     wt: Vec<TxId>,
+    /// Per-transaction count of `RT`/`WT` entries naming it, maintained by
+    /// [`TimestampTable::set_rt`]/[`TimestampTable::set_wt`] — makes the
+    /// reclamation check of Section III-D-6b O(1) instead of a scan over
+    /// every item.
+    refs: Vec<u32>,
     counters: KthCounters,
 }
 
@@ -37,6 +42,7 @@ impl TimestampTable {
             vectors: vec![Some(TsVec::origin(k))],
             rt: Vec::new(),
             wt: Vec::new(),
+            refs: Vec::new(),
             counters: KthCounters::new(),
         }
     }
@@ -115,9 +121,23 @@ impl TimestampTable {
     fn ensure_item(&mut self, item: ItemId) {
         let idx = item.index();
         if idx >= self.rt.len() {
+            // Every new item starts with RT = WT = T₀ (Algorithm 1 line 3),
+            // so T₀ gains two references per item.
+            let added = idx + 1 - self.rt.len();
             self.rt.resize(idx + 1, TxId::VIRTUAL);
             self.wt.resize(idx + 1, TxId::VIRTUAL);
+            self.bump_ref(TxId::VIRTUAL, 2 * added as i64);
         }
+    }
+
+    fn bump_ref(&mut self, tx: TxId, delta: i64) {
+        let idx = tx.index();
+        if idx >= self.refs.len() {
+            self.refs.resize(idx + 1, 0);
+        }
+        let r = i64::from(self.refs[idx]) + delta;
+        debug_assert!(r >= 0, "reference count for {tx} went negative");
+        self.refs[idx] = r as u32;
     }
 
     /// `RT(x)` — index of the most recent reader (Algorithm 1 line 3
@@ -134,13 +154,21 @@ impl TimestampTable {
     /// Sets `RT(x) := tx` (Algorithm 1 line 7).
     pub fn set_rt(&mut self, item: ItemId, tx: TxId) {
         self.ensure_item(item);
-        self.rt[item.index()] = tx;
+        let old = std::mem::replace(&mut self.rt[item.index()], tx);
+        if old != tx {
+            self.bump_ref(old, -1);
+            self.bump_ref(tx, 1);
+        }
     }
 
     /// Sets `WT(x) := tx` (Algorithm 1 line 12).
     pub fn set_wt(&mut self, item: ItemId, tx: TxId) {
         self.ensure_item(item);
-        self.wt[item.index()] = tx;
+        let old = std::mem::replace(&mut self.wt[item.index()], tx);
+        if old != tx {
+            self.bump_ref(old, -1);
+            self.bump_ref(tx, 1);
+        }
     }
 
     /// Definition 6 comparison of two transactions' vectors.
@@ -155,8 +183,27 @@ impl TimestampTable {
 
     /// Whether `tx` is currently the most recent reader or writer of any
     /// item — if so its vector must not be reclaimed (Section III-D-6b).
+    /// O(1) off the maintained reference count.
     pub fn is_referenced(&self, tx: TxId) -> bool {
+        let counted = self.refs.get(tx.index()).copied().unwrap_or(0) > 0;
+        debug_assert_eq!(
+            counted,
+            self.is_referenced_scan(tx),
+            "reference count for {tx} disagrees with the RT/WT scan"
+        );
+        counted
+    }
+
+    /// The original O(#items) reference check, scanning every `RT`/`WT`
+    /// entry. Kept as the oracle for the refcount (debug assertions and the
+    /// equivalence property test).
+    pub fn is_referenced_scan(&self, tx: TxId) -> bool {
         self.rt.iter().chain(self.wt.iter()).any(|&t| t == tx)
+    }
+
+    /// Reference count for `tx` (number of `RT`/`WT` entries naming it).
+    pub fn ref_count(&self, tx: TxId) -> u32 {
+        self.refs.get(tx.index()).copied().unwrap_or(0)
     }
 
     /// Storage reclamation (Section III-D-6b): drops the vector of a
@@ -195,31 +242,34 @@ impl TimestampTable {
     /// of the strict vector order (Theorem 2's witness). Returns `None` if
     /// some needed vector is missing.
     ///
-    /// The vector order is a partial order (Lemmas 1–2); unordered pairs
-    /// are free, so a simple insertion by pairwise comparison suffices.
+    /// One stable O(n log n · k) sort by a total-order key that linearly
+    /// extends the strict vector order: each element maps to
+    /// `(0, value)` when defined and `(1, 0)` when undefined, compared
+    /// lexicographically. If `TS(a) < TS(b)` strictly at deciding index `m`,
+    /// the two keys share the prefix before `m` (both-defined-equal there)
+    /// and differ at `m` with `(0, a_m) < (0, b_m)` — so every strictly
+    /// ordered pair sorts correctly, and unordered pairs land in key (or,
+    /// for equal keys, input) order, which the partial order leaves free.
     pub fn serial_order(&self, txns: &[TxId]) -> Option<Vec<TxId>> {
         for &t in txns {
             self.ts(t)?;
         }
-        // Insertion topological sort: place each transaction before the
-        // first already-placed transaction that must follow it. Correctness
-        // relies on transitivity of `<` (Lemma 1).
-        let mut order: Vec<TxId> = Vec::with_capacity(txns.len());
-        for &t in txns {
-            let pos = order
-                .iter()
-                .position(|&u| self.is_less(t, u))
-                .unwrap_or(order.len());
-            order.insert(pos, t);
-        }
-        // Verify (cheap, and guards against future regressions).
-        for a in 0..order.len() {
-            for b in (a + 1)..order.len() {
-                if self.is_less(order[b], order[a]) {
-                    return None;
-                }
+        let key_at = |t: TxId, m: usize| -> (u8, i64) {
+            match self.ts_expect(t).get(m) {
+                Some(v) => (0, v),
+                None => (1, 0),
             }
-        }
+        };
+        let mut order: Vec<TxId> = txns.to_vec();
+        order.sort_by(|&a, &b| {
+            (0..self.k).map(|m| key_at(a, m)).cmp((0..self.k).map(|m| key_at(b, m)))
+        });
+        // The O(n²) pairwise verification the sort replaced; debug-only.
+        debug_assert!(
+            (0..order.len())
+                .all(|a| { (a + 1..order.len()).all(|b| !self.is_less(order[b], order[a])) }),
+            "sorted order contradicts the strict vector order"
+        );
         Some(order)
     }
 }
@@ -297,6 +347,45 @@ mod tests {
         let order = t.serial_order(&[TxId(3), TxId(1), TxId(2)]).unwrap();
         assert_eq!(order[0], TxId(1), "T1 precedes both");
         assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn ref_counts_track_rt_wt_chains() {
+        let mut t = TimestampTable::new(2);
+        // Touching two new items references T₀ four times (RT+WT each).
+        t.set_rt(ItemId(0), TxId(1));
+        t.set_wt(ItemId(1), TxId(1));
+        assert_eq!(t.ref_count(TxId::VIRTUAL), 2, "T0 keeps WT(0) and RT(1)");
+        assert_eq!(t.ref_count(TxId(1)), 2);
+        assert!(t.is_referenced(TxId(1)));
+        // Re-assigning the same transaction is a no-op on the count.
+        t.set_rt(ItemId(0), TxId(1));
+        assert_eq!(t.ref_count(TxId(1)), 2);
+        // Displacement moves the reference.
+        t.set_rt(ItemId(0), TxId(2));
+        assert_eq!(t.ref_count(TxId(1)), 1);
+        assert_eq!(t.ref_count(TxId(2)), 1);
+        t.set_wt(ItemId(1), TxId(2));
+        assert_eq!(t.ref_count(TxId(1)), 0);
+        assert!(!t.is_referenced(TxId(1)));
+        // And agrees with the scan oracle throughout.
+        for tx in [TxId::VIRTUAL, TxId(1), TxId(2), TxId(3)] {
+            assert_eq!(t.is_referenced(tx), t.is_referenced_scan(tx));
+        }
+    }
+
+    #[test]
+    fn reclaim_uses_refcount_not_scan() {
+        // The same end state as reclaim_respects_references_and_t0, but
+        // verifying the refcount index directly drives the decision.
+        let mut t = TimestampTable::new(2);
+        t.ensure_tx(TxId(1));
+        t.set_rt(ItemId(0), TxId(1));
+        assert_eq!(t.ref_count(TxId(1)), 1);
+        assert!(!t.reclaim(TxId(1)));
+        t.set_rt(ItemId(0), TxId(2));
+        assert_eq!(t.ref_count(TxId(1)), 0);
+        assert!(t.reclaim(TxId(1)));
     }
 
     #[test]

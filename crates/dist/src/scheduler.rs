@@ -91,9 +91,7 @@ impl DmtScheduler {
         opts.record_events = true;
         DmtScheduler {
             inner: MtScheduler::new(opts),
-            site_counters: (0..n)
-                .map(|s| KthCounters::site_tagged(n as i64, s as i64))
-                .collect(),
+            site_counters: (0..n).map(|s| KthCounters::site_tagged(n as i64, s as i64)).collect(),
             topology: Topology::new(n),
             config,
             stats: DmtStats::default(),
@@ -139,9 +137,7 @@ impl DmtScheduler {
         for &obj in objs {
             if self.site_of_object(obj) == site {
                 self.stats.local_hits += 1;
-            } else if self.config.retain_locks
-                && self.last_locker.get(&obj) == Some(&site)
-            {
+            } else if self.config.retain_locks && self.last_locker.get(&obj) == Some(&site) {
                 self.stats.retained += 1;
             } else {
                 self.stats.remote_fetches += 1;
@@ -178,7 +174,9 @@ impl DmtScheduler {
     }
 
     fn maybe_sync(&mut self) {
-        if self.config.sync_interval == 0 || !self.stats.ops.is_multiple_of(self.config.sync_interval) {
+        if self.config.sync_interval == 0
+            || !self.stats.ops.is_multiple_of(self.config.sync_interval)
+        {
             return;
         }
         let global_u = self.site_counters.iter().map(|c| c.ucount()).max().expect("≥1 site");
@@ -206,8 +204,8 @@ impl DmtScheduler {
         };
         self.inner.table_mut().swap_counters(&mut self.site_counters[site as usize]);
 
-        let item_changed = self.inner.table().rt(item) != before_rt
-            || self.inner.table().wt(item) != before_wt;
+        let item_changed =
+            self.inner.table().rt(item) != before_rt || self.inner.table().wt(item) != before_wt;
         self.write_back(site, item_changed, item);
 
         self.stats.ops += 1;
@@ -268,10 +266,7 @@ mod tests {
     fn single_site_equals_centralized() {
         for seed in 0..150 {
             let log = random_log(seed);
-            let mut dmt = DmtScheduler::new(DmtConfig {
-                sync_interval: 0,
-                ..DmtConfig::new(3, 1)
-            });
+            let mut dmt = DmtScheduler::new(DmtConfig { sync_interval: 0, ..DmtConfig::new(3, 1) });
             let mut central = MtScheduler::with_k(3);
             let d = dmt.recognize(&log);
             let c = recognize(&mut central, &log);
@@ -351,9 +346,16 @@ mod tests {
     #[test]
     fn retention_saves_messages() {
         let log = random_log(11);
-        let mut with = DmtScheduler::new(DmtConfig { retain_locks: true, sync_interval: 0, ..DmtConfig::new(2, 3) });
-        let mut without =
-            DmtScheduler::new(DmtConfig { retain_locks: false, sync_interval: 0, ..DmtConfig::new(2, 3) });
+        let mut with = DmtScheduler::new(DmtConfig {
+            retain_locks: true,
+            sync_interval: 0,
+            ..DmtConfig::new(2, 3)
+        });
+        let mut without = DmtScheduler::new(DmtConfig {
+            retain_locks: false,
+            sync_interval: 0,
+            ..DmtConfig::new(2, 3)
+        });
         let _ = with.recognize(&log);
         let _ = without.recognize(&log);
         assert!(with.stats().messages <= without.stats().messages);

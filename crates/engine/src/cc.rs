@@ -5,11 +5,14 @@
 //! visibility is the engine's business, and the protocols validate the
 //! deferred writes in [`ConcurrencyControl::validate_commit`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use mdts_baselines::basic_to::ToVerdict;
 use mdts_baselines::{
     BasicTimestampOrdering, IntervalScheduler, LockManager, LockMode, LockOutcome, Occ,
 };
-use mdts_baselines::basic_to::ToVerdict;
-use mdts_core::{Decision, MtOptions, MtScheduler, NaiveComposite};
+use mdts_core::{Decision, MtOptions, MtScheduler, NaiveComposite, SharedMtScheduler};
 use mdts_model::{ItemId, TxId};
 
 /// Verdict for one access.
@@ -481,5 +484,223 @@ impl ConcurrencyControl for IntervalCc {
     fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
         self.sched.finish(tx);
         Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent protocols
+// ---------------------------------------------------------------------
+
+/// A concurrency-control protocol safe to drive from many threads at
+/// once — the sharded engine's native interface.
+///
+/// Same contract as [`ConcurrencyControl`], but through `&self`:
+/// implementations synchronize internally (or wrap a sequential protocol
+/// in one mutex, see [`SerializedCc`]). The engine calls `read` while
+/// holding the item's *store* shard lock and `validate_commit` while
+/// holding every store shard of the write set, so a grant and the value
+/// access it authorizes are atomic; implementations must therefore never
+/// acquire store shards themselves.
+pub trait ConcurrentCc: Send + Sync {
+    /// Protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// A new transaction begins.
+    fn begin(&self, tx: TxId);
+
+    /// A restart of `aborted` begins as `new_tx`.
+    fn begin_restarted(&self, new_tx: TxId, aborted: TxId) {
+        let _ = aborted;
+        self.begin(new_tx);
+    }
+
+    /// Client reads `item`.
+    fn read(&self, tx: TxId, item: ItemId) -> Verdict;
+
+    /// Client announces a write of `item` (value stays in the private
+    /// workspace until commit).
+    fn write(&self, tx: TxId, item: ItemId) -> Verdict;
+
+    /// Validate the deferred writes and decide the commit.
+    fn validate_commit(&self, tx: TxId, writes: &[ItemId]) -> CommitDecision;
+
+    /// The transaction committed; release its resources.
+    fn committed(&self, tx: TxId);
+
+    /// The transaction aborted; release its resources.
+    fn aborted(&self, tx: TxId);
+
+    /// Abort-all epoch counter. Protocols that can demand an abort of
+    /// every active transaction (the composite's all-subprotocols-stopped
+    /// rule) bump this *before* returning the fencing verdict, inside
+    /// their own critical section — so any later protocol call by another
+    /// thread observes the new epoch. A transaction that was granted an
+    /// access or a commit re-checks the epoch it started under and aborts
+    /// on mismatch, which closes the race between a reset and in-flight
+    /// grants from the fresh state.
+    fn epoch(&self) -> u64 {
+        0
+    }
+}
+
+/// Adapter running any sequential [`ConcurrencyControl`] under one mutex
+/// — the drop-in way to use the blocking and optimistic baselines (2PL,
+/// TO(1), OCC, intervals, the composite) in the sharded engine. The
+/// protocol decision itself is serialized; store access, write buffering
+/// and waiting all happen outside the mutex.
+pub struct SerializedCc {
+    name: &'static str,
+    epoch: AtomicU64,
+    inner: Mutex<Box<dyn ConcurrencyControl>>,
+}
+
+impl SerializedCc {
+    /// Wraps a sequential protocol.
+    pub fn new(cc: Box<dyn ConcurrencyControl>) -> Self {
+        SerializedCc { name: cc.name(), epoch: AtomicU64::new(0), inner: Mutex::new(cc) }
+    }
+
+    fn with_inner<T>(&self, f: impl FnOnce(&mut dyn ConcurrencyControl) -> T) -> T {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(g.as_mut())
+    }
+}
+
+impl ConcurrentCc for SerializedCc {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn begin(&self, tx: TxId) {
+        self.with_inner(|cc| cc.begin(tx));
+    }
+
+    fn begin_restarted(&self, new_tx: TxId, aborted: TxId) {
+        self.with_inner(|cc| cc.begin_restarted(new_tx, aborted));
+    }
+
+    fn read(&self, tx: TxId, item: ItemId) -> Verdict {
+        self.with_inner(|cc| {
+            let v = cc.read(tx, item);
+            if v == Verdict::AbortAll {
+                // Bumped while still inside the mutex: see ConcurrentCc::epoch.
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+            v
+        })
+    }
+
+    fn write(&self, tx: TxId, item: ItemId) -> Verdict {
+        self.with_inner(|cc| {
+            let v = cc.write(tx, item);
+            if v == Verdict::AbortAll {
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+            v
+        })
+    }
+
+    fn validate_commit(&self, tx: TxId, writes: &[ItemId]) -> CommitDecision {
+        self.with_inner(|cc| {
+            let d = cc.validate_commit(tx, writes);
+            if d == CommitDecision::AbortAll {
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+            d
+        })
+    }
+
+    fn committed(&self, tx: TxId) {
+        self.with_inner(|cc| cc.committed(tx));
+    }
+
+    fn aborted(&self, tx: TxId) {
+        self.with_inner(|cc| cc.aborted(tx));
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded MT(k)
+// ---------------------------------------------------------------------
+
+/// MT(k) over the concurrent [`SharedMtScheduler`]: item-sharded
+/// `RT`/`WT`, read-mostly vector rows, lock-free k-th-column counters and
+/// O(1) refcount reclamation — no mutex spans two different items'
+/// decisions. Deferred-write discipline as in [`MtCc`]: reads validate
+/// when issued, writes at commit (VI-C-2).
+pub struct ShardedMtCc {
+    sched: SharedMtScheduler,
+}
+
+impl ShardedMtCc {
+    /// Sharded MT(k) with default Algorithm 1 options plus the starvation
+    /// fix (engines restart transactions, so the fix is the sensible
+    /// default).
+    pub fn new(k: usize) -> Self {
+        ShardedMtCc::with_options(MtOptions { starvation_flush: true, ..MtOptions::new(k) })
+    }
+
+    /// Sharded MT(k) with explicit options (hot-item encoding and the
+    /// event journal are not supported by the concurrent scheduler).
+    pub fn with_options(opts: MtOptions) -> Self {
+        ShardedMtCc { sched: SharedMtScheduler::new(opts) }
+    }
+
+    /// Explicit options and item-shard count.
+    pub fn with_shards(opts: MtOptions, shards: usize) -> Self {
+        ShardedMtCc { sched: SharedMtScheduler::with_shards(opts, shards) }
+    }
+
+    /// The underlying scheduler (read access for tests).
+    pub fn scheduler(&self) -> &SharedMtScheduler {
+        &self.sched
+    }
+}
+
+impl ConcurrentCc for ShardedMtCc {
+    fn name(&self) -> &'static str {
+        "MT(k) sharded"
+    }
+
+    fn begin(&self, tx: TxId) {
+        self.sched.begin(tx);
+    }
+
+    fn begin_restarted(&self, new_tx: TxId, aborted: TxId) {
+        self.sched.begin_restarted(new_tx, aborted);
+    }
+
+    fn read(&self, tx: TxId, item: ItemId) -> Verdict {
+        match self.sched.read(tx, item) {
+            Decision::Accept { .. } => Verdict::Granted,
+            Decision::Reject(_) => Verdict::Abort,
+        }
+    }
+
+    fn write(&self, _tx: TxId, _item: ItemId) -> Verdict {
+        Verdict::Granted // deferred: validated at commit
+    }
+
+    fn validate_commit(&self, tx: TxId, writes: &[ItemId]) -> CommitDecision {
+        let mut skip = Vec::new();
+        for &item in writes {
+            match self.sched.write(tx, item) {
+                Decision::Accept { ignored } => skip.extend(ignored),
+                Decision::Reject(_) => return CommitDecision::Abort,
+            }
+        }
+        CommitDecision::Commit { skip }
+    }
+
+    fn committed(&self, tx: TxId) {
+        self.sched.commit(tx);
+    }
+
+    fn aborted(&self, tx: TxId) {
+        self.sched.abort(tx);
     }
 }

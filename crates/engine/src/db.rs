@@ -1,21 +1,38 @@
-//! The database: store + write buffers + a pluggable protocol behind one
-//! lock, with a retrying transaction driver.
+//! The database: sharded store + transaction-local write buffers + a
+//! concurrent protocol, with a retrying transaction driver.
 //!
-//! Concurrency model: protocol state and store live in a single
-//! `parking_lot::Mutex`; client threads hold it only for the duration of
-//! one protocol decision. Blocking protocols (2PL) park on a condvar and
-//! are woken whenever locks are released. This is the classical
-//! "scheduler as a critical section" structure — the protocols themselves
-//! are the object of study, not lock-free engineering.
+//! Concurrency model — no global mutex:
+//!
+//! * **Values** live in a [`ShardedStore`]: items striped over
+//!   independently locked shards. A read holds its item's shard across
+//!   the protocol grant *and* the value fetch; a commit holds every shard
+//!   of its write set (ascending, deadlock-free) across validation *and*
+//!   apply. Grants and the data accesses they authorize are therefore
+//!   atomic, and a commit becomes visible all-or-nothing — but
+//!   transactions touching disjoint shards never serialize on the engine.
+//! * **Write buffers are transaction-local** (the deferred-write scheme
+//!   of VI-C-2): each [`Tx`] carries its own workspace, so buffering a
+//!   write touches no shared state at all.
+//! * **Protocol state** is behind [`ConcurrentCc`]: natively concurrent
+//!   for the sharded MT(k) ([`crate::ShardedMtCc`]), or a sequential
+//!   protocol wrapped in one mutex ([`SerializedCc`]) — the protocol
+//!   decision is then serialized, but store access, buffering and waiting
+//!   still are not.
+//! * **Blocking** (2PL) parks on a wake-sequence condvar: waiters sample
+//!   the sequence before asking for the lock and sleep only while it is
+//!   unchanged, so a release between decision and sleep is never lost.
+//! * **Ids, epochs and the logical clock** are plain atomics.
+//!
+//! Lock order: store shards (ascending) → protocol internals → wake
+//! sequence. Nothing sleeps while holding a store shard.
 
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use mdts_model::{ItemId, TxId};
-use mdts_storage::{Store, WriteBuffer};
+use mdts_storage::{ShardedStore, Store, DEFAULT_STORE_SHARDS};
 
-use crate::cc::{CommitDecision, ConcurrencyControl, Verdict};
+use crate::cc::{CommitDecision, ConcurrencyControl, ConcurrentCc, SerializedCc, Verdict};
 use crate::metrics::{Metrics, MetricsSnapshot};
 
 /// Terminal failure of [`Database::run`].
@@ -40,17 +57,64 @@ impl std::error::Error for TxError {}
 #[derive(Debug)]
 pub struct Aborted;
 
-struct State<V> {
-    store: Store<V>,
-    buffers: WriteBuffer<V>,
-    cc: Box<dyn ConcurrencyControl>,
-    next_tx: u32,
-    epoch: u64,
+/// Wake-sequence eventcount: blocked transactions wait for the sequence
+/// to move past the value they sampled *before* their failed attempt, so
+/// a release landing between decision and sleep is never lost.
+///
+/// The fast paths are lock-free — [`WakeSeq::current`] is one atomic load
+/// (taken before every protocol call) and [`WakeSeq::bump`] is an atomic
+/// increment plus a waiter check (taken on every release); the condvar's
+/// mutex is touched only when somebody actually blocks. The protocols
+/// that never block therefore never contend here.
+///
+/// Lost-wakeup argument (all accesses `SeqCst`): a waiter publishes
+/// itself in `waiters` *before* re-reading `seq` under the gate; a bumper
+/// increments `seq` *before* reading `waiters`. If the waiter saw the old
+/// `seq`, its `waiters` increment precedes the bumper's read, so the
+/// bumper sees it, takes the gate (serializing with the waiter being
+/// either not-yet-asleep — then the waiter re-reads the new `seq` — or
+/// parked in `wait`) and notifies.
+#[derive(Default)]
+struct WakeSeq {
+    seq: AtomicU64,
+    waiters: AtomicU64,
+    gate: Mutex<()>,
+    cond: Condvar,
+}
+
+impl WakeSeq {
+    fn current(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    fn bump(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait_past(&self, seen: u64) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        while self.seq.load(Ordering::SeqCst) == seen {
+            g = self.cond.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 struct Shared<V> {
-    state: Mutex<State<V>>,
-    cond: Condvar,
+    store: ShardedStore<V>,
+    cc: Box<dyn ConcurrentCc>,
+    next_tx: AtomicU32,
+    /// Logical clock: one tick per granted access and per applied commit.
+    /// Commit latency is measured in these ticks (deterministic per
+    /// interleaving, no wall clock).
+    clock: AtomicU64,
+    wake: WakeSeq,
     metrics: Metrics,
     name: &'static str,
 }
@@ -67,24 +131,33 @@ impl<V> Clone for Database<V> {
 }
 
 impl<V: Clone + Send + 'static> Database<V> {
-    /// Empty database under the given protocol.
+    /// Empty database under a sequential protocol (wrapped in a
+    /// [`SerializedCc`]).
     pub fn new(cc: Box<dyn ConcurrencyControl>) -> Self {
         Database::with_store(cc, Store::new())
     }
 
-    /// Database with a pre-populated store.
+    /// Database with a pre-populated store, under a sequential protocol.
     pub fn with_store(cc: Box<dyn ConcurrencyControl>, store: Store<V>) -> Self {
+        Database::with_store_concurrent(Box::new(SerializedCc::new(cc)), store)
+    }
+
+    /// Empty database under a natively concurrent protocol.
+    pub fn new_concurrent(cc: Box<dyn ConcurrentCc>) -> Self {
+        Database::with_store_concurrent(cc, Store::new())
+    }
+
+    /// Database with a pre-populated store, under a natively concurrent
+    /// protocol.
+    pub fn with_store_concurrent(cc: Box<dyn ConcurrentCc>, store: Store<V>) -> Self {
         let name = cc.name();
         Database {
             shared: Arc::new(Shared {
-                state: Mutex::new(State {
-                    store,
-                    buffers: WriteBuffer::new(),
-                    cc,
-                    next_tx: 0,
-                    epoch: 0,
-                }),
-                cond: Condvar::new(),
+                store: ShardedStore::from_store(store, DEFAULT_STORE_SHARDS),
+                cc,
+                next_tx: AtomicU32::new(0),
+                clock: AtomicU64::new(0),
+                wake: WakeSeq::default(),
                 metrics: Metrics::default(),
                 name,
             }),
@@ -96,9 +169,11 @@ impl<V: Clone + Send + 'static> Database<V> {
         self.shared.name
     }
 
-    /// Current committed contents.
+    /// Current committed contents (per-shard consistent; run an auditing
+    /// transaction for a transactionally consistent view while writers
+    /// are active).
     pub fn snapshot(&self) -> std::collections::BTreeMap<ItemId, V> {
-        self.shared.state.lock().store.snapshot()
+        self.shared.store.snapshot()
     }
 
     /// Current counters.
@@ -114,29 +189,29 @@ impl<V: Clone + Send + 'static> Database<V> {
         max_restarts: usize,
         mut body: impl FnMut(&mut Tx<'_, V>) -> Result<T, Aborted>,
     ) -> Result<T, TxError> {
+        let shared = &*self.shared;
+        let start_tick = shared.clock.load(Ordering::Relaxed);
         let mut prev: Option<TxId> = None;
         for attempt in 0..=max_restarts {
-            let (id, epoch) = {
-                let mut st = self.shared.state.lock();
-                st.next_tx += 1;
-                let id = TxId(st.next_tx);
-                match prev {
-                    Some(p) => st.cc.begin_restarted(id, p),
-                    None => st.cc.begin(id),
-                }
-                (id, st.epoch)
-            };
-            let mut tx = Tx { shared: &self.shared, id, epoch };
+            let id = TxId(shared.next_tx.fetch_add(1, Ordering::Relaxed) + 1);
+            match prev {
+                Some(p) => shared.cc.begin_restarted(id, p),
+                None => shared.cc.begin(id),
+            }
+            let epoch = shared.cc.epoch();
+            let mut tx = Tx { shared, id, epoch, writes: Vec::new() };
             if let Ok(value) = body(&mut tx) {
                 if tx.commit() {
-                    Metrics::bump(&self.shared.metrics.commits);
+                    Metrics::bump(&shared.metrics.commits);
+                    let end_tick = shared.clock.load(Ordering::Relaxed);
+                    shared.metrics.latency.record(end_tick.saturating_sub(start_tick));
                     return Ok(value);
                 }
             }
             // The failing call already cleaned up this incarnation.
             prev = Some(id);
             if attempt < max_restarts {
-                Metrics::bump(&self.shared.metrics.restarts);
+                Metrics::bump(&shared.metrics.restarts);
                 std::thread::yield_now();
             }
         }
@@ -149,6 +224,9 @@ pub struct Tx<'a, V> {
     shared: &'a Shared<V>,
     id: TxId,
     epoch: u64,
+    /// Transaction-local deferred-write workspace (last write per item
+    /// wins); applied at commit, dropped on abort.
+    writes: Vec<(ItemId, V)>,
 }
 
 impl<V: Clone + Send + 'static> Tx<'_, V> {
@@ -157,72 +235,99 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
         self.id
     }
 
-    fn cleanup(&self, st: &mut MutexGuard<'_, State<V>>) {
-        st.buffers.discard(self.id);
-        let _woken = st.cc.aborted(self.id);
-        Metrics::bump(&self.shared.metrics.aborts);
-        self.shared.cond.notify_all();
+    fn tick(&self) {
+        self.shared.clock.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn epoch_ok(&self, st: &mut MutexGuard<'_, State<V>>) -> bool {
-        if st.epoch == self.epoch {
+    /// Abort bookkeeping for this incarnation. The workspace is
+    /// transaction-local, so dropping the handle discards it.
+    fn cleanup(&mut self) {
+        self.writes.clear();
+        self.shared.cc.aborted(self.id);
+        Metrics::bump(&self.shared.metrics.aborts);
+        self.shared.wake.bump();
+    }
+
+    /// Detects an abort-all epoch change since this incarnation began.
+    /// Called once per operation up front, and again after any grant —
+    /// the protocol bumps its epoch inside its own critical section, so a
+    /// grant obtained from post-reset protocol state is always detected
+    /// by the re-check.
+    fn epoch_ok(&mut self) -> bool {
+        if self.shared.cc.epoch() == self.epoch {
             return true;
         }
         Metrics::bump(&self.shared.metrics.epoch_aborts);
-        self.cleanup(st);
+        self.cleanup();
         false
-    }
-
-    fn abort_all(&self, st: &mut MutexGuard<'_, State<V>>) {
-        st.epoch += 1;
-        self.cleanup(st);
     }
 
     /// Reads an item (own uncommitted writes are visible; nobody else's
     /// are). `Ok(None)` means the item has never been written.
     pub fn read(&mut self, item: ItemId) -> Result<Option<V>, Aborted> {
-        let mut st = self.shared.state.lock();
         loop {
-            if !self.epoch_ok(&mut st) {
+            if !self.epoch_ok() {
                 return Err(Aborted);
             }
-            match st.cc.read(self.id, item) {
-                Verdict::Granted | Verdict::Ignored => {
+            let seen = self.shared.wake.current();
+            // Hold the item's store shard across grant + fetch: a
+            // concurrent commit of this item cannot apply in between, so
+            // the value read is exactly the one the grant authorized.
+            let verdict = {
+                let shard = self.shared.store.lock_shard(self.shared.store.shard_index(item));
+                let v = self.shared.cc.read(self.id, item);
+                if matches!(v, Verdict::Granted | Verdict::Ignored) {
+                    let stored = shard.get(&item).cloned();
+                    drop(shard);
+                    if !self.epoch_ok() {
+                        return Err(Aborted);
+                    }
                     Metrics::bump(&self.shared.metrics.reads);
-                    let value = st
-                        .buffers
-                        .own_read(self.id, item)
-                        .cloned()
-                        .or_else(|| st.store.get(item).cloned());
-                    return Ok(value);
+                    self.tick();
+                    let own =
+                        self.writes.iter().rev().find(|(i, _)| *i == item).map(|(_, v)| v.clone());
+                    return Ok(own.or(stored));
                 }
+                v
+            };
+            match verdict {
                 Verdict::Blocked => {
                     Metrics::bump(&self.shared.metrics.blocked_waits);
-                    self.shared.cond.wait(&mut st);
+                    self.shared.wake.wait_past(seen);
                 }
                 Verdict::Abort => {
-                    self.cleanup(&mut st);
+                    self.cleanup();
                     return Err(Aborted);
                 }
                 Verdict::AbortAll => {
-                    self.abort_all(&mut st);
+                    self.cleanup();
                     return Err(Aborted);
                 }
+                Verdict::Granted | Verdict::Ignored => unreachable!("handled under the shard"),
             }
         }
     }
 
     /// Writes an item into the private workspace (applied at commit).
     pub fn write(&mut self, item: ItemId, value: V) -> Result<(), Aborted> {
-        let mut st = self.shared.state.lock();
         loop {
-            if !self.epoch_ok(&mut st) {
+            if !self.epoch_ok() {
                 return Err(Aborted);
             }
-            match st.cc.write(self.id, item) {
+            let seen = self.shared.wake.current();
+            // No store access here — the value stays transaction-local
+            // until commit, so no shard lock is needed either.
+            match self.shared.cc.write(self.id, item) {
                 Verdict::Granted => {
+                    if !self.epoch_ok() {
+                        return Err(Aborted);
+                    }
                     Metrics::bump(&self.shared.metrics.writes);
-                    st.buffers.write(self.id, item, value);
+                    self.tick();
+                    match self.writes.iter_mut().find(|(i, _)| *i == item) {
+                        Some(slot) => slot.1 = value,
+                        None => self.writes.push((item, value)),
+                    }
                     return Ok(());
                 }
                 Verdict::Ignored => {
@@ -231,14 +336,14 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                 }
                 Verdict::Blocked => {
                     Metrics::bump(&self.shared.metrics.blocked_waits);
-                    self.shared.cond.wait(&mut st);
+                    self.shared.wake.wait_past(seen);
                 }
                 Verdict::Abort => {
-                    self.cleanup(&mut st);
+                    self.cleanup();
                     return Err(Aborted);
                 }
                 Verdict::AbortAll => {
-                    self.abort_all(&mut st);
+                    self.cleanup();
                     return Err(Aborted);
                 }
             }
@@ -248,29 +353,54 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
     /// Commit: validate deferred writes, apply, release. Returns whether
     /// the transaction committed.
     fn commit(&mut self) -> bool {
-        let mut st = self.shared.state.lock();
-        if !self.epoch_ok(&mut st) {
+        if !self.epoch_ok() {
             return false;
         }
-        let writes = st.buffers.write_set(self.id);
-        match st.cc.validate_commit(self.id, &writes) {
+        // Deterministic order for validation and apply, and the ascending
+        // shard order the deadlock-freedom argument needs.
+        self.writes.sort_by_key(|(item, _)| *item);
+        let items: Vec<ItemId> = self.writes.iter().map(|(item, _)| *item).collect();
+        let mut shard_idxs: Vec<usize> =
+            items.iter().map(|&i| self.shared.store.shard_index(i)).collect();
+        shard_idxs.sort_unstable();
+        shard_idxs.dedup();
+        // Hold every write-set shard across validate + apply: the commit
+        // is atomic against any reader (readers hold their item's shard
+        // across grant + fetch) — visible entirely or not at all.
+        let mut guards: Vec<_> =
+            shard_idxs.iter().map(|&i| self.shared.store.lock_shard(i)).collect();
+        match self.shared.cc.validate_commit(self.id, &items) {
             CommitDecision::Commit { skip } => {
-                for item in skip {
-                    Metrics::bump(&self.shared.metrics.ignored_writes);
-                    st.buffers.discard_item(self.id, item);
+                if self.shared.cc.epoch() != self.epoch {
+                    drop(guards);
+                    Metrics::bump(&self.shared.metrics.epoch_aborts);
+                    self.cleanup();
+                    return false;
                 }
-                let State { store, buffers, .. } = &mut *st;
-                buffers.apply(self.id, store);
-                let _woken = st.cc.committed(self.id);
-                self.shared.cond.notify_all();
+                for (item, value) in self.writes.drain(..) {
+                    if skip.contains(&item) {
+                        Metrics::bump(&self.shared.metrics.ignored_writes);
+                        continue;
+                    }
+                    let slot = shard_idxs
+                        .binary_search(&self.shared.store.shard_index(item))
+                        .expect("shard of a write-set item was locked");
+                    guards[slot].insert(item, value);
+                }
+                self.tick();
+                drop(guards);
+                self.shared.cc.committed(self.id);
+                self.shared.wake.bump();
                 true
             }
             CommitDecision::Abort => {
-                self.cleanup(&mut st);
+                drop(guards);
+                self.cleanup();
                 false
             }
             CommitDecision::AbortAll => {
-                self.abort_all(&mut st);
+                drop(guards);
+                self.cleanup();
                 false
             }
         }

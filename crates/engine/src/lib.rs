@@ -7,11 +7,17 @@
 //! with fresh ids.
 //!
 //! Writes are **deferred** throughout, the paper's preferred scheme
-//! (VI-C-2): every write goes to a private workspace
-//! ([`mdts_storage::WriteBuffer`]), is validated by the protocol at commit
-//! and only then applied. Consequently no transaction ever observes
-//! uncommitted data — there are no dirty reads, no cascading aborts, and a
-//! committed transaction can never be undone.
+//! (VI-C-2): every write goes to a transaction-private workspace, is
+//! validated by the protocol at commit and only then applied.
+//! Consequently no transaction ever observes uncommitted data — there are
+//! no dirty reads, no cascading aborts, and a committed transaction can
+//! never be undone.
+//!
+//! The engine itself has **no global mutex**: values live in a
+//! [`mdts_storage::ShardedStore`], write buffers are transaction-local,
+//! and the protocol sits behind the [`ConcurrentCc`] interface — natively
+//! concurrent for [`ShardedMtCc`], or any sequential
+//! [`ConcurrencyControl`] wrapped in a [`SerializedCc`] mutex.
 //!
 //! Protocols available as [`ConcurrencyControl`] implementations:
 //!
@@ -23,6 +29,12 @@
 //! | [`BasicToCc`] | single-valued timestamp ordering |
 //! | [`OccCc`] | optimistic with backward validation |
 //! | [`IntervalCc`] | Bayer-style dynamic timestamp intervals |
+//!
+//! …and natively concurrent, as [`ConcurrentCc`]:
+//!
+//! | adapter | protocol |
+//! |---|---|
+//! | [`ShardedMtCc`] | MT(k) on [`mdts_core::SharedMtScheduler`] — item-sharded timestamp table, O(1) reclamation |
 
 pub mod cc;
 pub mod db;
@@ -30,12 +42,12 @@ pub mod metrics;
 pub mod workload;
 
 pub use cc::{
-    BasicToCc, CommitDecision, CompositeCc, ConcurrencyControl, IntervalCc, MtCc, OccCc,
-    TwoPlCc, Verdict,
+    BasicToCc, CommitDecision, CompositeCc, ConcurrencyControl, ConcurrentCc, IntervalCc, MtCc,
+    OccCc, SerializedCc, ShardedMtCc, TwoPlCc, Verdict,
 };
 pub use db::{Database, Tx, TxError};
-pub use metrics::MetricsSnapshot;
-pub use workload::{run_bank_mix, BankConfig, BankReport};
+pub use metrics::{LatencySnapshot, MetricsSnapshot};
+pub use workload::{run_bank_mix, run_bank_mix_concurrent, BankConfig, BankReport};
 
 #[cfg(test)]
 mod engine_tests;

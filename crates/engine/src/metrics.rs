@@ -1,4 +1,5 @@
-//! Engine metrics: lock-free counters sampled into snapshots.
+//! Engine metrics: lock-free counters and a commit-latency histogram,
+//! sampled into snapshots.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,6 +14,7 @@ pub(crate) struct Metrics {
     pub ignored_writes: AtomicU64,
     pub blocked_waits: AtomicU64,
     pub epoch_aborts: AtomicU64,
+    pub latency: LatencyHistogram,
 }
 
 impl Metrics {
@@ -30,8 +32,77 @@ impl Metrics {
             ignored_writes: self.ignored_writes.load(Ordering::Relaxed),
             blocked_waits: self.blocked_waits.load(Ordering::Relaxed),
             epoch_aborts: self.epoch_aborts.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
         }
     }
+}
+
+const LATENCY_BUCKETS: usize = 64;
+
+/// Commit-latency histogram over *logical ticks* — the engine-wide count
+/// of scheduled accesses, not wall-clock time, so the figures are
+/// deterministic per interleaving and immune to machine noise. A
+/// transaction's latency is the number of ticks between its first
+/// incarnation's begin and its commit; restarts therefore lengthen it,
+/// which is exactly the starvation behaviour worth measuring.
+///
+/// Buckets are powers of two (bucket `b` holds latencies in
+/// `[2^(b-1), 2^b)`), recorded with one relaxed `fetch_add` — no lock on
+/// the commit path.
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0u64; LATENCY_BUCKETS].map(AtomicU64::new) }
+    }
+}
+
+impl LatencyHistogram {
+    pub(crate) fn record(&self, ticks: u64) {
+        let idx = (u64::BITS - ticks.leading_zeros()) as usize;
+        self.buckets[idx.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> LatencySnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let count: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil() as u64;
+            let mut seen = 0u64;
+            for (idx, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank.max(1) {
+                    // Upper bound of bucket idx: latencies < 2^idx.
+                    return (1u64 << idx.min(63)) - 1;
+                }
+            }
+            u64::MAX
+        };
+        LatencySnapshot { count, p50: quantile(0.50), p95: quantile(0.95), p99: quantile(0.99) }
+    }
+}
+
+/// Commit-latency quantiles in logical ticks (bucketed by powers of two;
+/// each figure is its bucket's upper bound).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencySnapshot {
+    /// Number of recorded commits.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
 }
 
 /// A point-in-time view of the engine counters.
@@ -53,6 +124,8 @@ pub struct MetricsSnapshot {
     pub blocked_waits: u64,
     /// Aborts caused by a composite abort-all epoch.
     pub epoch_aborts: u64,
+    /// Commit latency, in logical ticks.
+    pub latency: LatencySnapshot,
 }
 
 impl MetricsSnapshot {
@@ -62,5 +135,43 @@ impl MetricsSnapshot {
             return 0.0;
         }
         self.aborts as f64 / self.commits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = LatencyHistogram::default();
+        // 90 fast commits (≤ 4 ticks), 10 slow ones (~1000 ticks).
+        for _ in 0..90 {
+            h.record(3);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 <= 7, "median in the fast band, got {}", s.p50);
+        assert!(s.p95 >= 512, "p95 must reach the slow band, got {}", s.p95);
+        assert!(s.p99 >= 512 && s.p99 <= 2047, "p99 brackets 1000, got {}", s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s, LatencySnapshot::default());
+    }
+
+    #[test]
+    fn zero_and_one_land_in_low_buckets() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert!(s.p99 <= 1);
     }
 }

@@ -13,7 +13,7 @@ use mdts_storage::Store;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::cc::ConcurrencyControl;
+use crate::cc::{ConcurrencyControl, ConcurrentCc};
 use crate::db::{Database, TxError};
 use crate::metrics::MetricsSnapshot;
 
@@ -37,6 +37,12 @@ pub struct BankConfig {
     /// protocols' contention behavior (blocking, validation aborts)
     /// becomes visible.
     pub think: u32,
+    /// Microseconds to *sleep* between the read and write phases, modeling
+    /// the I/O waits of the paper's transactions. Unlike `think`, a sleep
+    /// occupies no core, so throughput scales with the thread count even
+    /// on few cores — provided the engine never serializes transactions
+    /// across the wait (scaling sweeps use this, exp19).
+    pub think_sleep_us: u64,
     /// Retry budget per transaction.
     pub max_restarts: usize,
     /// RNG seed (per-thread streams derived from it).
@@ -53,6 +59,7 @@ impl Default for BankConfig {
             zipf_theta: 0.0,
             read_only_fraction: 0.2,
             think: 0,
+            think_sleep_us: 0,
             max_restarts: 64,
             seed: 42,
         }
@@ -85,10 +92,21 @@ impl BankReport {
     }
 }
 
-/// Runs the workload against a fresh database under `cc`.
+/// Runs the workload against a fresh database under a sequential
+/// protocol (serialized behind the engine's protocol mutex).
 pub fn run_bank_mix(cc: Box<dyn ConcurrencyControl>, cfg: &BankConfig) -> BankReport {
     let store = Store::with_items(cfg.accounts, cfg.initial_balance);
-    let db: Database<i64> = Database::with_store(cc, store);
+    run_bank_mix_on(Database::with_store(cc, store), cfg)
+}
+
+/// Runs the workload against a fresh database under a natively
+/// concurrent protocol.
+pub fn run_bank_mix_concurrent(cc: Box<dyn ConcurrentCc>, cfg: &BankConfig) -> BankReport {
+    let store = Store::with_items(cfg.accounts, cfg.initial_balance);
+    run_bank_mix_on(Database::with_store_concurrent(cc, store), cfg)
+}
+
+fn run_bank_mix_on(db: Database<i64>, cfg: &BankConfig) -> BankReport {
     let protocol = db.protocol_name();
     let zipf = mdts_model::Zipf::new(cfg.accounts as usize, cfg.zipf_theta);
 
@@ -104,8 +122,7 @@ pub fn run_bank_mix(cc: Box<dyn ConcurrencyControl>, cfg: &BankConfig) -> BankRe
                 let mut gave_up = 0u64;
                 for _ in 0..cfg.txns_per_thread {
                     let result: Result<(), TxError> = if rng.gen_bool(cfg.read_only_fraction) {
-                        let who: Vec<ItemId> =
-                            (0..4).map(|_| zipf.sample(&mut rng)).collect();
+                        let who: Vec<ItemId> = (0..4).map(|_| zipf.sample(&mut rng)).collect();
                         db.run(cfg.max_restarts, |tx| {
                             let mut sum = 0i64;
                             for &a in &who {
@@ -125,6 +142,11 @@ pub fn run_bank_mix(cc: Box<dyn ConcurrencyControl>, cfg: &BankConfig) -> BankRe
                             let b = tx.read(dst)?.unwrap_or(0);
                             for i in 0..cfg.think {
                                 std::hint::black_box(i);
+                            }
+                            if cfg.think_sleep_us > 0 {
+                                std::thread::sleep(std::time::Duration::from_micros(
+                                    cfg.think_sleep_us,
+                                ));
                             }
                             tx.write(src, a - 1)?;
                             tx.write(dst, b + 1)?;

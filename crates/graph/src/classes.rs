@@ -23,9 +23,8 @@ fn access_map(log: &Log) -> BTreeMap<(TxId, ItemId), Access> {
     let mut map: BTreeMap<(TxId, ItemId), Access> = BTreeMap::new();
     for (pos, op) in log.ops().iter().enumerate() {
         for &item in op.items() {
-            let e = map
-                .entry((op.tx, item))
-                .or_insert(Access { first: pos, last: pos, writes: false });
+            let e =
+                map.entry((op.tx, item)).or_insert(Access { first: pos, last: pos, writes: false });
             e.last = pos;
             e.writes |= op.kind == OpKind::Write;
         }
@@ -88,9 +87,7 @@ pub fn is_2pl_arrival(log: &Log) -> bool {
         let e = acquire_end.entry(tx).or_insert(0);
         *e = (*e).max(acc.first);
     }
-    pairs
-        .iter()
-        .all(|((ti, ai), (_tj, aj), _)| ai.last.max(acquire_end[ti]) < aj.first)
+    pairs.iter().all(|((ti, ai), (_tj, aj), _)| ai.last.max(acquire_end[ti]) < aj.first)
 }
 
 /// Membership in the class recognized by a *preclaiming* two-phase locking
@@ -232,7 +229,9 @@ mod tests {
     fn nonserializable_log_is_in_nothing() {
         let log = Log::parse("R1[x] R2[y] W2[x] W1[y]").unwrap();
         let f = ClassFlags::compute(&log, 8);
-        assert!(!f.dsr && !f.ssr && f.sr == Some(false) && !f.two_pl && !f.two_pl_preclaim && !f.to1);
+        assert!(
+            !f.dsr && !f.ssr && f.sr == Some(false) && !f.two_pl && !f.two_pl_preclaim && !f.to1
+        );
     }
 
     #[test]

@@ -114,19 +114,9 @@ pub fn dependency_graph(log: &Log, include_read_read: bool) -> DependencyGraph {
             if !digraph.has_edge(f, t) {
                 // Record only the first witness per ordered pair; later
                 // conflicts between the same pair add no information.
-                let item = *a
-                    .items()
-                    .iter()
-                    .find(|i| b.items().contains(i))
-                    .expect("sets intersect");
-                edges.push(DepEdge {
-                    from: a.tx,
-                    to: b.tx,
-                    kind,
-                    item,
-                    from_pos: p1,
-                    to_pos: p2,
-                });
+                let item =
+                    *a.items().iter().find(|i| b.items().contains(i)).expect("sets intersect");
+                edges.push(DepEdge { from: a.tx, to: b.tx, kind, item, from_pos: p1, to_pos: p2 });
             }
             digraph.add_edge(f, t);
         }

@@ -60,8 +60,7 @@ impl Digraph {
                 indeg[s] += 1;
             }
         }
-        let mut ready: BTreeSet<usize> =
-            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(&v) = ready.iter().next() {
             ready.remove(&v);
@@ -106,8 +105,7 @@ impl Digraph {
                         WHITE => {
                             color[next] = GRAY;
                             parent[next] = *node;
-                            let nsucc: Vec<usize> =
-                                self.succ[next].iter().copied().collect();
+                            let nsucc: Vec<usize> = self.succ[next].iter().copied().collect();
                             stack.push((next, nsucc, 0));
                         }
                         GRAY => {
@@ -146,8 +144,7 @@ impl Digraph {
             }
             pos[v] = p;
         }
-        (0..self.len())
-            .all(|v| self.succ[v].iter().all(|&s| pos[v] < pos[s]))
+        (0..self.len()).all(|v| self.succ[v].iter().all(|&s| pos[v] < pos[s]))
     }
 
     /// Union with another graph over the same node set.

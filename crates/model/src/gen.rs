@@ -278,9 +278,7 @@ impl WorkloadKind {
             WorkloadKind::Hotspot => MultiStepConfig { zipf_theta: 1.1, ..base },
             WorkloadKind::ReadHeavy => MultiStepConfig { p_write: 0.2, ..base },
             WorkloadKind::WriteHeavy => MultiStepConfig { p_write: 0.8, ..base },
-            WorkloadKind::LongLived => {
-                MultiStepConfig { min_ops: 8, max_ops: 16, ..base }
-            }
+            WorkloadKind::LongLived => MultiStepConfig { min_ops: 8, max_ops: 16, ..base },
         }
     }
 }
@@ -383,8 +381,7 @@ mod tests {
         let log = interleave(txns, &mut rng);
         for (t, ops) in expected.iter().enumerate() {
             let tx = TxId(t as u32 + 1);
-            let got: Vec<&Operation> =
-                log.ops().iter().filter(|o| o.tx == tx).collect();
+            let got: Vec<&Operation> = log.ops().iter().filter(|o| o.tx == tx).collect();
             assert_eq!(got.len(), ops.len());
             for (a, b) in got.iter().zip(ops) {
                 assert_eq!(**a, *b);

@@ -96,10 +96,7 @@ impl Log {
 
     /// The display name of an item, or `i<n>` if unnamed.
     pub fn item_name(&self, item: ItemId) -> String {
-        self.item_names
-            .get(item.index())
-            .cloned()
-            .unwrap_or_else(|| format!("i{}", item.0))
+        self.item_names.get(item.index()).cloned().unwrap_or_else(|| format!("i{}", item.0))
     }
 
     /// Item names table (may be shorter than the item count).
@@ -185,11 +182,7 @@ impl Log {
 
     /// Positions of `tx`'s operations in order.
     pub fn positions_of(&self, tx: TxId) -> Vec<OpId> {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter_map(|(pos, op)| (op.tx == tx).then_some(pos))
-            .collect()
+        self.ops.iter().enumerate().filter_map(|(pos, op)| (op.tx == tx).then_some(pos)).collect()
     }
 
     /// Maximum number of operations in a single transaction — the paper's
@@ -243,8 +236,7 @@ impl Log {
         let item_base = self.max_item().map(|i| i.0 + 1).unwrap_or(0);
         let mut ops = self.ops.clone();
         for op in other.ops() {
-            let items =
-                op.items().iter().map(|i| ItemId(i.0 + item_base)).collect::<Vec<_>>();
+            let items = op.items().iter().map(|i| ItemId(i.0 + item_base)).collect::<Vec<_>>();
             ops.push(Operation::new(TxId(op.tx.0 + tx_base), op.kind, items));
         }
         let mut log = Log::from_ops(ops);
@@ -269,7 +261,10 @@ impl Log {
     /// A prefix of the log (first `len` operations), e.g. the mid-log states
     /// discussed in Example 1.
     pub fn prefix(&self, len: usize) -> Log {
-        Log { ops: self.ops[..len.min(self.ops.len())].to_vec(), item_names: self.item_names.clone() }
+        Log {
+            ops: self.ops[..len.min(self.ops.len())].to_vec(),
+            item_names: self.item_names.clone(),
+        }
     }
 }
 

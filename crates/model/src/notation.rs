@@ -102,10 +102,7 @@ impl<'a> Parser<'a> {
 
     fn parse_item(&mut self) -> Result<ItemId, ParseError> {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'\'')
-        {
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'\'') {
             self.pos += 1;
         }
         if self.pos == start {

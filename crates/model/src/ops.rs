@@ -82,10 +82,7 @@ impl OpKind {
     /// Whether two operations of these kinds on a common item conflict
     /// (Definition 1: at least one must be a write).
     pub fn conflicts_with(self, other: OpKind) -> bool {
-        matches!(
-            (self, other),
-            (OpKind::Write, _) | (_, OpKind::Write)
-        )
+        matches!((self, other), (OpKind::Write, _) | (_, OpKind::Write))
     }
 }
 
@@ -149,9 +146,7 @@ impl Operation {
     /// Definition 1: the operations conflict iff they belong to different
     /// transactions, their access sets intersect, and at least one writes.
     pub fn conflicts_with(&self, other: &Operation) -> bool {
-        self.tx != other.tx
-            && self.kind.conflicts_with(other.kind)
-            && self.items_intersect(other)
+        self.tx != other.tx && self.kind.conflicts_with(other.kind) && self.items_intersect(other)
     }
 }
 
@@ -180,11 +175,8 @@ mod tests {
 
     #[test]
     fn access_set_is_sorted_dedup() {
-        let op = Operation::new(
-            TxId(1),
-            OpKind::Read,
-            vec![ItemId(3), ItemId(1), ItemId(3), ItemId(2)],
-        );
+        let op =
+            Operation::new(TxId(1), OpKind::Read, vec![ItemId(3), ItemId(1), ItemId(3), ItemId(2)]);
         assert_eq!(op.items(), &[ItemId(1), ItemId(2), ItemId(3)]);
     }
 

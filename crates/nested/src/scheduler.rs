@@ -51,10 +51,7 @@ impl HierarchyScheduler {
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty());
         HierarchyScheduler {
-            engines: dims
-                .iter()
-                .map(|&k| MtScheduler::new(MtOptions::for_composite(k)))
-                .collect(),
+            engines: dims.iter().map(|&k| MtScheduler::new(MtOptions::for_composite(k))).collect(),
             paths: BTreeMap::new(),
             rt: BTreeMap::new(),
             wt: BTreeMap::new(),
@@ -256,8 +253,11 @@ mod tests {
     /// Example 4 / Table III: G₁ = {T₁, T₂}, G₂ = {T₃}, k₁ = k₂ = 2.
     #[test]
     fn example4_table3_vectors() {
-        let partition =
-            Partition::from_pairs([(TxId(1), GroupId(1)), (TxId(2), GroupId(1)), (TxId(3), GroupId(2))]);
+        let partition = Partition::from_pairs([
+            (TxId(1), GroupId(1)),
+            (TxId(2), GroupId(1)),
+            (TxId(3), GroupId(2)),
+        ]);
         let mut s = NestedScheduler::new(2, 2, partition);
         // a: R1[x] → G0→G1 (group encode); b: R2[y] → implied, no change;
         // c: W2[x] → T1→T2 within G1 (transaction encode);
@@ -278,8 +278,11 @@ mod tests {
     /// conflict, it is disallowed since it also implies G₂ → G₁."
     #[test]
     fn group_order_is_antisymmetric() {
-        let partition =
-            Partition::from_pairs([(TxId(1), GroupId(1)), (TxId(2), GroupId(1)), (TxId(3), GroupId(2))]);
+        let partition = Partition::from_pairs([
+            (TxId(1), GroupId(1)),
+            (TxId(2), GroupId(1)),
+            (TxId(3), GroupId(2)),
+        ]);
         let mut s = NestedScheduler::new(2, 2, partition);
         let log = Log::parse("R1[x] R2[y] W2[x] R3[x]").unwrap();
         assert_eq!(s.recognize(&log), Ok(()));
@@ -315,15 +318,16 @@ mod tests {
         assert_eq!(s.tx_ts(TxId(1)).unwrap().to_string(), "<1,*,*>");
         assert_eq!(s.tx_ts(TxId(2)).unwrap().to_string(), "<2,*,*>");
 
-        // Soundness on random logs.
+        // Soundness on random logs. Acceptance of a random interleaving is
+        // rare (~1–2%), so draw enough samples that some acceptances are
+        // near-certain regardless of the RNG stream.
         let mut rng = StdRng::seed_from_u64(21);
         let mut accepted = 0;
-        for _ in 0..200 {
-            let log = MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }
-                .generate(&mut rng);
-            let partition = Partition::from_pairs(
-                log.transactions().into_iter().map(|t| (t, GroupId(1))),
-            );
+        for _ in 0..2000 {
+            let log =
+                MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }.generate(&mut rng);
+            let partition =
+                Partition::from_pairs(log.transactions().into_iter().map(|t| (t, GroupId(1))));
             let mut nested = NestedScheduler::new(3, 2, partition);
             if nested.recognize(&log).is_ok() {
                 accepted += 1;
@@ -331,6 +335,11 @@ mod tests {
             }
         }
         assert!(accepted > 0);
+        // Serial logs are always accepted, independent of sampling luck.
+        let serial = Log::parse("R1[x] W1[y] R2[y] W2[x]").unwrap();
+        let partition =
+            Partition::from_pairs(serial.transactions().into_iter().map(|t| (t, GroupId(1))));
+        assert_eq!(NestedScheduler::new(3, 2, partition).recognize(&serial), Ok(()));
     }
 
     /// With one transaction per group, MT(k₁, k₂) reduces to MT(k₂) over
@@ -343,11 +352,10 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(22);
         for _ in 0..200 {
-            let log = MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }
-                .generate(&mut rng);
-            let partition = Partition::from_pairs(
-                log.transactions().into_iter().map(|t| (t, GroupId(t.0))),
-            );
+            let log =
+                MultiStepConfig { n_txns: 4, n_items: 4, ..Default::default() }.generate(&mut rng);
+            let partition =
+                Partition::from_pairs(log.transactions().into_iter().map(|t| (t, GroupId(t.0))));
             let mut nested = NestedScheduler::new(2, 3, partition);
             let mut flat = MtScheduler::new(MtOptions::for_composite(3));
             assert_eq!(
@@ -365,11 +373,16 @@ mod tests {
         use mdts_model::MultiStepConfig;
         use rand::rngs::StdRng;
         use rand::SeedableRng;
+        // With only 4 items, 5-transaction conflict chains exhaust the
+        // 2-dimensional group vectors and acceptance mass is ~zero (the
+        // paper's Fig. 4 non-inclusion at work), which would leave the
+        // soundness assertion vacuous. 16 items keeps conflicts sparse
+        // enough that ~10% of interleavings are accepted.
         let mut rng = StdRng::seed_from_u64(23);
         let mut accepted = 0;
-        for round in 0..300 {
-            let log = MultiStepConfig { n_txns: 5, n_items: 4, ..Default::default() }
-                .generate(&mut rng);
+        for round in 0..2000 {
+            let log =
+                MultiStepConfig { n_txns: 5, n_items: 16, ..Default::default() }.generate(&mut rng);
             // Two groups, split by parity.
             let partition = Partition::from_pairs(
                 log.transactions().into_iter().map(|t| (t, GroupId(1 + t.0 % 2))),

@@ -16,16 +16,22 @@
 //! * **Multiversion storage** (III-D-6d): [`MultiVersionStore`] keeps
 //!   Reed-style version chains so readers can be served a consistent older
 //!   version instead of aborting.
+//! * **Sharded value state**: [`ShardedStore`] stripes the single-version
+//!   store over independently locked shards so the engine's reads and
+//!   commits on disjoint items proceed in parallel instead of funnelling
+//!   through one global mutex.
 //!
 //! Values are generic (`Clone`); the engine instantiates with `i64` for
 //! the bank-style examples and benchmarks.
 
 pub mod mvstore;
+pub mod sharded;
 pub mod store;
 pub mod twophase;
 pub mod undo;
 
 pub use mvstore::{MultiVersionStore, Version};
+pub use sharded::{ShardGuard, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::Store;
 pub use twophase::WriteBuffer;
 pub use undo::{Savepoint, UndoLog};

@@ -1,0 +1,160 @@
+//! A sharded single-version store: the engine's value state split into
+//! independently locked partitions.
+//!
+//! [`Store`](crate::Store) is a plain map the engine used to keep behind
+//! one global mutex together with everything else. [`ShardedStore`]
+//! stripes items over a power-of-two number of shards, each behind its own
+//! `Mutex`, so accesses to items in different shards never contend.
+//!
+//! The locking is *exposed* rather than hidden: the engine must hold an
+//! item's shard across a protocol grant **and** the value fetch (so a
+//! concurrent committer cannot apply between the two), and hold all of a
+//! write-set's shards across commit validation **and** apply (so the
+//! commit becomes visible atomically). [`ShardedStore::lock_shard`] hands
+//! out the guard; convenience accessors ([`ShardedStore::get_cloned`],
+//! [`ShardedStore::snapshot`]) lock internally for callers outside the
+//! critical path.
+//!
+//! Lock order: shard indices ascending. `snapshot` and multi-shard commits
+//! follow it; single-shard accesses trivially comply.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use mdts_model::ItemId;
+
+use crate::store::Store;
+
+/// Default shard count (power of two).
+pub const DEFAULT_STORE_SHARDS: usize = 64;
+
+/// Guard over one shard's items (a `BTreeMap` of the shard's subset).
+pub type ShardGuard<'a, V> = MutexGuard<'a, BTreeMap<ItemId, V>>;
+
+/// A single-version key-value store striped over independently locked
+/// shards.
+#[derive(Debug, Default)]
+pub struct ShardedStore<V> {
+    mask: usize,
+    shards: Box<[Mutex<BTreeMap<ItemId, V>>]>,
+}
+
+impl<V: Clone> ShardedStore<V> {
+    /// Empty store with at least `shards` shards (rounded up to a power of
+    /// two so striping is a mask).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedStore { mask: n - 1, shards: (0..n).map(|_| Mutex::new(BTreeMap::new())).collect() }
+    }
+
+    /// Pre-populates items `0..n` with a value.
+    pub fn with_items(n: u32, value: V, shards: usize) -> Self {
+        Self::from_store(Store::with_items(n, value), shards)
+    }
+
+    /// Partitions a flat [`Store`] into shards.
+    pub fn from_store(store: Store<V>, shards: usize) -> Self {
+        let out = Self::new(shards);
+        for (item, value) in store.iter() {
+            out.lock_shard(out.shard_index(item)).insert(item, value.clone());
+        }
+        out
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `item`.
+    pub fn shard_index(&self, item: ItemId) -> usize {
+        item.index() & self.mask
+    }
+
+    /// Locks one shard. The caller decides how long to hold it; see the
+    /// module docs for the two critical sections the engine needs.
+    pub fn lock_shard(&self, index: usize) -> ShardGuard<'_, V> {
+        self.shards[index].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reads one item, locking its shard just for the lookup.
+    pub fn get_cloned(&self, item: ItemId) -> Option<V> {
+        self.lock_shard(self.shard_index(item)).get(&item).cloned()
+    }
+
+    /// Writes one item, locking its shard just for the insert.
+    pub fn set(&self, item: ItemId, value: V) -> Option<V> {
+        self.lock_shard(self.shard_index(item)).insert(item, value)
+    }
+
+    /// Total number of stored items (locks each shard in turn).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock_shard(i).len()).sum()
+    }
+
+    /// True iff nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the whole store, shards locked in ascending order.
+    ///
+    /// Taken concurrently with commits this is a *per-shard* consistent
+    /// view; for a transactionally consistent read the caller should run
+    /// an auditing transaction instead.
+    pub fn snapshot(&self) -> BTreeMap<ItemId, V> {
+        let mut out = BTreeMap::new();
+        for i in 0..self.shards.len() {
+            for (&item, value) in self.lock_shard(i).iter() {
+                out.insert(item, value.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_and_reads_back() {
+        let s: ShardedStore<i64> = ShardedStore::new(4);
+        for i in 0..100u32 {
+            s.set(ItemId(i), i as i64 * 3);
+        }
+        assert_eq!(s.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(s.get_cloned(ItemId(i)), Some(i as i64 * 3));
+        }
+        assert_eq!(s.get_cloned(ItemId(100)), None);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedStore::<i64>::new(1).shard_count(), 1);
+        assert_eq!(ShardedStore::<i64>::new(5).shard_count(), 8);
+        assert_eq!(ShardedStore::<i64>::new(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn from_store_partitions_everything() {
+        let flat = Store::with_items(33, 7i64);
+        let s = ShardedStore::from_store(flat.clone(), 8);
+        assert_eq!(s.snapshot(), flat.snapshot());
+        // Items actually land in distinct shards.
+        let occupied = (0..s.shard_count()).filter(|&i| !s.lock_shard(i).is_empty()).count();
+        assert_eq!(occupied, 8);
+    }
+
+    #[test]
+    fn guard_holds_items_of_its_shard_only() {
+        let s: ShardedStore<i64> = ShardedStore::new(4);
+        for i in 0..16u32 {
+            s.set(ItemId(i), 1);
+        }
+        let g = s.lock_shard(2);
+        assert!(g.keys().all(|item| s.shard_index(*item) == 2));
+        assert_eq!(g.len(), 4);
+    }
+}

@@ -65,8 +65,12 @@ impl CmpResult {
     }
 }
 
-/// The straightforward sequential comparator: one left-to-right scan,
-/// O(k) element operations.
+/// The sequential comparator: O(1) fast paths off the cached first-defined
+/// index, then a chunked scan over 64-element definedness-bitmap words.
+///
+/// The reported `ops` count keeps the semantics of the naive left-to-right
+/// scan — `deciding index + 1`, or `k` for `Identical` — so the cost
+/// accounting of Figs. 6–7 is unchanged; only the constant factor drops.
 pub struct ScalarComparator;
 
 impl ScalarComparator {
@@ -79,19 +83,62 @@ impl ScalarComparator {
     /// sequential cost that Figs. 6–7 set out to beat.
     pub fn compare_counted(a: &TsVec, b: &TsVec) -> (CmpResult, usize) {
         assert_eq!(a.k(), b.k(), "vectors of different dimension are never compared");
-        let mut ops = 0;
-        for m in 0..a.k() {
-            ops += 1;
-            match (a.get(m), b.get(m)) {
-                (Some(x), Some(y)) if x == y => continue,
-                (Some(x), Some(y)) if x < y => return (CmpResult::Less { at: m }, ops),
-                (Some(_), Some(_)) => return (CmpResult::Greater { at: m }, ops),
-                (None, None) => return (CmpResult::EqualUndefined { at: m }, ops),
-                (None, Some(_)) => return (CmpResult::LeftUndefined { at: m }, ops),
-                (Some(_), None) => return (CmpResult::RightUndefined { at: m }, ops),
+        let k = a.k();
+
+        // Fast path: unless both vectors define element 0, position 0 is
+        // already not both-defined and the comparison is decided there.
+        let fa = a.first_defined().unwrap_or(k);
+        let fb = b.first_defined().unwrap_or(k);
+        match (fa == 0, fb == 0) {
+            (false, false) => return (CmpResult::EqualUndefined { at: 0 }, 1),
+            (false, true) => return (CmpResult::LeftUndefined { at: 0 }, 1),
+            (true, false) => return (CmpResult::RightUndefined { at: 0 }, 1),
+            (true, true) => {}
+        }
+        let (av, bv) = (a.values_raw(), b.values_raw());
+        // Both defined at 0 — the protocol's common case (every vector the
+        // scheduler compares is ordered against T₀ first).
+        if av[0] != bv[0] {
+            return if av[0] < bv[0] {
+                (CmpResult::Less { at: 0 }, 1)
+            } else {
+                (CmpResult::Greater { at: 0 }, 1)
+            };
+        }
+
+        // Chunked scan: per 64-element word, the definedness bitmaps locate
+        // the first position that is not both-defined; the both-defined run
+        // before it is compared as plain i64 slices (memcmp when equal).
+        let (da, db) = (a.defined_words(), b.defined_words());
+        for w in 0..da.len() {
+            let s = w * 64;
+            let len = 64.min(k - s);
+            let mask = if len == 64 { !0u64 } else { (1u64 << len) - 1 };
+            let not_both = (da[w] & db[w]) ^ mask;
+            let cand = (not_both.trailing_zeros() as usize).min(len);
+            let (run_a, run_b) = (&av[s..s + cand], &bv[s..s + cand]);
+            if run_a != run_b {
+                let p = run_a.iter().zip(run_b).position(|(x, y)| x != y).unwrap();
+                let m = s + p;
+                return if av[m] < bv[m] {
+                    (CmpResult::Less { at: m }, m + 1)
+                } else {
+                    (CmpResult::Greater { at: m }, m + 1)
+                };
+            }
+            if cand < len {
+                let m = s + cand;
+                let bit = |word: u64| word >> cand & 1 == 1;
+                let r = match (bit(da[w]), bit(db[w])) {
+                    (false, false) => CmpResult::EqualUndefined { at: m },
+                    (false, true) => CmpResult::LeftUndefined { at: m },
+                    (true, false) => CmpResult::RightUndefined { at: m },
+                    (true, true) => unreachable!("bit {m} counted as not-both-defined"),
+                };
+                return (r, m + 1);
             }
         }
-        (CmpResult::Identical, ops)
+        (CmpResult::Identical, k)
     }
 }
 
@@ -132,9 +179,8 @@ impl TreeComparator {
         let k = a.k();
 
         // Phase 2: difference bits (phase 1, the load, is implicit).
-        let c: Vec<bool> = (0..k)
-            .map(|m| !matches!((a.get(m), b.get(m)), (Some(x), Some(y)) if x == y))
-            .collect();
+        let c: Vec<bool> =
+            (0..k).map(|m| !matches!((a.get(m), b.get(m)), (Some(x), Some(y)) if x == y)).collect();
 
         // Phase 3: prefix OR by a balanced tree, ⌈log₂ k⌉ doubling rounds
         // (the Hillis–Steele form of the Fig. 7 tree; same step count).
@@ -249,5 +295,90 @@ mod tests {
     #[should_panic(expected = "different dimension")]
     fn dimension_mismatch_panics() {
         let _ = ScalarComparator::compare(&TsVec::undefined(2), &TsVec::undefined(3));
+    }
+
+    /// The naive per-element scan the chunked comparator replaced; kept as
+    /// the test oracle for both the result and the `ops` accounting.
+    fn naive_counted(a: &TsVec, b: &TsVec) -> (CmpResult, usize) {
+        let mut ops = 0;
+        for m in 0..a.k() {
+            ops += 1;
+            match (a.get(m), b.get(m)) {
+                (Some(x), Some(y)) if x == y => continue,
+                (Some(x), Some(y)) if x < y => return (CmpResult::Less { at: m }, ops),
+                (Some(_), Some(_)) => return (CmpResult::Greater { at: m }, ops),
+                (None, None) => return (CmpResult::EqualUndefined { at: m }, ops),
+                (None, Some(_)) => return (CmpResult::LeftUndefined { at: m }, ops),
+                (Some(_), None) => return (CmpResult::RightUndefined { at: m }, ops),
+            }
+        }
+        (CmpResult::Identical, ops)
+    }
+
+    #[test]
+    fn chunked_scan_matches_naive_around_word_boundaries() {
+        // Equal defined prefix of length `p`, then every way the pair can
+        // diverge, with p swept across the 64-element word boundaries.
+        for p in [0usize, 1, 5, 62, 63, 64, 65, 126, 127, 128, 129, 190] {
+            let k = 192;
+            let base: Vec<Option<i64>> = (0..k).map(|m| Some(m as i64)).collect();
+            let mut prefix = vec![None; k];
+            prefix[..p].copy_from_slice(&base[..p]);
+            for (da, db) in [
+                (Some(7), Some(9)), // Less / Greater
+                (Some(9), Some(7)),
+                (None, None),    // EqualUndefined
+                (None, Some(1)), // LeftUndefined
+                (Some(1), None), // RightUndefined
+            ] {
+                let mut ea = prefix.clone();
+                let mut eb = prefix.clone();
+                if p < k {
+                    ea[p] = da;
+                    eb[p] = db;
+                }
+                let a = TsVec::from_elems(&ea);
+                let b = TsVec::from_elems(&eb);
+                assert_eq!(
+                    ScalarComparator::compare_counted(&a, &b),
+                    naive_counted(&a, &b),
+                    "p = {p}, divergence {da:?}/{db:?}"
+                );
+            }
+            // Fully identical defined prefix with undefined tail.
+            let a = TsVec::from_elems(&prefix);
+            let b = TsVec::from_elems(&prefix);
+            assert_eq!(ScalarComparator::compare_counted(&a, &b), naive_counted(&a, &b));
+        }
+        // Fully defined identical vectors.
+        let full = TsVec::from_elems(&(0..192).map(|m| Some(m as i64)).collect::<Vec<_>>());
+        assert_eq!(
+            ScalarComparator::compare_counted(&full, &full.clone()),
+            (CmpResult::Identical, 192)
+        );
+    }
+
+    #[test]
+    fn fast_path_decides_element_zero_in_one_op() {
+        // Both defined at 0 with distinct values.
+        let a = TsVec::from_elems(&[Some(1), Some(8), None]);
+        let b = TsVec::from_elems(&[Some(2), None, Some(3)]);
+        assert_eq!(ScalarComparator::compare_counted(&a, &b), (CmpResult::Less { at: 0 }, 1));
+        // One side undefined at 0.
+        let u = TsVec::from_elems(&[None, Some(8), None]);
+        assert_eq!(
+            ScalarComparator::compare_counted(&u, &b),
+            (CmpResult::LeftUndefined { at: 0 }, 1)
+        );
+        assert_eq!(
+            ScalarComparator::compare_counted(&b, &u),
+            (CmpResult::RightUndefined { at: 0 }, 1)
+        );
+        // Both undefined at 0.
+        let v = TsVec::from_elems(&[None, None, Some(3)]);
+        assert_eq!(
+            ScalarComparator::compare_counted(&u, &v),
+            (CmpResult::EqualUndefined { at: 0 }, 1)
+        );
     }
 }

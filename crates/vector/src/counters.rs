@@ -116,6 +116,124 @@ impl KthCounters {
     }
 }
 
+/// Lock-free [`KthCounters`]: the same fresh-value discipline with the two
+/// counters as atomics, so concurrent schedulers draw k-th-column values
+/// without serializing on a table lock.
+///
+/// Plain draws are single `fetch_add`s. Bounded draws
+/// ([`AtomicKthCounters::fresh_upper_above`] /
+/// [`AtomicKthCounters::fresh_lower_below`]) use a compare-exchange loop to
+/// first ratchet the counter past the bound, mirroring
+/// [`KthCounters::fresh_upper_above`].
+///
+/// Interleaved draws hand out *distinct* values, which is the invariant the
+/// protocol needs; unlike the sequential version, the numeric order of
+/// values drawn by different threads follows the interleaving, not program
+/// order.
+#[derive(Debug)]
+pub struct AtomicKthCounters {
+    ucount: std::sync::atomic::AtomicI64,
+    lcount: std::sync::atomic::AtomicI64,
+    stride: i64,
+    tag: i64,
+}
+
+impl Default for AtomicKthCounters {
+    fn default() -> Self {
+        AtomicKthCounters::new()
+    }
+}
+
+impl AtomicKthCounters {
+    /// Fresh counters: `lcount = 0`, `ucount = 1` (Algorithm 1, line 4).
+    pub fn new() -> Self {
+        Self::site_tagged(1, 0)
+    }
+
+    /// Site-tagged counters, as [`KthCounters::site_tagged`].
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ tag < stride`.
+    pub fn site_tagged(stride: i64, tag: i64) -> Self {
+        use std::sync::atomic::AtomicI64;
+        assert!(stride >= 1 && (0..stride).contains(&tag));
+        AtomicKthCounters { ucount: AtomicI64::new(1), lcount: AtomicI64::new(0), stride, tag }
+    }
+
+    #[inline]
+    fn scale(&self, raw: i64) -> i64 {
+        raw * self.stride + self.tag
+    }
+
+    /// The `=` case at the k-th column: two fresh upper values
+    /// `(for_j, for_i)` with `for_j < for_i`.
+    pub fn fresh_pair(&self) -> (i64, i64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let u = self.ucount.fetch_add(2, Relaxed);
+        (self.scale(u), self.scale(u + 1))
+    }
+
+    /// One fresh upper value.
+    pub fn fresh_upper(&self) -> i64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.scale(self.ucount.fetch_add(1, Relaxed))
+    }
+
+    /// One fresh lower value.
+    pub fn fresh_lower(&self) -> i64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.scale(self.lcount.fetch_sub(1, Relaxed))
+    }
+
+    /// Fresh upper value strictly above `bound`.
+    pub fn fresh_upper_above(&self, bound: i64) -> i64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let need = (bound - self.tag).div_euclid(self.stride) + 1;
+        let mut cur = self.ucount.load(Relaxed);
+        loop {
+            let raw = cur.max(need);
+            match self.ucount.compare_exchange_weak(cur, raw + 1, Relaxed, Relaxed) {
+                Ok(_) => return self.scale(raw),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Fresh lower value strictly below `bound`.
+    pub fn fresh_lower_below(&self, bound: i64) -> i64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let need = (bound - self.tag - 1).div_euclid(self.stride);
+        let mut cur = self.lcount.load(Relaxed);
+        loop {
+            let raw = cur.min(need);
+            match self.lcount.compare_exchange_weak(cur, raw - 1, Relaxed, Relaxed) {
+                Ok(_) => return self.scale(raw),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current `ucount` (next upper raw value).
+    pub fn ucount(&self) -> i64 {
+        self.ucount.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Current `lcount` (next lower raw value).
+    pub fn lcount(&self) -> i64 {
+        self.lcount.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Sequential snapshot (for dumps and equivalence tests).
+    pub fn snapshot(&self) -> KthCounters {
+        KthCounters {
+            ucount: self.ucount(),
+            lcount: self.lcount(),
+            stride: self.stride,
+            tag: self.tag,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +323,67 @@ mod tests {
         let _ = b.fresh_upper();
         // ucount already above the bound: bounded draw = plain draw.
         assert_eq!(a.fresh_upper_above(0), b.fresh_upper());
+    }
+
+    #[test]
+    fn atomic_matches_sequential_single_threaded() {
+        let seq = &mut KthCounters::site_tagged(4, 3);
+        let at = AtomicKthCounters::site_tagged(4, 3);
+        assert_eq!(seq.fresh_pair(), at.fresh_pair());
+        assert_eq!(seq.fresh_upper(), at.fresh_upper());
+        assert_eq!(seq.fresh_lower(), at.fresh_lower());
+        assert_eq!(seq.fresh_upper_above(100), at.fresh_upper_above(100));
+        assert_eq!(seq.fresh_lower_below(-100), at.fresh_lower_below(-100));
+        assert_eq!(*seq, at.snapshot());
+    }
+
+    #[test]
+    fn atomic_bounded_draws_respect_bounds() {
+        let c = AtomicKthCounters::site_tagged(7, 2);
+        for bound in [-100i64, -1, 0, 1, 5, 63, 1000] {
+            let up = c.fresh_upper_above(bound);
+            assert!(up > bound);
+            assert_eq!(up.rem_euclid(7), 2);
+            let lo = c.fresh_lower_below(bound);
+            assert!(lo < bound);
+            assert_eq!(lo.rem_euclid(7), 2);
+        }
+    }
+
+    #[test]
+    fn atomic_concurrent_draws_are_distinct() {
+        use std::collections::HashSet;
+        let c = AtomicKthCounters::new();
+        let per_thread = 2_000;
+        let all: Vec<i64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let c = &c;
+                    s.spawn(move || {
+                        let mut mine = Vec::with_capacity(per_thread * 3);
+                        for i in 0..per_thread {
+                            match (t + i) % 4 {
+                                0 => {
+                                    let (a, b) = c.fresh_pair();
+                                    assert!(a < b);
+                                    mine.extend([a, b]);
+                                }
+                                1 => mine.push(c.fresh_upper()),
+                                2 => mine.push(c.fresh_lower()),
+                                _ => {
+                                    let v = c.fresh_upper_above(i as i64);
+                                    assert!(v > i as i64);
+                                    mine.push(v);
+                                }
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let unique: HashSet<i64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "concurrent draws must never collide");
     }
 }

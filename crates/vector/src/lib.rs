@@ -16,7 +16,9 @@
 //!
 //! * [`TsVec`] and [`CmpResult`] — the vectors and Definition 6;
 //! * [`KthCounters`] — the `ucount`/`lcount` discipline that keeps the k-th
-//!   column globally distinct (Algorithm 1, line 4 and procedure `Set`);
+//!   column globally distinct (Algorithm 1, line 4 and procedure `Set`) —
+//!   and [`AtomicKthCounters`], its lock-free counterpart for concurrent
+//!   schedulers;
 //! * [`ScalarComparator`] — the O(k) sequential comparison;
 //! * [`TreeComparator`] — the five-phase simulated vector-processor
 //!   comparison of Figs. 6–7, O(log k) parallel steps;
@@ -29,7 +31,7 @@ pub mod interval;
 pub mod tsvec;
 
 pub use compare::{CmpResult, ParallelCost, ScalarComparator, TreeComparator};
-pub use counters::KthCounters;
+pub use counters::{AtomicKthCounters, KthCounters};
 pub use interval::interval_view;
 pub use tsvec::TsVec;
 

@@ -27,6 +27,16 @@ proptest! {
         );
     }
 
+    /// The chunked bitmap scan must agree with the per-element comparison on
+    /// dimensions spanning several 64-element words, holes included.
+    #[test]
+    fn scalar_and_tree_agree_large_k(a in arb_vec(150), b in arb_vec(150)) {
+        prop_assert_eq!(
+            ScalarComparator::compare(&a, &b),
+            TreeComparator::compare(&a, &b)
+        );
+    }
+
     #[test]
     fn comparison_is_antisymmetric(a in arb_vec(5), b in arb_vec(5)) {
         let ab = ScalarComparator::compare(&a, &b);

@@ -4,8 +4,26 @@ use std::fmt;
 
 use crate::compare::{CmpResult, ScalarComparator};
 
-/// A k-dimensional timestamp vector. `None` is the paper's undefined
-/// element `*`.
+/// A k-dimensional timestamp vector. The paper's undefined element `*` is
+/// represented by a cleared bit in a definedness bitmap.
+///
+/// # Layout
+///
+/// Dense `i64` values plus a `u64`-word definedness bitmap, rather than
+/// `[Option<i64>]`:
+///
+/// * comparisons (the scheduler's hot loop) test and skip whole 64-element
+///   words of the bitmap instead of branching per `Option`;
+/// * the index of the first defined element is cached, so the common
+///   Definition 6 cases that are decided at element 0 — both undefined,
+///   exactly one defined, or both defined with distinct values — resolve in
+///   O(1) without touching the arrays.
+///
+/// # Invariants
+///
+/// Undefined slots hold value `0` and bitmap bits past `k` are clear, so the
+/// derived `Eq`/`Hash` agree with element-wise comparison of
+/// `Option<i64>`s. `first_defined` is `k` when nothing is defined.
 ///
 /// Elements are write-once: the protocols only ever *define* an undefined
 /// element; they never overwrite a defined one ([`TsVec::define`] enforces
@@ -13,7 +31,15 @@ use crate::compare::{CmpResult, ScalarComparator};
 /// flushes the whole vector ([`TsVec::flush`]).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TsVec {
-    elems: Box<[Option<i64>]>,
+    values: Box<[i64]>,
+    defined: Box<[u64]>,
+    first_defined: u32,
+}
+
+/// Number of `u64` bitmap words covering `k` elements.
+#[inline]
+fn words(k: usize) -> usize {
+    k.div_ceil(64)
 }
 
 impl TsVec {
@@ -24,7 +50,11 @@ impl TsVec {
     /// Panics if `k == 0`.
     pub fn undefined(k: usize) -> Self {
         assert!(k >= 1, "timestamp vectors need at least one dimension");
-        TsVec { elems: vec![None; k].into_boxed_slice() }
+        TsVec {
+            values: vec![0; k].into_boxed_slice(),
+            defined: vec![0; words(k)].into_boxed_slice(),
+            first_defined: k as u32,
+        }
     }
 
     /// The virtual transaction's vector `⟨0, *, …, *⟩` (Algorithm 1,
@@ -39,25 +69,69 @@ impl TsVec {
     /// paper's table reproductions.
     pub fn from_elems(elems: &[Option<i64>]) -> Self {
         assert!(!elems.is_empty());
-        TsVec { elems: elems.to_vec().into_boxed_slice() }
+        let mut v = TsVec::undefined(elems.len());
+        for (m, e) in elems.iter().enumerate() {
+            if let Some(x) = *e {
+                v.define(m, x);
+            }
+        }
+        v
     }
 
     /// Dimension `k`.
     #[inline]
     pub fn k(&self) -> usize {
-        self.elems.len()
+        self.values.len()
+    }
+
+    /// Whether element `m` is defined (0-based, no bounds check beyond
+    /// the bitmap's).
+    #[inline]
+    pub fn is_defined(&self, m: usize) -> bool {
+        debug_assert!(m < self.k());
+        self.defined[m / 64] >> (m % 64) & 1 == 1
     }
 
     /// `TS(i, m)` with `m` 0-based (the paper indexes from 1).
     #[inline]
     pub fn get(&self, m: usize) -> Option<i64> {
-        self.elems[m]
+        assert!(m < self.k(), "element {m} out of range for k = {}", self.k());
+        if self.is_defined(m) {
+            Some(self.values[m])
+        } else {
+            None
+        }
     }
 
-    /// Raw elements.
+    /// Index of the first defined element, or `None` for a fully undefined
+    /// vector. O(1) — maintained on [`TsVec::define`] and [`TsVec::flush`].
     #[inline]
-    pub fn elems(&self) -> &[Option<i64>] {
-        &self.elems
+    pub fn first_defined(&self) -> Option<usize> {
+        let f = self.first_defined as usize;
+        if f < self.k() {
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    /// The raw definedness bitmap (64 elements per word, LSB-first; bits at
+    /// and past `k` are zero).
+    #[inline]
+    pub fn defined_words(&self) -> &[u64] {
+        &self.defined
+    }
+
+    /// The raw value array; entries at undefined positions hold `0`.
+    #[inline]
+    pub fn values_raw(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Elements as `Option`s (allocates; for tests and table displays, not
+    /// the comparison hot path).
+    pub fn elems(&self) -> Vec<Option<i64>> {
+        (0..self.k()).map(|m| self.get(m)).collect()
     }
 
     /// Defines element `m` (0-based).
@@ -68,32 +142,43 @@ impl TsVec {
     #[inline]
     pub fn define(&mut self, m: usize, value: i64) {
         debug_assert!(
-            self.elems[m].is_none(),
+            !self.is_defined(m),
             "element {m} already defined to {:?}; write-once discipline violated",
-            self.elems[m]
+            self.values[m]
         );
-        self.elems[m] = Some(value);
+        self.values[m] = value;
+        self.defined[m / 64] |= 1 << (m % 64);
+        if (m as u32) < self.first_defined {
+            self.first_defined = m as u32;
+        }
     }
 
     /// Number of defined elements.
     pub fn defined_count(&self) -> usize {
-        self.elems.iter().filter(|e| e.is_some()).count()
+        self.defined.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether every element is still undefined (a transaction that has not
     /// yet been ordered against anything).
+    #[inline]
     pub fn is_fully_undefined(&self) -> bool {
-        self.elems.iter().all(|e| e.is_none())
+        self.first_defined as usize >= self.k()
     }
 
     /// Starvation fix (Section III-D-4): flush the vector and pre-set the
     /// first element, so the restarted transaction is already ordered after
     /// the transaction that aborted it.
     pub fn flush(&mut self, first: i64) {
-        for e in self.elems.iter_mut() {
-            *e = None;
-        }
-        self.elems[0] = Some(first);
+        self.values.fill(0);
+        self.defined.fill(0);
+        self.first_defined = self.k() as u32;
+        self.define(0, first);
+    }
+
+    /// The prefix `⟨t₁ … t_l⟩` as `Option`s (allocates), used by the
+    /// composite protocol's shared-prefix tables (Section IV).
+    pub fn prefix(&self, len: usize) -> Vec<Option<i64>> {
+        (0..len).map(|m| self.get(m)).collect()
     }
 
     /// Definition 6 comparison against `other` (scalar path).
@@ -106,22 +191,16 @@ impl TsVec {
     pub fn is_less(&self, other: &TsVec) -> bool {
         matches!(self.compare(other), CmpResult::Less { .. })
     }
-
-    /// The prefix `⟨t₁ … t_l⟩` (0-based exclusive end), used by the
-    /// composite protocol's shared-prefix tables (Section IV).
-    pub fn prefix(&self, len: usize) -> &[Option<i64>] {
-        &self.elems[..len]
-    }
 }
 
 impl fmt::Display for TsVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<")?;
-        for (n, e) in self.elems.iter().enumerate() {
-            if n > 0 {
+        for m in 0..self.k() {
+            if m > 0 {
                 write!(f, ",")?;
             }
-            match e {
+            match self.get(m) {
                 Some(v) => write!(f, "{v}")?,
                 None => write!(f, "*")?,
             }
@@ -163,11 +242,67 @@ mod tests {
         v.flush(7);
         assert_eq!(v.to_string(), "<7,*,*>");
         assert_eq!(v.defined_count(), 1);
+        assert_eq!(v.first_defined(), Some(0));
     }
 
     #[test]
     fn display_matches_paper() {
         let v = TsVec::from_elems(&[Some(2), None]);
         assert_eq!(v.to_string(), "<2,*>");
+    }
+
+    #[test]
+    fn first_defined_cache_tracks_defines() {
+        let mut v = TsVec::undefined(130);
+        assert_eq!(v.first_defined(), None);
+        assert!(v.is_fully_undefined());
+        v.define(100, 5);
+        assert_eq!(v.first_defined(), Some(100));
+        v.define(129, 6);
+        assert_eq!(v.first_defined(), Some(100));
+        v.define(3, 7);
+        assert_eq!(v.first_defined(), Some(3));
+        assert!(!v.is_fully_undefined());
+        assert_eq!(v.defined_count(), 3);
+    }
+
+    #[test]
+    fn bitmap_matches_get_across_word_boundaries() {
+        let mut v = TsVec::undefined(200);
+        for m in [0usize, 63, 64, 65, 127, 128, 199] {
+            v.define(m, m as i64);
+        }
+        for m in 0..200 {
+            let expect = [0usize, 63, 64, 65, 127, 128, 199].contains(&m);
+            assert_eq!(v.is_defined(m), expect, "element {m}");
+            assert_eq!(v.get(m), expect.then_some(m as i64), "element {m}");
+        }
+        // Bits past k stay clear, words cover exactly ⌈k/64⌉.
+        assert_eq!(v.defined_words().len(), 4);
+        assert_eq!(v.defined_words()[3] >> (200 - 192), 0);
+    }
+
+    #[test]
+    fn eq_and_hash_ignore_undefined_values() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Two vectors that went through different define histories but end
+        // in the same logical state must be equal with equal hashes.
+        let mut a = TsVec::undefined(3);
+        a.define(1, 9);
+        let b = TsVec::from_elems(&[None, Some(9), None]);
+        assert_eq!(a, b);
+        let hash = |v: &TsVec| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn elems_round_trips() {
+        let elems = [Some(3), None, Some(-2), None, None];
+        assert_eq!(TsVec::from_elems(&elems).elems(), elems);
     }
 }

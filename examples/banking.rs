@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example banking`
 
 use mdts::engine::{
-    run_bank_mix, BankConfig, BasicToCc, CompositeCc, ConcurrencyControl, IntervalCc, MtCc,
-    OccCc, TwoPlCc,
+    run_bank_mix, BankConfig, BasicToCc, CompositeCc, ConcurrencyControl, IntervalCc, MtCc, OccCc,
+    TwoPlCc,
 };
 
 fn protocols() -> Vec<Box<dyn ConcurrencyControl>> {

@@ -24,10 +24,8 @@ fn main() {
     );
     for n_sites in [1u32, 2, 4, 8] {
         for retain in [false, true] {
-            let mut dmt = DmtScheduler::new(DmtConfig {
-                retain_locks: retain,
-                ..DmtConfig::new(3, n_sites)
-            });
+            let mut dmt =
+                DmtScheduler::new(DmtConfig { retain_locks: retain, ..DmtConfig::new(3, n_sites) });
             let accepted = dmt.recognize(&log).is_ok();
             let s = dmt.stats();
             println!(

@@ -38,12 +38,7 @@ fn main() {
         for k in [2usize, 4, 8] {
             let plain = acceptance(&cfg, k, None, trials);
             let hot = acceptance(&cfg, k, Some(HotEncoding { threshold: 3 }), trials);
-            println!(
-                "{k:>4} {:>12} {:>17.1}% {:>17.1}%",
-                kind.name(),
-                plain * 100.0,
-                hot * 100.0
-            );
+            println!("{k:>4} {:>12} {:>17.1}% {:>17.1}%", kind.name(), plain * 100.0, hot * 100.0);
         }
     }
     println!(

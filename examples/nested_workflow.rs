@@ -22,10 +22,8 @@ fn main() {
     let mut sched = NestedScheduler::new(2, 2, partition);
 
     // draft, toc, layout, index
-    let log = Log::parse(
-        "R1[draft] R2[toc] W2[draft] R3[draft] W3[layout] R4[layout] W4[index]",
-    )
-    .expect("valid notation");
+    let log = Log::parse("R1[draft] R2[toc] W2[draft] R3[draft] W3[layout] R4[layout] W4[index]")
+        .expect("valid notation");
     println!("workflow log: {log}\n");
 
     match sched.recognize(&log) {
@@ -54,7 +52,11 @@ fn main() {
     let d = sched.write(TxId(1), ItemId(9));
     println!(
         "  W1[notes] → {}",
-        if d.is_accept() { "accepted (?!)".to_string() } else { "rejected: would imply Publishing → Editing".to_string() }
+        if d.is_accept() {
+            "accepted (?!)".to_string()
+        } else {
+            "rejected: would imply Publishing → Editing".to_string()
+        }
     );
     assert!(!d.is_accept(), "group antisymmetry must hold");
 }

@@ -40,10 +40,7 @@ fn main() {
         println!("  TS({}) = {}", tx.0, mt2.table().ts_expect(tx));
     }
 
-    let order = mt2
-        .table()
-        .serial_order(&log.transactions())
-        .expect("accepted logs always sort");
+    let order = mt2.table().serial_order(&log.transactions()).expect("accepted logs always sort");
     println!(
         "\nserializability order: {}",
         order.iter().map(|t| format!("T{}", t.0)).collect::<Vec<_>>().join(" ")
@@ -56,7 +53,10 @@ fn main() {
 
     // And the class landscape for this log:
     let flags = mdts::graph::ClassFlags::compute(&log, 8);
-    println!("\nclass membership: DSR = {}, SSR = {}, 2PL = {}, TO(1) = {}", flags.dsr, flags.ssr, flags.two_pl, flags.to1);
+    println!(
+        "\nclass membership: DSR = {}, SSR = {}, 2PL = {}, TO(1) = {}",
+        flags.dsr, flags.ssr, flags.two_pl, flags.to1
+    );
     assert!(!r1.accepted);
     assert!(!flags.to1, "TO(1) agrees with MT(1)");
     let _ = TxId(0);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local verification gate: formatting, lints, release build, and the
+# complete workspace test suite (tier-1 is the root package's tests; the
+# workspace run is a superset). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "verify: OK"

@@ -1,0 +1,295 @@
+//! Offline drop-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal harness with the same API: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher`] (`iter`, `iter_batched`),
+//! [`BenchmarkId`], [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It times with `std::time::Instant`, reports median ns/iter (plus
+//! elements/s when a throughput is set) to stdout, and produces no HTML or
+//! statistical analysis.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; one per `criterion_group!` function list.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("scalar", 64)` → `scalar/64`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. operations) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically
+/// here (setup is always outside the timed section).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh input per routine call.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// A named set of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, |b| f(b));
+        group.finish();
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id, &b);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id, &b);
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let full = if self.name.is_empty() {
+            id.label.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        let mut line = format!("{full:<48} time: {}", fmt_ns(b.median_ns));
+        if let Some(t) = self.throughput {
+            let (units, label) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            if b.median_ns > 0.0 {
+                let rate = units as f64 * 1e9 / b.median_ns;
+                let _ = write!(line, "  thrpt: {rate:.3e} {label}");
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: f64,
+}
+
+/// Target wall-clock spent measuring one benchmark (split over samples).
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+const WARMUP_TARGET: Duration = Duration::from_millis(30);
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, median_ns: 0.0 }
+    }
+
+    /// Times `routine` (called back-to-back in calibrated batches).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-call cost.
+        let mut calls = 0u64;
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm.elapsed().as_secs_f64() / calls as f64;
+
+        let per_sample = MEASURE_TARGET.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_call.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.median_ns = median(&mut samples);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+            // Batched benchmarks (engine runs) are slow; don't let the
+            // harness balloon far past the target budget.
+            if budget.elapsed() > 10 * MEASURE_TARGET && samples.len() >= 2 {
+                break;
+            }
+        }
+        self.median_ns = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Re-export for code using `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        let mut s = vec![3.0, 1.0, 2.0];
+        assert_eq!(median(&mut s), 2.0);
+        let mut s = vec![4.0, 1.0, 2.0, 3.0];
+        assert_eq!(median(&mut s), 2.5);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("scalar", 64).label, "scalar/64");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.median_ns > 0.0);
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| 21u64, |x| x * 2, BatchSize::PerIteration);
+        assert!(b.median_ns >= 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use rand::rngs::StdRng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec`s of a fixed length; see [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+/// `collection::vec(element, len)` — a `Vec` of exactly `len` samples.
+///
+/// Real proptest also accepts length *ranges*; this workspace only uses
+/// fixed lengths, so only `usize` is supported.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_length_vec() {
+        let s = vec(0i64..5, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = s.sample(&mut rng);
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|x| (0..5).contains(x)));
+    }
+}

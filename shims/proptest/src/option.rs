@@ -1,0 +1,45 @@
+//! `Option` strategies (`proptest::option` subset).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for weighted `Option`s; see [`weighted`].
+pub struct WeightedOption<S> {
+    p_some: f64,
+    inner: S,
+}
+
+/// `option::weighted(p, strategy)` — `Some(sample)` with probability `p`,
+/// `None` otherwise.
+pub fn weighted<S: Strategy>(p_some: f64, inner: S) -> WeightedOption<S> {
+    assert!((0.0..=1.0).contains(&p_some), "probability out of range: {p_some}");
+    WeightedOption { p_some, inner }
+}
+
+impl<S: Strategy> Strategy for WeightedOption<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(self.p_some) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_respects_probability() {
+        let s = weighted(0.7, 0i64..10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let somes = (0..10_000).filter(|_| s.sample(&mut rng).is_some()).count();
+        assert!((6_400..7_600).contains(&somes), "p=0.7 got {somes}/10000");
+    }
+}

@@ -1,0 +1,99 @@
+//! Case runner and configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!`-block configuration; only `cases` is supported.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (from `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs `config.cases` samples of `case`, panicking on the first failure.
+///
+/// The RNG seed derives from the test name alone, so a failure reproduces
+/// exactly by re-running the same test binary — the printed case index
+/// identifies the offending sample.
+pub fn run_cases(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+    for i in 0..config.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// FNV-1a — stable across runs and platforms, unlike `DefaultHasher`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases_on_success() {
+        let mut n = 0;
+        run_cases(ProptestConfig::with_cases(37), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case 5")]
+    fn stops_and_panics_on_failure() {
+        let mut n = 0;
+        run_cases(ProptestConfig::default(), "t", |_| {
+            if n == 5 {
+                return Err(TestCaseError::fail("boom"));
+            }
+            n += 1;
+            Ok(())
+        });
+    }
+}

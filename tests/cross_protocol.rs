@@ -38,9 +38,7 @@ fn definition4_class_inside_mt1() {
 /// (lines 9–10 admit re-reads that condition iv forbids).
 #[test]
 fn mt1_reader_rule_exceeds_definition4() {
-    let witness = random_logs(20_000, 12)
-        .into_iter()
-        .find(|log| to_k(log, 1) && !is_to1(log));
+    let witness = random_logs(20_000, 12).into_iter().find(|log| to_k(log, 1) && !is_to1(log));
     assert!(witness.is_some(), "expected an MT(1) \\ Definition-4 witness");
 }
 
@@ -124,8 +122,14 @@ fn vector_order_is_a_valid_serialization() {
 fn pointwise_containments_two_step() {
     for seed in 0..500u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let log = TwoStepConfig { n_txns: 4, n_items: 4, read_size: 1, write_size: 1, ..Default::default() }
-            .generate(&mut rng);
+        let log = TwoStepConfig {
+            n_txns: 4,
+            n_items: 4,
+            read_size: 1,
+            write_size: 1,
+            ..Default::default()
+        }
+        .generate(&mut rng);
         for k in 1..=3 {
             if to_k(&log, k) {
                 assert!(is_dsr(&log));

@@ -1,0 +1,167 @@
+//! Multi-threaded stress: 8–16 client threads hammer a Zipf hotspot and
+//! the committed history must stay serializable, protocol by protocol —
+//! including MT(k) on the natively concurrent sharded scheduler.
+//!
+//! Beyond the usual total-balance invariant (which a pair of compensating
+//! lost updates could mask), every committed transfer reports the value it
+//! read and the value it wrote, and the test checks per item that those
+//! edges can chain from the opening balance to the final stored value:
+//! for a serializable history the committed writes on an item form a path
+//! `v₀ → … → v_f` in the value graph, so each value's out-degree minus
+//! in-degree must be +1 at `v₀`, −1 at `v_f`, and 0 elsewhere. Two
+//! transactions that both read balance `v` and both commit `v − 1` (a
+//! classic lost update) give `v` out-degree 2 and fail the condition even
+//! though the doubly-spent unit may be restored elsewhere.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mdts::engine::{BasicToCc, CompositeCc, Database, MtCc, ShardedMtCc, TwoPlCc, TxError};
+use mdts::model::{ItemId, Zipf};
+use mdts::storage::Store;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ACCOUNTS: u32 = 64;
+const INITIAL: i64 = 100;
+const TXNS_PER_THREAD: usize = 120;
+const ZIPF_THETA: f64 = 0.9;
+const MAX_RESTARTS: usize = 5_000;
+
+/// A committed transfer's footprint on one item: `(item, read, written)`.
+type Edge = (ItemId, i64, i64);
+
+/// Verifies the Eulerian-path degree condition of the per-item value
+/// graphs (a necessary condition for the committed writes to form a
+/// chain from the opening balance to the final state).
+fn check_value_chains(name: &str, db: &Database<i64>, edges: &[Edge]) {
+    let snapshot = db.snapshot();
+    let mut per_item: HashMap<ItemId, HashMap<i64, i64>> = HashMap::new();
+    for &(item, from, to) in edges {
+        let net = per_item.entry(item).or_default();
+        *net.entry(from).or_insert(0) += 1;
+        *net.entry(to).or_insert(0) -= 1;
+    }
+    for i in 0..ACCOUNTS {
+        let item = ItemId(i);
+        let v0 = INITIAL;
+        let vf = snapshot.get(&item).copied().unwrap_or(INITIAL);
+        let net = per_item.remove(&item).unwrap_or_default();
+        for (value, degree) in net {
+            let expected = i64::from(value == v0) - i64::from(value == vf);
+            assert_eq!(
+                degree, expected,
+                "{name}: committed writes on {item} cannot chain {v0} → {vf}: \
+                 value {value} has out−in = {degree}, expected {expected} \
+                 (a lost or phantom update)"
+            );
+        }
+    }
+}
+
+fn stress(name: &str, db: Database<i64>, threads: usize) {
+    let zipf = Zipf::new(ACCOUNTS as usize, ZIPF_THETA);
+    let edges: Mutex<Vec<Edge>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let db = db.clone();
+            let zipf = zipf.clone();
+            let edges = &edges;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEEF ^ (t as u64) << 8);
+                let mut mine: Vec<Edge> = Vec::new();
+                for n in 0..TXNS_PER_THREAD {
+                    if n % 8 == 0 {
+                        // Full-scan audit: any committed snapshot must show
+                        // the invariant total.
+                        let audited: Result<i64, TxError> = db.run(MAX_RESTARTS, |tx| {
+                            let mut sum = 0i64;
+                            for i in 0..ACCOUNTS {
+                                sum += tx.read(ItemId(i))?.unwrap_or(0);
+                            }
+                            Ok(sum)
+                        });
+                        if let Ok(total) = audited {
+                            assert_eq!(
+                                total,
+                                ACCOUNTS as i64 * INITIAL,
+                                "{name}: audit saw a torn state"
+                            );
+                        }
+                        continue;
+                    }
+                    let src = zipf.sample(&mut rng);
+                    let mut dst = zipf.sample(&mut rng);
+                    while dst == src {
+                        dst = zipf.sample(&mut rng);
+                    }
+                    // Only the committed attempt's values escape `run`, so
+                    // restarted attempts never contribute edges.
+                    let committed: Result<(i64, i64), TxError> = db.run(MAX_RESTARTS, |tx| {
+                        let a = tx.read(src)?.unwrap_or(0);
+                        let b = tx.read(dst)?.unwrap_or(0);
+                        std::thread::sleep(Duration::from_micros(5));
+                        tx.write(src, a - 1)?;
+                        tx.write(dst, b + 1)?;
+                        Ok((a, b))
+                    });
+                    if let Ok((a, b)) = committed {
+                        mine.push((src, a, a - 1));
+                        mine.push((dst, b, b + 1));
+                    }
+                }
+                edges.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let edges = edges.into_inner().unwrap();
+    assert!(!edges.is_empty(), "{name}: nothing committed under contention");
+    let total: i64 = db.snapshot().values().sum();
+    assert_eq!(total, ACCOUNTS as i64 * INITIAL, "{name}: total drifted");
+    check_value_chains(name, &db, &edges);
+    // Each edge pair is one committed transfer (audits commit on top).
+    assert!(db.metrics().commits >= edges.len() as u64 / 2, "{name}: commit metric undercounts");
+}
+
+fn store() -> Store<i64> {
+    Store::with_items(ACCOUNTS, INITIAL)
+}
+
+#[test]
+fn sharded_mtk_survives_zipf_hotspot_8_threads() {
+    stress(
+        "MT(3)-sharded/8t",
+        Database::with_store_concurrent(Box::new(ShardedMtCc::new(3)), store()),
+        8,
+    );
+}
+
+#[test]
+fn sharded_mtk_survives_zipf_hotspot_16_threads() {
+    stress(
+        "MT(3)-sharded/16t",
+        Database::with_store_concurrent(Box::new(ShardedMtCc::new(3)), store()),
+        16,
+    );
+}
+
+#[test]
+fn serialized_mtk_survives_zipf_hotspot() {
+    stress("MT(3)/8t", Database::with_store(Box::new(MtCc::new(3)), store()), 8);
+}
+
+#[test]
+fn composite_mtk_star_survives_zipf_hotspot() {
+    stress("MT(2*)/8t", Database::with_store(Box::new(CompositeCc::new(2)), store()), 8);
+}
+
+#[test]
+fn two_phase_locking_survives_zipf_hotspot() {
+    stress("2PL/8t", Database::with_store(Box::new(TwoPlCc::new()), store()), 8);
+}
+
+#[test]
+fn basic_timestamp_ordering_survives_zipf_hotspot() {
+    stress("TO(1)/8t", Database::with_store(Box::new(BasicToCc::new(true)), store()), 8);
+}
