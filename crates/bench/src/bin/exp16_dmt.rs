@@ -9,6 +9,7 @@ use mdts_bench::{print_table, Table};
 use mdts_core::{recognize, MtScheduler};
 use mdts_dist::{DmtConfig, DmtScheduler};
 use mdts_model::MultiStepConfig;
+use mdts_trace::{DmtSource, TraceBuffer, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +35,8 @@ fn main() {
     );
 
     let mut t = Table::new(&[
-        "sites", "retain", "sync", "accepted", "messages", "fetches", "retained", "locks/op",
+        "sites", "retain", "sync", "accepted", "messages", "fetches", "retained", "syncs",
+        "assigns", "wbacks", "locks/op",
     ]);
     for n_sites in [1u32, 2, 4, 8] {
         for retain in [false, true] {
@@ -54,6 +56,9 @@ fn main() {
                     s.messages.to_string(),
                     s.remote_fetches.to_string(),
                     s.retained.to_string(),
+                    s.syncs.to_string(),
+                    s.assignments.to_string(),
+                    s.write_backs.to_string(),
                     s.max_locks_per_op.to_string(),
                 ]);
                 assert!(s.max_locks_per_op <= 4, "paper: at most 3-4 objects per op");
@@ -61,6 +66,50 @@ fn main() {
         }
     }
     print_table(&t);
+
+    // Per-site breakdown of a representative 4-site run, cross-checked
+    // against the captured trace: the DmtLock/DmtWriteBack/DmtSync events
+    // alone re-derive the message bill.
+    let buffer = TraceBuffer::journal();
+    let mut dmt = DmtScheduler::new(DmtConfig::new(5, 4));
+    dmt.attach_trace(TraceSink::to(&buffer));
+    let _ = dmt.recognize(&log);
+    println!("\nper-site breakdown (4 sites, retention on, sync every 16):\n");
+    let mut ps = Table::new(&[
+        "site", "ops", "messages", "fetches", "retained", "local", "assigns", "wbacks",
+    ]);
+    for (site, s) in dmt.site_stats().iter().enumerate() {
+        ps.row(&[
+            site.to_string(),
+            s.ops.to_string(),
+            s.messages.to_string(),
+            s.remote_fetches.to_string(),
+            s.retained.to_string(),
+            s.local_hits.to_string(),
+            s.assignments.to_string(),
+            s.write_backs.to_string(),
+        ]);
+    }
+    print_table(&ps);
+    let stats = dmt.stats();
+    let trace = buffer.snapshot();
+    let mut replayed = 0u64;
+    for e in trace.events() {
+        match e {
+            TraceEvent::DmtLock { source: DmtSource::Remote, .. } => replayed += 2,
+            TraceEvent::DmtWriteBack { remote: true, .. } => replayed += 1,
+            TraceEvent::DmtSync { messages, .. } => replayed += messages,
+            _ => {}
+        }
+    }
+    assert_eq!(replayed, stats.messages);
+    println!(
+        "\n{} trace events re-derive all {} messages ({} assignments across {} sites)",
+        trace.len(),
+        stats.messages,
+        stats.assignments,
+        dmt.site_stats().len()
+    );
 
     // Single-site equivalence with centralized MT(k).
     let mut dmt = DmtScheduler::new(DmtConfig { sync_interval: 0, ..DmtConfig::new(5, 1) });

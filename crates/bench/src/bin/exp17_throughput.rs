@@ -1,8 +1,12 @@
 //! exp17 — engine-level evaluation: throughput and abort behavior of
 //! MT(k) against 2PL, TO(1), OCC, intervals and MT(k⁺) across contention
 //! levels, at the paper's "multiprogramming level of 8–10" (III-D-6a).
+//!
+//! `--json` replaces the human tables with one `mdts-metrics/v1` document
+//! on stdout: full counters, abort-reason and shard breakdowns, and the
+//! complete latency histogram per run.
 
-use mdts_bench::{print_table, Table};
+use mdts_bench::{json_mode, metrics_document, print_table, Table};
 use mdts_engine::{
     run_bank_mix, BankConfig, BasicToCc, CompositeCc, ConcurrencyControl, IntervalCc, MtCc, OccCc,
     TwoPlCc,
@@ -21,13 +25,19 @@ fn protocols() -> Vec<Box<dyn ConcurrencyControl>> {
 }
 
 fn main() {
-    println!("== exp17: engine throughput & abort behavior ==\n");
+    let json = json_mode();
+    let mut runs = Vec::new();
+    if !json {
+        println!("== exp17: engine throughput & abort behavior ==\n");
+    }
     for (label, accounts, theta) in [
         ("low contention (256 accounts, uniform)", 256u32, 0.0f64),
         ("medium contention (64 accounts, Zipf 0.8)", 64, 0.8),
         ("high contention (16 accounts, Zipf 1.1)", 16, 1.1),
     ] {
-        println!("{label}:");
+        if !json {
+            println!("{label}:");
+        }
         let cfg = BankConfig {
             accounts,
             threads: 8,
@@ -67,9 +77,25 @@ fn main() {
                 if r.invariant_holds() { "ok" } else { "VIOLATED" }.into(),
             ]);
             assert!(r.invariant_holds(), "{} violated serializability", r.protocol);
+            runs.push(
+                r.metrics
+                    .registry()
+                    .label("protocol", r.protocol)
+                    .label("contention", label)
+                    .label("threads", cfg.threads.to_string())
+                    .label("accounts", accounts.to_string())
+                    .label("zipf_theta", format!("{theta}"))
+                    .counter("throughput_txn_per_s", r.throughput as u64),
+            );
         }
-        print_table(&t);
-        println!();
+        if !json {
+            print_table(&t);
+            println!();
+        }
+    }
+    if json {
+        println!("{}", metrics_document("exp17", &runs).render());
+        return;
     }
     println!(
         "reading the shape: 2PL pays in blocked waits, the optimistic and timestamp\n\

@@ -14,7 +14,10 @@
 //! the Zipf sweep measures how much of that headroom survives a contended
 //! hotspot.
 
-use mdts_bench::{print_table, Table};
+//! `--json` replaces the human tables with one `mdts-metrics/v1` document
+//! on stdout (full counters, breakdowns, and latency histograms per run).
+
+use mdts_bench::{json_mode, metrics_document, print_table, Table};
 use mdts_engine::{
     run_bank_mix, run_bank_mix_concurrent, BankConfig, BankReport, BasicToCc, MtCc, ShardedMtCc,
     TwoPlCc,
@@ -49,12 +52,18 @@ impl Protocol {
 }
 
 fn main() {
-    println!("== exp19: multicore scaling, sharded vs serialized engine ==\n");
+    let json = json_mode();
+    let mut runs = Vec::new();
+    if !json {
+        println!("== exp19: multicore scaling, sharded vs serialized engine ==\n");
+    }
     for (label, accounts, theta) in [
         ("uniform low contention (4096 accounts)", 4096u32, 0.0f64),
         ("Zipf hotspot (256 accounts, theta 0.9)", 256, 0.9),
     ] {
-        println!("{label}:");
+        if !json {
+            println!("{label}:");
+        }
         let mut t = Table::new(&[
             "protocol",
             "threads",
@@ -95,10 +104,26 @@ fn main() {
                     if r.invariant_holds() { "ok" } else { "VIOLATED" }.into(),
                 ]);
                 assert!(r.invariant_holds(), "{} violated serializability", r.protocol);
+                runs.push(
+                    r.metrics
+                        .registry()
+                        .label("protocol", r.protocol)
+                        .label("sweep", label)
+                        .label("threads", threads.to_string())
+                        .label("accounts", accounts.to_string())
+                        .label("zipf_theta", format!("{theta}"))
+                        .counter("throughput_txn_per_s", r.throughput as u64),
+                );
             }
         }
-        print_table(&t);
-        println!();
+        if !json {
+            print_table(&t);
+            println!();
+        }
+    }
+    if json {
+        println!("{}", metrics_document("exp19", &runs).render());
+        return;
     }
     println!(
         "reading the shape: under uniform load MT(k)'s throughput climbs with the\n\

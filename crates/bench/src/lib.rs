@@ -11,4 +11,6 @@ pub mod report;
 
 pub use accept::{acceptance_rate, AcceptanceSweep, Recognizer};
 pub use regions::{classify_region, region_table, RegionFlags};
-pub use report::{print_table, replay_with_snapshots, Table};
+pub use report::{
+    json_mode, metrics_document, print_table, replay_with_snapshots, Table, METRICS_SCHEMA,
+};

@@ -1,8 +1,30 @@
 //! Plain-text table rendering and per-operation vector snapshots — the
-//! format of the paper's Tables I–III.
+//! format of the paper's Tables I–III — plus the schema-stable JSON
+//! metrics document the engine experiments emit under `--json`.
 
 use mdts_core::{LogScheduler, MtScheduler};
 use mdts_model::{Log, TxId};
+use mdts_trace::{Json, MetricsRegistry};
+
+/// Schema identifier stamped on every `--json` metrics document, bumped on
+/// any shape change so downstream consumers can pin it.
+pub const METRICS_SCHEMA: &str = "mdts-metrics/v1";
+
+/// Whether the binary was invoked with `--json` (machine-readable metrics
+/// on stdout instead of the human tables).
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Wraps per-run metric registries into one experiment-level document:
+/// `{"schema":"mdts-metrics/v1","experiment":…,"runs":[…]}`.
+pub fn metrics_document(experiment: &str, runs: &[MetricsRegistry]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(METRICS_SCHEMA)),
+        ("experiment", Json::str(experiment)),
+        ("runs", Json::Arr(runs.iter().map(MetricsRegistry::to_json).collect())),
+    ])
+}
 
 /// A simple aligned text table.
 #[derive(Clone, Debug, Default)]
@@ -98,6 +120,20 @@ mod tests {
         let s = t.render();
         assert!(s.contains("a   bbbb"));
         assert!(s.contains("xx  y"));
+    }
+
+    /// The `--json` document shape consumed downstream: schema id first,
+    /// then the experiment name, then one registry object per run.
+    #[test]
+    fn metrics_document_is_schema_stable() {
+        let runs = vec![MetricsRegistry::new()
+            .label("protocol", "MT(3)")
+            .counter("commits", 7)
+            .breakdown("abort_reasons", vec![("epoch".to_string(), 0)])];
+        let doc = metrics_document("exp17", &runs).render();
+        assert!(doc.starts_with(r#"{"schema":"mdts-metrics/v1","experiment":"exp17","runs":[{"#));
+        assert!(doc.contains(r#""counters":{"commits":7}"#));
+        assert!(doc.contains(r#""breakdowns":{"abort_reasons":{"epoch":0}}"#));
     }
 
     #[test]

@@ -21,6 +21,8 @@
 use std::collections::HashMap;
 
 use mdts_model::{ItemId, OpKind, Operation, TxId};
+use mdts_trace::event::{scalar_cost, tree_cost, AccessOutcome, RejectRule, SetEdgeOutcome};
+use mdts_trace::{TraceBuffer, TraceEvent, TraceSink};
 use mdts_vector::{CmpResult, TsVec};
 
 use crate::table::TimestampTable;
@@ -66,8 +68,11 @@ pub struct MtOptions {
     pub starvation_flush: bool,
     /// Hot-item right-end encoding (III-D-5).
     pub hot_encoding: Option<HotEncoding>,
-    /// Record a [`SetEvent`] journal (used by the paper-table harnesses;
-    /// off by default to keep bulk recognition allocation-free).
+    /// Attach an internal journal [`TraceBuffer`] so [`MtScheduler::events`]
+    /// can reconstruct the `Set` journal (used by the paper-table
+    /// harnesses; off by default to keep bulk recognition allocation-free).
+    /// Independent of this flag, an external sink can be attached with
+    /// [`MtScheduler::attach_trace`].
     pub record_events: bool,
 }
 
@@ -209,13 +214,20 @@ pub struct MtScheduler {
     /// old anchor, so rollback stays disabled for the item's `RT` slot for
     /// good.
     shielded: std::collections::HashSet<ItemId>,
-    events: Vec<SetEvent>,
+    /// Decision-trace sink (disabled by default; see `mdts-trace`).
+    /// Cloning the scheduler shares the sink's buffer.
+    trace: TraceSink,
 }
 
 impl MtScheduler {
     /// New scheduler with the given options.
     pub fn new(opts: MtOptions) -> Self {
         assert!(opts.k >= 1);
+        let trace = if opts.record_events {
+            TraceSink::to(&TraceBuffer::journal())
+        } else {
+            TraceSink::disabled()
+        };
         MtScheduler {
             table: TimestampTable::new(opts.k),
             opts,
@@ -224,7 +236,7 @@ impl MtScheduler {
             footprint: HashMap::new(),
             finished: std::collections::HashSet::new(),
             shielded: std::collections::HashSet::new(),
-            events: Vec::new(),
+            trace,
         }
     }
 
@@ -258,9 +270,44 @@ impl MtScheduler {
         self.table.install(tx, vector);
     }
 
-    /// The `Set` journal (empty unless `record_events`).
-    pub fn events(&self) -> &[SetEvent] {
-        &self.events
+    /// Routes the scheduler's decision trace to `sink` (replacing any
+    /// previous sink, including the internal `record_events` journal).
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The trace sink in force.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The `Set` journal, reconstructed from the attached trace buffer
+    /// (empty unless `record_events` or an [`MtScheduler::attach_trace`]d
+    /// buffer is present). Compatibility shim: the trace layer is the one
+    /// event stream; this projects its `SetEdge` records back into the
+    /// historical [`SetEvent`] shape.
+    pub fn events(&self) -> Vec<SetEvent> {
+        let Some(buffer) = self.trace.buffer() else {
+            return Vec::new();
+        };
+        let trace = buffer.snapshot();
+        trace
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::SetEdge { from, to, outcome } => Some(match outcome {
+                    SetEdgeOutcome::Encoded { changes } => {
+                        SetEvent::Encoded { from: *from, to: *to, changes: changes.clone() }
+                    }
+                    SetEdgeOutcome::AlreadyOrdered => {
+                        SetEvent::AlreadyOrdered { from: *from, to: *to }
+                    }
+                    SetEdgeOutcome::Refused { at } => {
+                        SetEvent::Refused { from: *from, to: *to, at: *at }
+                    }
+                }),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Registers a transaction (idempotent). Operations register their
@@ -275,6 +322,8 @@ impl MtScheduler {
     /// `aborted` (the paper's in-place flush) or be a fresh id (the
     /// engine's restart style).
     pub fn begin_restarted(&mut self, new_tx: TxId, aborted: TxId) {
+        let hint = self.restart_hints.get(&aborted).copied();
+        self.trace.emit(|| TraceEvent::Restart { tx: new_tx, aborted, hint });
         match self.restart_hints.remove(&aborted) {
             Some(first) => {
                 let mut v = TsVec::undefined(self.opts.k);
@@ -294,6 +343,7 @@ impl MtScheduler {
     /// Notes a commit and attempts storage reclamation (III-D-6b). Returns
     /// whether the vector row could be dropped already.
     pub fn commit(&mut self, tx: TxId) -> bool {
+        self.trace.emit(|| TraceEvent::Commit { tx });
         self.restart_hints.remove(&tx);
         self.footprint.remove(&tx);
         if self.table.reclaim(tx) {
@@ -329,6 +379,7 @@ impl MtScheduler {
     ///   that reader's read and its write-validation unchecked (a lost
     ///   update). See [`MtScheduler::read`].
     pub fn abort(&mut self, tx: TxId) {
+        self.trace.emit(|| TraceEvent::Abort { tx });
         if let Some(entries) = self.footprint.remove(&tx) {
             for (item, slot, prev) in entries.into_iter().rev() {
                 let current = match slot {
@@ -419,9 +470,16 @@ impl MtScheduler {
     }
 
     fn record(&mut self, ev: SetEvent) {
-        if self.opts.record_events {
-            self.events.push(ev);
-        }
+        self.trace.emit(|| {
+            let (from, to, outcome) = match ev {
+                SetEvent::Encoded { from, to, changes } => {
+                    (from, to, SetEdgeOutcome::Encoded { changes })
+                }
+                SetEvent::AlreadyOrdered { from, to } => (from, to, SetEdgeOutcome::AlreadyOrdered),
+                SetEvent::Refused { from, to, at } => (from, to, SetEdgeOutcome::Refused { at }),
+            };
+            TraceEvent::SetEdge { from, to, outcome }
+        });
     }
 
     /// Procedure `Set(j, i)`: ensure `TS(j) < TS(i)`, encoding a new
@@ -433,7 +491,15 @@ impl MtScheduler {
         self.table.ensure_tx(j);
         self.table.ensure_tx(i);
         let k = self.opts.k;
-        match self.table.compare(j, i) {
+        let cmp = self.table.compare(j, i);
+        self.trace.emit(|| TraceEvent::Compare {
+            a: j,
+            b: i,
+            result: cmp,
+            scalar_ops: scalar_cost(cmp, k),
+            tree_steps: tree_cost(k),
+        });
+        match cmp {
             CmpResult::Less { .. } => {
                 self.record(SetEvent::AlreadyOrdered { from: j, to: i });
                 SetResult::Ok
@@ -547,18 +613,27 @@ impl MtScheduler {
     pub fn read(&mut self, tx: TxId, item: ItemId) -> Decision {
         self.table.ensure_tx(tx);
         let hot = self.bump_access(item);
+        let rt = self.table.rt(item);
+        let wt = self.table.wt(item);
         let j = self.pick(item);
         match self.set_less(j, tx, hot) {
             SetResult::Ok => {
+                self.trace.emit(|| TraceEvent::Access {
+                    tx,
+                    item,
+                    kind: OpKind::Read,
+                    rt,
+                    wt,
+                    outcome: AccessOutcome::Granted,
+                });
                 self.set_rt_tracked(item, tx); // line 7
                 Decision::accept()
             }
             SetResult::Refused { at } => {
                 // Lines 9–10: proceed without becoming the most recent
                 // reader if ordered after the latest writer.
-                let rt = self.table.rt(item);
-                let wt = self.table.wt(item);
-                if self.opts.reader_rule && j == rt {
+                let reader_rule = self.opts.reader_rule && j == rt;
+                if reader_rule {
                     let after_writer = if self.opts.relaxed_reader_rule {
                         matches!(self.set_less(wt, tx, false), SetResult::Ok)
                     } else {
@@ -570,10 +645,34 @@ impl MtScheduler {
                         // decided order `tx < RT(x)`. Mark the anchor so an
                         // abort of the holder cannot roll it away.
                         self.shielded.insert(item);
+                        self.trace.emit(|| TraceEvent::Access {
+                            tx,
+                            item,
+                            kind: OpKind::Read,
+                            rt,
+                            wt,
+                            outcome: AccessOutcome::GrantedInvisible,
+                        });
                         return Decision::accept();
                     }
                 }
                 self.note_reject(tx, j);
+                self.trace.emit(|| TraceEvent::Access {
+                    tx,
+                    item,
+                    kind: OpKind::Read,
+                    rt,
+                    wt,
+                    outcome: AccessOutcome::Rejected {
+                        against: j,
+                        column: at,
+                        rule: if reader_rule {
+                            RejectRule::ReaderRule
+                        } else {
+                            RejectRule::VectorOrder
+                        },
+                    },
+                });
                 Decision::Reject(Reject { tx, against: j, item, column: at })
             }
         }
@@ -583,9 +682,19 @@ impl MtScheduler {
     pub fn write(&mut self, tx: TxId, item: ItemId) -> Decision {
         self.table.ensure_tx(tx);
         let hot = self.bump_access(item);
+        let rt = self.table.rt(item);
+        let wt = self.table.wt(item);
         let j = self.pick(item);
         match self.set_less(j, tx, hot) {
             SetResult::Ok => {
+                self.trace.emit(|| TraceEvent::Access {
+                    tx,
+                    item,
+                    kind: OpKind::Write,
+                    rt,
+                    wt,
+                    outcome: AccessOutcome::Granted,
+                });
                 self.set_wt_tracked(item, tx); // line 12
                 Decision::accept()
             }
@@ -593,15 +702,31 @@ impl MtScheduler {
                 // Thomas write rule (III-D-6c): if the blocked writer sits
                 // between all readers and the newer writer —
                 // TS(RT(x)) < TS(tx) < TS(WT(x)) — ignore the write.
-                let rt = self.table.rt(item);
-                let wt = self.table.wt(item);
-                if self.opts.thomas_write_rule
-                    && j == wt
-                    && matches!(self.set_less(rt, tx, false), SetResult::Ok)
-                {
+                let thomas = self.opts.thomas_write_rule && j == wt;
+                if thomas && matches!(self.set_less(rt, tx, false), SetResult::Ok) {
+                    self.trace.emit(|| TraceEvent::Access {
+                        tx,
+                        item,
+                        kind: OpKind::Write,
+                        rt,
+                        wt,
+                        outcome: AccessOutcome::GrantedIgnored,
+                    });
                     return Decision::Accept { ignored: vec![item] };
                 }
                 self.note_reject(tx, j);
+                self.trace.emit(|| TraceEvent::Access {
+                    tx,
+                    item,
+                    kind: OpKind::Write,
+                    rt,
+                    wt,
+                    outcome: AccessOutcome::Rejected {
+                        against: j,
+                        column: at,
+                        rule: if thomas { RejectRule::ThomasRule } else { RejectRule::VectorOrder },
+                    },
+                });
                 Decision::Reject(Reject { tx, against: j, item, column: at })
             }
         }

@@ -26,8 +26,9 @@ fn table1_example2_vectors() {
     assert_eq!(ts(&s, 3), "<1,0>");
 
     // The dependency edges a–e in order, with their encodings.
+    let events = s.events();
     let encoded: Vec<&SetEvent> =
-        s.events().iter().filter(|e| matches!(e, SetEvent::Encoded { .. })).collect();
+        events.iter().filter(|e| matches!(e, SetEvent::Encoded { .. })).collect();
     let expect = [
         // a: T0 → T1 sets TS(1,1) = 1
         (TxId(0), TxId(1), vec![(TxId(1), 0, 1)]),
@@ -55,6 +56,44 @@ fn table1_example2_vectors() {
     // "The log L is equivalent to the serial log T3 T2 T1 or T2 T3 T1."
     let order = s.table().serial_order(&[TxId(1), TxId(2), TxId(3)]).unwrap();
     assert_eq!(*order.last().unwrap(), TxId(1));
+}
+
+/// Example 2 again, through the trace layer: the captured trace renders
+/// as the paper's Table I layout (op rows, vector columns, encoding
+/// notes) and the independent auditor re-confirms every decision.
+#[test]
+fn table1_example2_trace_renders_and_audits() {
+    let buffer = mdts_trace::TraceBuffer::journal();
+    let mut s = MtScheduler::with_k(2);
+    s.attach_trace(mdts_trace::TraceSink::to(&buffer));
+    let log = Log::parse("R1[x] R2[y] R3[z] W1[y] W1[z]").unwrap();
+    assert!(recognize(&mut s, &log).accepted);
+    for tx in [1, 2, 3] {
+        s.commit(TxId(tx));
+    }
+
+    let trace = buffer.snapshot();
+    let txns = [TxId(0), TxId(1), TxId(2), TxId(3)];
+    let table = mdts_trace::render_decision_table(&trace, 2, &txns, &|item| log.item_name(item));
+    let lines: Vec<&str> = table.lines().collect();
+    // One row per operation of the log, plus header and separator.
+    assert_eq!(lines.len(), 2 + log.len(), "{table}");
+    // Table I's final row: after W1[z] the vectors read
+    // TS(0) = <0,*>, TS(1) = <1,2>, TS(2) = <1,1>, TS(3) = <1,0>.
+    let last = lines.last().unwrap();
+    assert!(last.starts_with("W1[z]"), "{table}");
+    for cell in ["<0,*>", "<1,2>", "<1,1>", "<1,0>"] {
+        assert!(last.contains(cell), "missing {cell} in final row:\n{table}");
+    }
+    // Edge d's double encoding shows up as the W1[y] row's note.
+    let w1y = lines.iter().find(|l| l.starts_with("W1[y]")).unwrap();
+    assert!(w1y.contains("TS(T2,2):=1"), "{table}");
+    assert!(w1y.contains("TS(T1,2):=2"), "{table}");
+
+    let report = mdts_trace::audit(&trace, 2);
+    assert!(report.is_clean(), "{}", report.summary());
+    assert_eq!(report.committed, 3);
+    assert!(report.decisions >= log.len(), "every op decision was audited");
 }
 
 /// Example 1 (Section I-A): T2 and T3 share a first element; the 2nd

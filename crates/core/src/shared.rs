@@ -54,15 +54,22 @@
 //!   (the sequential scheduler's fallback behaviour, here unconditional).
 //!   Anchors only add ordering constraints, which never endangers
 //!   serializability.
-//! * Hot-item right-end encoding (III-D-5) and the event journal are not
-//!   supported — both are paper-table instrumentation, and the donor-prefix
-//!   copy would have to hold the write lock for O(k) defines per access.
+//! * Hot-item right-end encoding (III-D-5) and the `SetEvent` journal are
+//!   not supported — the donor-prefix copy would have to hold the write
+//!   lock for O(k) defines per access. Decision tracing *is* supported:
+//!   [`SharedMtScheduler::attach_trace`] routes typed [`TraceEvent`]s to an
+//!   `mdts-trace` buffer. Events are stamped inside the critical section
+//!   that made the decision (rows lock for `Set`, item shard for accesses),
+//!   so the merged sequence shows every decision after the encodes that
+//!   justify it — the property the trace auditor relies on.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use mdts_model::{ItemId, OpKind, Operation, TxId};
+use mdts_trace::event::{scalar_cost, tree_cost, AccessOutcome, RejectRule, SetEdgeOutcome};
+use mdts_trace::{TraceEvent, TraceSink};
 use mdts_vector::{AtomicKthCounters, CmpResult, ScalarComparator, TsVec};
 
 use crate::mtk::{Decision, MtOptions, Reject};
@@ -112,6 +119,8 @@ pub struct SharedMtScheduler {
     counters: AtomicKthCounters,
     /// Starvation-avoidance restart hints (III-D-4).
     hints: Mutex<HashMap<TxId, i64>>,
+    /// Decision-trace sink (disabled by default; see `mdts-trace`).
+    trace: TraceSink,
 }
 
 /// Default number of item shards (power of two).
@@ -158,7 +167,20 @@ impl SharedMtScheduler {
             rows: RwLock::new(vec![Some(Row::new(TsVec::origin(opts.k)))]),
             counters: AtomicKthCounters::new(),
             hints: Mutex::new(HashMap::new()),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Routes the scheduler's decision trace to `sink`. Call before the
+    /// scheduler is shared across threads (the handle itself is cheap to
+    /// clone and thread-safe once installed).
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The trace sink in force.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The configuration.
@@ -233,7 +255,9 @@ impl SharedMtScheduler {
     /// incarnation must use a fresh id.
     pub fn begin_restarted(&self, new_tx: TxId, aborted: TxId) {
         assert_ne!(new_tx, aborted, "concurrent restarts must use a fresh transaction id");
-        match lock(&self.hints).remove(&aborted) {
+        let hint = lock(&self.hints).remove(&aborted);
+        self.trace.emit(|| TraceEvent::Restart { tx: new_tx, aborted, hint });
+        match hint {
             Some(first) => {
                 let mut v = TsVec::undefined(self.opts.k);
                 v.define(0, first);
@@ -253,6 +277,7 @@ impl SharedMtScheduler {
     /// the row could be dropped already; otherwise it is dropped — in O(1)
     /// — by whoever displaces its last `RT`/`WT` reference.
     pub fn commit(&self, tx: TxId) -> bool {
+        self.trace.emit(|| TraceEvent::Commit { tx });
         lock(&self.hints).remove(&tx);
         self.finish(tx)
     }
@@ -261,6 +286,7 @@ impl SharedMtScheduler {
     /// back; the row stays as an inert ordering anchor until displaced.
     /// The starvation hint (if any) is kept for `begin_restarted`.
     pub fn abort(&self, tx: TxId) {
+        self.trace.emit(|| TraceEvent::Abort { tx });
         self.finish(tx);
     }
 
@@ -337,6 +363,28 @@ impl SharedMtScheduler {
         matches!(self.set_less(j, i), SetOutcome::Ok)
     }
 
+    /// Emits a [`TraceEvent::Compare`] for an executed comparison. The
+    /// caller must still hold the lock under which `result` was computed:
+    /// decided results are stable (write-once elements), so stamping the
+    /// sequence number before the lock is released keeps every decision
+    /// event after the encodes that justify it.
+    #[inline]
+    fn emit_compare(&self, a: TxId, b: TxId, result: CmpResult) {
+        let k = self.opts.k;
+        self.trace.emit(|| TraceEvent::Compare {
+            a,
+            b,
+            result,
+            scalar_ops: scalar_cost(result, k),
+            tree_steps: tree_cost(k),
+        });
+    }
+
+    #[inline]
+    fn emit_edge(&self, from: TxId, to: TxId, outcome: impl FnOnce() -> SetEdgeOutcome) {
+        self.trace.emit(|| TraceEvent::SetEdge { from, to, outcome: outcome() });
+    }
+
     fn set_less(&self, j: TxId, i: TxId) -> SetOutcome {
         if j == i {
             return SetOutcome::Ok; // line 15
@@ -345,9 +393,18 @@ impl SharedMtScheduler {
         // and a read lock lets them run in parallel.
         {
             let rows = self.rows_read();
-            match Self::compare_in(&rows, j, i) {
-                CmpResult::Less { .. } => return SetOutcome::Ok,
-                CmpResult::Greater { at } => return SetOutcome::Refused { at },
+            let cmp = Self::compare_in(&rows, j, i);
+            match cmp {
+                CmpResult::Less { .. } => {
+                    self.emit_compare(j, i, cmp);
+                    self.emit_edge(j, i, || SetEdgeOutcome::AlreadyOrdered);
+                    return SetOutcome::Ok;
+                }
+                CmpResult::Greater { at } => {
+                    self.emit_compare(j, i, cmp);
+                    self.emit_edge(j, i, || SetEdgeOutcome::Refused { at });
+                    return SetOutcome::Refused { at };
+                }
                 _ => {}
             }
         }
@@ -355,9 +412,17 @@ impl SharedMtScheduler {
         // concurrent encoder may have closed it meanwhile) and encode.
         let k = self.opts.k;
         let mut rows = self.rows_write();
-        match Self::compare_in(&rows, j, i) {
-            CmpResult::Less { .. } => SetOutcome::Ok,
-            CmpResult::Greater { at } => SetOutcome::Refused { at },
+        let cmp = Self::compare_in(&rows, j, i);
+        self.emit_compare(j, i, cmp);
+        match cmp {
+            CmpResult::Less { .. } => {
+                self.emit_edge(j, i, || SetEdgeOutcome::AlreadyOrdered);
+                SetOutcome::Ok
+            }
+            CmpResult::Greater { at } => {
+                self.emit_edge(j, i, || SetEdgeOutcome::Refused { at });
+                SetOutcome::Refused { at }
+            }
             CmpResult::Identical => {
                 // Unreachable between distinct transactions: the k-th
                 // column always holds globally distinct counter values.
@@ -369,9 +434,15 @@ impl SharedMtScheduler {
                     let (a, b) = self.counters.fresh_pair();
                     Self::define_in(&mut rows, j, at, a);
                     Self::define_in(&mut rows, i, at, b);
+                    self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
+                        changes: vec![(j, at, a), (i, at, b)],
+                    });
                 } else {
                     Self::define_in(&mut rows, j, at, 1);
                     Self::define_in(&mut rows, i, at, 2);
+                    self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
+                        changes: vec![(j, at, 1), (i, at, 2)],
+                    });
                 }
                 SetOutcome::Ok
             }
@@ -381,6 +452,7 @@ impl SharedMtScheduler {
                 let value =
                     if at == k - 1 { self.counters.fresh_upper_above(bound) } else { bound + 1 };
                 Self::define_in(&mut rows, i, at, value);
+                self.emit_edge(j, i, || SetEdgeOutcome::Encoded { changes: vec![(i, at, value)] });
                 SetOutcome::Ok
             }
             CmpResult::LeftUndefined { at } => {
@@ -389,6 +461,7 @@ impl SharedMtScheduler {
                 let value =
                     if at == k - 1 { self.counters.fresh_lower_below(bound) } else { bound - 1 };
                 Self::define_in(&mut rows, j, at, value);
+                self.emit_edge(j, i, || SetEdgeOutcome::Encoded { changes: vec![(j, at, value)] });
                 SetOutcome::Ok
             }
         }
@@ -476,6 +549,19 @@ impl SharedMtScheduler {
         Ok(())
     }
 
+    #[inline]
+    fn emit_access(
+        &self,
+        tx: TxId,
+        item: ItemId,
+        kind: OpKind,
+        rt: TxId,
+        wt: TxId,
+        outcome: AccessOutcome,
+    ) {
+        self.trace.emit(|| TraceEvent::Access { tx, item, kind, rt, wt, outcome });
+    }
+
     /// Schedules a read of `item` by `tx` (the `read` arm of `Scheduler`).
     pub fn read(&self, tx: TxId, item: ItemId) -> Decision {
         self.ensure_tx(tx);
@@ -485,6 +571,7 @@ impl SharedMtScheduler {
         let (larger, smaller) = self.pick(&s, item);
         match self.order_after_holders(tx, larger, smaller) {
             Ok(()) => {
+                self.emit_access(tx, item, OpKind::Read, rt, wt, AccessOutcome::Granted);
                 self.set_rt_locked(&mut s, item, tx); // line 7
                 Decision::accept()
             }
@@ -493,7 +580,8 @@ impl SharedMtScheduler {
                 // reader if ordered after the latest writer. When the
                 // blocker is the reader and the writer was the *larger*
                 // holder, Set(wt, tx) already succeeded above.
-                if self.opts.reader_rule && against == rt && rt != wt {
+                let reader_rule = self.opts.reader_rule && against == rt && rt != wt;
+                if reader_rule {
                     let after_writer = if larger == wt {
                         true // ordered after wt before rt refused
                     } else if self.opts.relaxed_reader_rule {
@@ -502,10 +590,34 @@ impl SharedMtScheduler {
                         wt == tx || self.is_less(wt, tx)
                     };
                     if after_writer {
+                        self.emit_access(
+                            tx,
+                            item,
+                            OpKind::Read,
+                            rt,
+                            wt,
+                            AccessOutcome::GrantedInvisible,
+                        );
                         return Decision::accept();
                     }
                 }
                 self.note_reject(tx, against);
+                self.emit_access(
+                    tx,
+                    item,
+                    OpKind::Read,
+                    rt,
+                    wt,
+                    AccessOutcome::Rejected {
+                        against,
+                        column: at,
+                        rule: if reader_rule {
+                            RejectRule::ReaderRule
+                        } else {
+                            RejectRule::VectorOrder
+                        },
+                    },
+                );
                 Decision::Reject(Reject { tx, against, item, column: at })
             }
         }
@@ -521,6 +633,7 @@ impl SharedMtScheduler {
         let (larger, smaller) = self.pick(&s, item);
         match self.order_after_holders(tx, larger, smaller) {
             Ok(()) => {
+                self.emit_access(tx, item, OpKind::Write, rt, wt, AccessOutcome::Granted);
                 self.set_wt_locked(&mut s, item, tx); // line 12
                 Decision::accept()
             }
@@ -529,14 +642,35 @@ impl SharedMtScheduler {
                 // between all readers and the newer writer, ignore the
                 // write. When the blocker is the writer and the reader was
                 // the larger holder, Set(rt, tx) already succeeded above.
-                if self.opts.thomas_write_rule && against == wt && rt != wt {
+                let thomas = self.opts.thomas_write_rule && against == wt && rt != wt;
+                if thomas {
                     let after_reader =
                         larger == rt || matches!(self.set_less(rt, tx), SetOutcome::Ok);
                     if after_reader {
+                        self.emit_access(
+                            tx,
+                            item,
+                            OpKind::Write,
+                            rt,
+                            wt,
+                            AccessOutcome::GrantedIgnored,
+                        );
                         return Decision::Accept { ignored: vec![item] };
                     }
                 }
                 self.note_reject(tx, against);
+                self.emit_access(
+                    tx,
+                    item,
+                    OpKind::Write,
+                    rt,
+                    wt,
+                    AccessOutcome::Rejected {
+                        against,
+                        column: at,
+                        rule: if thomas { RejectRule::ThomasRule } else { RejectRule::VectorOrder },
+                    },
+                );
                 Decision::Reject(Reject { tx, against, item, column: at })
             }
         }
@@ -882,6 +1016,57 @@ mod tests {
         for &tx in committed.iter() {
             s.commit(tx);
         }
+    }
+
+    /// The hotspot workload again, now traced: the independent auditor
+    /// replays the merged event sequence from 8 threads and re-confirms
+    /// every comparison, encode, and accept/reject decision, plus the
+    /// committed prefix being in TO(k).
+    #[test]
+    fn concurrent_trace_audits_clean() {
+        const THREADS: u32 = 8;
+        const TXNS_PER_THREAD: u32 = 40;
+        let buffer = mdts_trace::TraceBuffer::unbounded(16);
+        let opts = MtOptions { thomas_write_rule: true, ..MtOptions::new(4) };
+        let mut s = SharedMtScheduler::with_shards(opts, 4);
+        s.attach_trace(mdts_trace::TraceSink::to(&buffer));
+        let s = s;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xBADC0DE + t as u64);
+                    for n in 0..TXNS_PER_THREAD {
+                        let tx = TxId(1 + t * TXNS_PER_THREAD + n);
+                        s.begin(tx);
+                        let mut ok = true;
+                        for _ in 0..3 {
+                            let item = ItemId(rng.gen_range(0u32..3));
+                            let d = if rng.gen_bool(0.5) {
+                                s.read(tx, item)
+                            } else {
+                                s.write(tx, item)
+                            };
+                            if !d.is_accept() {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            s.commit(tx);
+                        } else {
+                            s.abort(tx);
+                        }
+                    }
+                });
+            }
+        });
+        let trace = buffer.snapshot();
+        let report = mdts_trace::audit(&trace, 4);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert!(report.committed > 0, "some transactions must commit");
+        assert!(report.decisions > 0 && report.comparisons > 0);
+        assert_eq!(buffer.dropped(), 0, "unbounded buffer never drops");
     }
 
     /// Recomputes what the O(#items) reclamation scan would: for every

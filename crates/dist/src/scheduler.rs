@@ -1,10 +1,22 @@
 //! The DMT(k) scheduler: MT(k) over a logically shared table, with
 //! per-site counters, ordered locking and message accounting.
+//!
+//! Observability: the scheduler keeps an internal journal of the inner
+//! MT(k) scheduler's events (the write-back accounting is driven off the
+//! `Set` encodes each access performed), and an optional external
+//! [`TraceSink`] attached with [`DmtScheduler::attach_trace`] receives the
+//! full merged stream — each operation's `DmtOp`/`DmtLock` hops, the
+//! protocol decision events forwarded from the inner scheduler, then the
+//! `DmtWriteBack`/`DmtSync` message traffic.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use mdts_core::{Decision, MtOptions, MtScheduler, SetEvent};
+use mdts_core::{Decision, MtOptions, MtScheduler};
 use mdts_model::{ItemId, OpKind, Operation, TxId};
+use mdts_trace::{
+    DmtObj, DmtSource, SetEdgeOutcome, TraceBuffer, TraceEvent, TraceRecord, TraceSink,
+};
 use mdts_vector::KthCounters;
 
 use crate::topology::Topology;
@@ -21,6 +33,15 @@ pub enum ObjectId {
     Item(ItemId),
     /// A transaction's timestamp vector.
     Vector(TxId),
+}
+
+impl From<ObjectId> for DmtObj {
+    fn from(obj: ObjectId) -> DmtObj {
+        match obj {
+            ObjectId::Item(item) => DmtObj::Item(item),
+            ObjectId::Vector(tx) => DmtObj::Vector(tx),
+        }
+    }
 }
 
 /// Message and locking statistics.
@@ -42,6 +63,29 @@ pub struct DmtStats {
     pub max_locks_per_op: usize,
     /// Counter synchronization rounds performed.
     pub syncs: u64,
+    /// Timestamp-element assignments performed (vector elements defined).
+    pub assignments: u64,
+    /// Dirtied objects written back to their home sites (remote and local).
+    pub write_backs: u64,
+}
+
+/// The [`DmtStats`] dimensions that attribute to a single scheduling site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DmtSiteStats {
+    /// Operations this site scheduled.
+    pub ops: u64,
+    /// Messages this site's operations cost.
+    pub messages: u64,
+    /// Remote objects this site fetched.
+    pub remote_fetches: u64,
+    /// Fetches this site avoided by lock retention.
+    pub retained: u64,
+    /// Lock-set objects that were local to this site.
+    pub local_hits: u64,
+    /// Timestamp-element assignments performed by this site's operations.
+    pub assignments: u64,
+    /// Objects this site's operations dirtied and wrote back.
+    pub write_backs: u64,
 }
 
 /// Configuration for [`DmtScheduler`].
@@ -73,31 +117,45 @@ pub struct DmtScheduler {
     /// The logically shared MT(k) table. Per-operation, the scheduling
     /// site's counters are swapped in so k-th column values carry its tag.
     inner: MtScheduler,
+    /// Journal the inner scheduler emits into; each access reads its own
+    /// encodes back out of it for write-back accounting.
+    journal: Arc<TraceBuffer>,
     site_counters: Vec<KthCounters>,
     topology: Topology,
     config: DmtConfig,
     stats: DmtStats,
+    site_stats: Vec<DmtSiteStats>,
     /// Which site last held a lock on each object (for retention).
     last_locker: BTreeMap<ObjectId, u32>,
-    events_seen: usize,
+    /// External sink for the merged DMT + protocol event stream.
+    trace: TraceSink,
 }
 
 impl DmtScheduler {
     /// Builds DMT(k) over `n_sites` sites.
     pub fn new(config: DmtConfig) -> Self {
         let n = config.n_sites;
-        let mut opts = MtOptions::new(config.k);
+        let journal = TraceBuffer::journal();
+        let mut inner = MtScheduler::new(MtOptions::new(config.k));
         // Vector modifications must be visible for write-back accounting.
-        opts.record_events = true;
+        inner.attach_trace(TraceSink::to(&journal));
         DmtScheduler {
-            inner: MtScheduler::new(opts),
+            inner,
+            journal,
             site_counters: (0..n).map(|s| KthCounters::site_tagged(n as i64, s as i64)).collect(),
             topology: Topology::new(n),
             config,
             stats: DmtStats::default(),
+            site_stats: vec![DmtSiteStats::default(); n as usize],
             last_locker: BTreeMap::new(),
-            events_seen: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Routes the merged decision trace — site/lock/message hops plus the
+    /// inner protocol's events, interleaved per operation — to `sink`.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Statistics so far.
@@ -105,16 +163,14 @@ impl DmtScheduler {
         self.stats
     }
 
+    /// Per-site breakdown of [`DmtScheduler::stats`], indexed by site id.
+    pub fn site_stats(&self) -> &[DmtSiteStats] {
+        &self.site_stats
+    }
+
     /// The logical table (for equivalence checks against centralized MT(k)).
     pub fn inner(&self) -> &MtScheduler {
         &self.inner
-    }
-
-    fn site_of_object(&self, obj: ObjectId) -> u32 {
-        match obj {
-            ObjectId::Item(item) => self.topology.site_of_item(item),
-            ObjectId::Vector(tx) => self.topology.site_of_tx(tx),
-        }
     }
 
     /// The lock set one access needs: the item record plus the `RT`, `WT`
@@ -135,25 +191,39 @@ impl DmtScheduler {
         debug_assert!(objs.windows(2).all(|w| w[0] < w[1]), "lock order violated");
         self.stats.max_locks_per_op = self.stats.max_locks_per_op.max(objs.len());
         for &obj in objs {
-            if self.site_of_object(obj) == site {
+            let per_site = &mut self.site_stats[site as usize];
+            let source = if self.topology.site_of_object(obj) == site {
                 self.stats.local_hits += 1;
+                per_site.local_hits += 1;
+                DmtSource::Local
             } else if self.config.retain_locks && self.last_locker.get(&obj) == Some(&site) {
                 self.stats.retained += 1;
+                per_site.retained += 1;
+                DmtSource::Retained
             } else {
                 self.stats.remote_fetches += 1;
+                per_site.remote_fetches += 1;
                 self.stats.messages += 2; // lock+fetch request, reply
-            }
+                per_site.messages += 2;
+                DmtSource::Remote
+            };
             self.last_locker.insert(obj, site);
+            self.trace.emit(|| TraceEvent::DmtLock { site, obj: obj.into(), source });
         }
     }
 
     /// Write-backs for the objects this access modified: the item record if
-    /// `RT`/`WT` changed, plus every vector whose elements were defined.
-    fn write_back(&mut self, site: u32, item_changed: bool, item: ItemId) {
-        let events = self.inner.events();
+    /// `RT`/`WT` changed, plus every vector whose elements were defined
+    /// (read back out of the inner scheduler's journal slice for this
+    /// operation).
+    fn write_back(&mut self, site: u32, item_changed: bool, item: ItemId, ops: &[TraceRecord]) {
         let mut touched: Vec<ObjectId> = Vec::new();
-        for ev in &events[self.events_seen..] {
-            if let SetEvent::Encoded { changes, .. } = ev {
+        let mut assignments = 0u64;
+        for r in ops {
+            if let TraceEvent::SetEdge { outcome: SetEdgeOutcome::Encoded { changes }, .. } =
+                &r.event
+            {
+                assignments += changes.len() as u64;
                 for &(tx, _, _) in changes {
                     let obj = ObjectId::Vector(tx);
                     if !touched.contains(&obj) {
@@ -162,18 +232,24 @@ impl DmtScheduler {
                 }
             }
         }
-        self.events_seen = events.len();
+        self.stats.assignments += assignments;
+        self.site_stats[site as usize].assignments += assignments;
         if item_changed {
             touched.push(ObjectId::Item(item));
         }
         for obj in touched {
-            if self.site_of_object(obj) != site {
+            let remote = self.topology.site_of_object(obj) != site;
+            if remote {
                 self.stats.messages += 1; // combined write-back + unlock
+                self.site_stats[site as usize].messages += 1;
             }
+            self.stats.write_backs += 1;
+            self.site_stats[site as usize].write_backs += 1;
+            self.trace.emit(|| TraceEvent::DmtWriteBack { site, obj: obj.into(), remote });
         }
     }
 
-    fn maybe_sync(&mut self) {
+    fn maybe_sync(&mut self, site: u32) {
         if self.config.sync_interval == 0
             || !self.stats.ops.is_multiple_of(self.config.sync_interval)
         {
@@ -186,15 +262,20 @@ impl DmtScheduler {
         }
         self.stats.syncs += 1;
         // Synchronization itself costs a broadcast round.
-        self.stats.messages += 2 * (self.config.n_sites as u64 - 1);
+        let messages = 2 * (self.config.n_sites as u64 - 1);
+        self.stats.messages += messages;
+        self.site_stats[site as usize].messages += messages;
+        self.trace.emit(|| TraceEvent::DmtSync { site, messages });
     }
 
     fn access(&mut self, tx: TxId, item: ItemId, kind: OpKind) -> Decision {
         let site = self.topology.site_of_tx(tx);
+        self.trace.emit(|| TraceEvent::DmtOp { site, tx, item, kind });
         let objs = self.lock_set(tx, item);
         self.acquire(site, &objs);
 
         // Run the MT(k) decision with this site's counters swapped in.
+        let mark = self.journal.next_seq();
         self.inner.table_mut().swap_counters(&mut self.site_counters[site as usize]);
         let before_rt = self.inner.table().rt(item);
         let before_wt = self.inner.table().wt(item);
@@ -204,12 +285,20 @@ impl DmtScheduler {
         };
         self.inner.table_mut().swap_counters(&mut self.site_counters[site as usize]);
 
+        // This operation's slice of the protocol journal: forwarded to the
+        // external trace (merged stream) and mined for write-backs.
+        let ops = self.journal.records_since(mark);
+        for r in &ops {
+            let event = r.event.clone();
+            self.trace.emit(move || event);
+        }
         let item_changed =
             self.inner.table().rt(item) != before_rt || self.inner.table().wt(item) != before_wt;
-        self.write_back(site, item_changed, item);
+        self.write_back(site, item_changed, item, &ops);
 
         self.stats.ops += 1;
-        self.maybe_sync();
+        self.site_stats[site as usize].ops += 1;
+        self.maybe_sync(site);
         decision
     }
 
@@ -368,6 +457,48 @@ mod tests {
         let mut dmt = DmtScheduler::new(DmtConfig { sync_interval: 4, ..DmtConfig::new(2, 3) });
         let _ = dmt.recognize(&log);
         assert!(dmt.stats().syncs > 0);
+    }
+
+    /// The external trace carries the whole story: per-site totals tie out
+    /// against the aggregate stats, the message bill re-derives from the
+    /// `DmtLock`/`DmtWriteBack`/`DmtSync` events alone, and the forwarded
+    /// protocol events audit clean.
+    #[test]
+    fn merged_trace_accounts_for_messages_and_audits() {
+        let log = random_log(9);
+        let buffer = TraceBuffer::journal();
+        let mut dmt = DmtScheduler::new(DmtConfig::new(2, 3));
+        dmt.attach_trace(TraceSink::to(&buffer));
+        let _ = dmt.recognize(&log);
+
+        let stats = dmt.stats();
+        let per_site = dmt.site_stats();
+        assert_eq!(per_site.len(), 3);
+        assert_eq!(per_site.iter().map(|s| s.ops).sum::<u64>(), stats.ops);
+        assert_eq!(per_site.iter().map(|s| s.messages).sum::<u64>(), stats.messages);
+        assert_eq!(per_site.iter().map(|s| s.local_hits).sum::<u64>(), stats.local_hits);
+        assert_eq!(per_site.iter().map(|s| s.remote_fetches).sum::<u64>(), stats.remote_fetches);
+        assert_eq!(per_site.iter().map(|s| s.assignments).sum::<u64>(), stats.assignments);
+        assert_eq!(per_site.iter().map(|s| s.write_backs).sum::<u64>(), stats.write_backs);
+        assert!(stats.assignments > 0, "conflicts encoded element assignments");
+
+        let trace = buffer.snapshot();
+        let (mut ops, mut messages) = (0u64, 0u64);
+        for e in trace.events() {
+            match e {
+                TraceEvent::DmtOp { .. } => ops += 1,
+                TraceEvent::DmtLock { source: DmtSource::Remote, .. } => messages += 2,
+                TraceEvent::DmtWriteBack { remote: true, .. } => messages += 1,
+                TraceEvent::DmtSync { messages: m, .. } => messages += m,
+                _ => {}
+            }
+        }
+        assert_eq!(ops, stats.ops);
+        assert_eq!(messages, stats.messages, "the trace re-derives the message bill");
+
+        let report = mdts_trace::audit(&trace, 2);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert!(report.decisions > 0 && report.assignments > 0);
     }
 
     /// Unbalanced load with lagging clocks still encodes correct orders —

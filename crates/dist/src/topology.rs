@@ -35,6 +35,14 @@ impl Topology {
     pub fn site_of_item(&self, item: ItemId) -> u32 {
         item.0 % self.n_sites
     }
+
+    /// The home site of a lockable object.
+    pub fn site_of_object(&self, obj: crate::scheduler::ObjectId) -> u32 {
+        match obj {
+            crate::scheduler::ObjectId::Item(item) => self.site_of_item(item),
+            crate::scheduler::ObjectId::Vector(tx) => self.site_of_tx(tx),
+        }
+    }
 }
 
 #[cfg(test)]

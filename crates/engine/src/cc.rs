@@ -117,6 +117,13 @@ impl MtCc {
     pub fn scheduler(&self) -> &MtScheduler {
         &self.sched
     }
+
+    /// Routes the scheduler's decision trace to `sink` (see
+    /// [`MtScheduler::attach_trace`]). Attach before handing the protocol
+    /// to a [`crate::Database`].
+    pub fn attach_trace(&mut self, sink: mdts_trace::TraceSink) {
+        self.sched.attach_trace(sink);
+    }
 }
 
 impl ConcurrencyControl for MtCc {
@@ -658,6 +665,13 @@ impl ShardedMtCc {
     /// The underlying scheduler (read access for tests).
     pub fn scheduler(&self) -> &SharedMtScheduler {
         &self.sched
+    }
+
+    /// Routes the scheduler's decision trace to `sink` (see
+    /// [`SharedMtScheduler::attach_trace`]). Attach before handing the
+    /// protocol to a [`crate::Database`].
+    pub fn attach_trace(&mut self, sink: mdts_trace::TraceSink) {
+        self.sched.attach_trace(sink);
     }
 }
 

@@ -29,8 +29,9 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
-use mdts_model::{ItemId, TxId};
+use mdts_model::{ItemId, OpKind, TxId};
 use mdts_storage::{ShardedStore, Store, DEFAULT_STORE_SHARDS};
+use mdts_trace::{AbortReason, TraceEvent, TraceSink};
 
 use crate::cc::{CommitDecision, ConcurrencyControl, ConcurrentCc, SerializedCc, Verdict};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -87,12 +88,13 @@ impl WakeSeq {
         self.seq.load(Ordering::SeqCst)
     }
 
-    fn bump(&self) {
-        self.seq.fetch_add(1, Ordering::SeqCst);
+    fn bump(&self) -> u64 {
+        let new = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         if self.waiters.load(Ordering::SeqCst) > 0 {
             drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
             self.cond.notify_all();
         }
+        new
     }
 
     fn wait_past(&self, seen: u64) {
@@ -117,6 +119,17 @@ struct Shared<V> {
     wake: WakeSeq,
     metrics: Metrics,
     name: &'static str,
+    /// Engine-level decision trace (begin/abort/block/wake edges);
+    /// disabled by default. The protocol's own events go to whatever sink
+    /// is attached to it — point both at one buffer for a merged trace.
+    trace: TraceSink,
+}
+
+impl<V> Shared<V> {
+    fn wake_all(&self) {
+        let seq = self.wake.bump();
+        self.trace.emit(|| TraceEvent::Wake { seq });
+    }
 }
 
 /// A transactional database over values `V`.
@@ -150,6 +163,24 @@ impl<V: Clone + Send + 'static> Database<V> {
     /// Database with a pre-populated store, under a natively concurrent
     /// protocol.
     pub fn with_store_concurrent(cc: Box<dyn ConcurrentCc>, store: Store<V>) -> Self {
+        Database::with_store_concurrent_traced(cc, store, TraceSink::disabled())
+    }
+
+    /// Empty database under a natively concurrent protocol, with the
+    /// engine's decision trace routed to `trace`. Attach the *protocol's*
+    /// trace to the same buffer (e.g. [`crate::ShardedMtCc::attach_trace`])
+    /// for a merged, auditable event stream.
+    pub fn new_concurrent_traced(cc: Box<dyn ConcurrentCc>, trace: TraceSink) -> Self {
+        Database::with_store_concurrent_traced(cc, Store::new(), trace)
+    }
+
+    /// Database with a pre-populated store, a natively concurrent
+    /// protocol, and an engine trace sink.
+    pub fn with_store_concurrent_traced(
+        cc: Box<dyn ConcurrentCc>,
+        store: Store<V>,
+        trace: TraceSink,
+    ) -> Self {
         let name = cc.name();
         Database {
             shared: Arc::new(Shared {
@@ -160,6 +191,7 @@ impl<V: Clone + Send + 'static> Database<V> {
                 wake: WakeSeq::default(),
                 metrics: Metrics::default(),
                 name,
+                trace,
             }),
         }
     }
@@ -194,6 +226,7 @@ impl<V: Clone + Send + 'static> Database<V> {
         let mut prev: Option<TxId> = None;
         for attempt in 0..=max_restarts {
             let id = TxId(shared.next_tx.fetch_add(1, Ordering::Relaxed) + 1);
+            shared.trace.emit(|| TraceEvent::Begin { tx: id });
             match prev {
                 Some(p) => shared.cc.begin_restarted(id, p),
                 None => shared.cc.begin(id),
@@ -215,6 +248,11 @@ impl<V: Clone + Send + 'static> Database<V> {
                 std::thread::yield_now();
             }
         }
+        Metrics::bump(&shared.metrics.gave_up);
+        shared.trace.emit(|| TraceEvent::GaveUp {
+            tx: prev.expect("at least one attempt ran"),
+            restarts: max_restarts as u64,
+        });
         Err(TxError::RetriesExhausted)
     }
 }
@@ -239,13 +277,21 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
         self.shared.clock.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Abort bookkeeping for this incarnation. The workspace is
+    /// Abort bookkeeping for this incarnation, attributed to `reason`
+    /// (the trace layer's abort taxonomy). The workspace is
     /// transaction-local, so dropping the handle discards it.
-    fn cleanup(&mut self) {
+    fn cleanup(&mut self, reason: AbortReason) {
         self.writes.clear();
         self.shared.cc.aborted(self.id);
         Metrics::bump(&self.shared.metrics.aborts);
-        self.shared.wake.bump();
+        Metrics::bump(match reason {
+            AbortReason::AccessRejected => &self.shared.metrics.access_aborts,
+            AbortReason::ValidationRejected => &self.shared.metrics.validation_aborts,
+            AbortReason::Epoch => &self.shared.metrics.epoch_aborts,
+        });
+        let tx = self.id;
+        self.shared.trace.emit(|| TraceEvent::EngineAbort { tx, reason });
+        self.shared.wake_all();
     }
 
     /// Detects an abort-all epoch change since this incarnation began.
@@ -257,8 +303,7 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
         if self.shared.cc.epoch() == self.epoch {
             return true;
         }
-        Metrics::bump(&self.shared.metrics.epoch_aborts);
-        self.cleanup();
+        self.cleanup(AbortReason::Epoch);
         false
     }
 
@@ -274,7 +319,8 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
             // concurrent commit of this item cannot apply in between, so
             // the value read is exactly the one the grant authorized.
             let verdict = {
-                let shard = self.shared.store.lock_shard(self.shared.store.shard_index(item));
+                let shard_idx = self.shared.store.shard_index(item);
+                let shard = self.shared.store.lock_shard(shard_idx);
                 let v = self.shared.cc.read(self.id, item);
                 if matches!(v, Verdict::Granted | Verdict::Ignored) {
                     let stored = shard.get(&item).cloned();
@@ -283,6 +329,7 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                         return Err(Aborted);
                     }
                     Metrics::bump(&self.shared.metrics.reads);
+                    self.shared.metrics.bump_shard(shard_idx);
                     self.tick();
                     let own =
                         self.writes.iter().rev().find(|(i, _)| *i == item).map(|(_, v)| v.clone());
@@ -293,14 +340,21 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
             match verdict {
                 Verdict::Blocked => {
                     Metrics::bump(&self.shared.metrics.blocked_waits);
+                    let tx = self.id;
+                    self.shared.trace.emit(|| TraceEvent::Blocked {
+                        tx,
+                        item,
+                        kind: OpKind::Read,
+                        wake_seen: seen,
+                    });
                     self.shared.wake.wait_past(seen);
                 }
                 Verdict::Abort => {
-                    self.cleanup();
+                    self.cleanup(AbortReason::AccessRejected);
                     return Err(Aborted);
                 }
                 Verdict::AbortAll => {
-                    self.cleanup();
+                    self.cleanup(AbortReason::Epoch);
                     return Err(Aborted);
                 }
                 Verdict::Granted | Verdict::Ignored => unreachable!("handled under the shard"),
@@ -336,14 +390,21 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                 }
                 Verdict::Blocked => {
                     Metrics::bump(&self.shared.metrics.blocked_waits);
+                    let tx = self.id;
+                    self.shared.trace.emit(|| TraceEvent::Blocked {
+                        tx,
+                        item,
+                        kind: OpKind::Write,
+                        wake_seen: seen,
+                    });
                     self.shared.wake.wait_past(seen);
                 }
                 Verdict::Abort => {
-                    self.cleanup();
+                    self.cleanup(AbortReason::AccessRejected);
                     return Err(Aborted);
                 }
                 Verdict::AbortAll => {
-                    self.cleanup();
+                    self.cleanup(AbortReason::Epoch);
                     return Err(Aborted);
                 }
             }
@@ -373,8 +434,7 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
             CommitDecision::Commit { skip } => {
                 if self.shared.cc.epoch() != self.epoch {
                     drop(guards);
-                    Metrics::bump(&self.shared.metrics.epoch_aborts);
-                    self.cleanup();
+                    self.cleanup(AbortReason::Epoch);
                     return false;
                 }
                 for (item, value) in self.writes.drain(..) {
@@ -382,25 +442,29 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                         Metrics::bump(&self.shared.metrics.ignored_writes);
                         continue;
                     }
+                    let shard_idx = self.shared.store.shard_index(item);
                     let slot = shard_idxs
-                        .binary_search(&self.shared.store.shard_index(item))
+                        .binary_search(&shard_idx)
                         .expect("shard of a write-set item was locked");
                     guards[slot].insert(item, value);
+                    self.shared.metrics.bump_shard(shard_idx);
                 }
                 self.tick();
                 drop(guards);
                 self.shared.cc.committed(self.id);
-                self.shared.wake.bump();
+                let tx = self.id;
+                self.shared.trace.emit(|| TraceEvent::Commit { tx });
+                self.shared.wake_all();
                 true
             }
             CommitDecision::Abort => {
                 drop(guards);
-                self.cleanup();
+                self.cleanup(AbortReason::ValidationRejected);
                 false
             }
             CommitDecision::AbortAll => {
                 drop(guards);
-                self.cleanup();
+                self.cleanup(AbortReason::Epoch);
                 false
             }
         }

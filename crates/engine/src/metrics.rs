@@ -1,10 +1,18 @@
-//! Engine metrics: lock-free counters and a commit-latency histogram,
-//! sampled into snapshots.
+//! Engine metrics: lock-free counters, a commit-latency histogram, and a
+//! per-store-shard access breakdown, sampled into snapshots and
+//! exportable as an `mdts-trace` [`MetricsRegistry`] (the experiment
+//! binaries' `--json` document).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mdts_trace::{HistogramExport, Json, MetricsRegistry};
+
+/// Number of per-shard access counters (accesses are striped by store
+/// shard index modulo this, matching the store's default shard count).
+pub const SHARD_SLOTS: usize = 64;
+
 /// Shared counters, updated by all client threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Metrics {
     pub commits: AtomicU64,
     pub aborts: AtomicU64,
@@ -13,8 +21,36 @@ pub(crate) struct Metrics {
     pub writes: AtomicU64,
     pub ignored_writes: AtomicU64,
     pub blocked_waits: AtomicU64,
+    /// Aborts by reason (the trace layer's taxonomy): an access verdict,
+    /// a failed commit validation, or a composite abort-all epoch.
+    pub access_aborts: AtomicU64,
+    pub validation_aborts: AtomicU64,
     pub epoch_aborts: AtomicU64,
+    /// Transactions that exhausted their restart budget.
+    pub gave_up: AtomicU64,
     pub latency: LatencyHistogram,
+    /// Granted accesses per store shard (reads at fetch, writes at apply).
+    pub shard_accesses: [AtomicU64; SHARD_SLOTS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            ignored_writes: AtomicU64::new(0),
+            blocked_waits: AtomicU64::new(0),
+            access_aborts: AtomicU64::new(0),
+            validation_aborts: AtomicU64::new(0),
+            epoch_aborts: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            shard_accesses: [0u64; SHARD_SLOTS].map(AtomicU64::new),
+        }
+    }
 }
 
 impl Metrics {
@@ -22,7 +58,15 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn bump_shard(&self, shard: usize) {
+        self.shard_accesses[shard % SHARD_SLOTS].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut shard_accesses = [0u64; SHARD_SLOTS];
+        for (out, c) in shard_accesses.iter_mut().zip(&self.shard_accesses) {
+            *out = c.load(Ordering::Relaxed);
+        }
         MetricsSnapshot {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
@@ -31,13 +75,18 @@ impl Metrics {
             writes: self.writes.load(Ordering::Relaxed),
             ignored_writes: self.ignored_writes.load(Ordering::Relaxed),
             blocked_waits: self.blocked_waits.load(Ordering::Relaxed),
+            access_aborts: self.access_aborts.load(Ordering::Relaxed),
+            validation_aborts: self.validation_aborts.load(Ordering::Relaxed),
             epoch_aborts: self.epoch_aborts.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
+            shard_accesses,
         }
     }
 }
 
-const LATENCY_BUCKETS: usize = 64;
+/// Number of latency buckets (powers of two).
+pub const LATENCY_BUCKETS: usize = 64;
 
 /// Commit-latency histogram over *logical ticks* — the engine-wide count
 /// of scheduled accesses, not wall-clock time, so the figures are
@@ -71,29 +120,14 @@ impl LatencyHistogram {
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
         }
-        let count: u64 = buckets.iter().sum();
-        let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let rank = (q * count as f64).ceil() as u64;
-            let mut seen = 0u64;
-            for (idx, &n) in buckets.iter().enumerate() {
-                seen += n;
-                if seen >= rank.max(1) {
-                    // Upper bound of bucket idx: latencies < 2^idx.
-                    return (1u64 << idx.min(63)) - 1;
-                }
-            }
-            u64::MAX
-        };
-        LatencySnapshot { count, p50: quantile(0.50), p95: quantile(0.95), p99: quantile(0.99) }
+        LatencySnapshot::from_buckets(buckets)
     }
 }
 
-/// Commit-latency quantiles in logical ticks (bucketed by powers of two;
-/// each figure is its bucket's upper bound).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// Commit-latency figures in logical ticks: the full power-of-two bucket
+/// counts plus the headline quantiles (each figure is its bucket's upper
+/// bound).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LatencySnapshot {
     /// Number of recorded commits.
     pub count: u64,
@@ -103,10 +137,52 @@ pub struct LatencySnapshot {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// Raw bucket counts; bucket `b` holds latencies in `[2^(b-1), 2^b)`
+    /// (bucket 0: latency 0; the last bucket also absorbs saturation).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> Self {
+        LatencySnapshot { count: 0, p50: 0, p95: 0, p99: 0, buckets: [0; LATENCY_BUCKETS] }
+    }
+}
+
+impl LatencySnapshot {
+    /// Builds a snapshot (count and headline quantiles) from raw bucket
+    /// counts.
+    pub fn from_buckets(buckets: [u64; LATENCY_BUCKETS]) -> Self {
+        let mut s =
+            LatencySnapshot { count: buckets.iter().sum(), p50: 0, p95: 0, p99: 0, buckets };
+        s.p50 = s.quantile(0.50);
+        s.p95 = s.quantile(0.95);
+        s.p99 = s.quantile(0.99);
+        s
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) as its bucket's upper bound: the
+    /// smallest bucket bound below which at least `⌈q·count⌉` (at least
+    /// one) samples fall. Returns 0 for an empty histogram; monotone
+    /// non-decreasing in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                // Upper bound of bucket idx: latencies < 2^idx.
+                return (1u64 << idx.min(63)) - 1;
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// A point-in-time view of the engine counters.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MetricsSnapshot {
     /// Committed transactions.
     pub commits: u64,
@@ -122,10 +198,38 @@ pub struct MetricsSnapshot {
     pub ignored_writes: u64,
     /// Times a transaction had to wait for a lock.
     pub blocked_waits: u64,
+    /// Aborts from a rejected read/write access.
+    pub access_aborts: u64,
+    /// Aborts from a failed commit validation (deferred writes).
+    pub validation_aborts: u64,
     /// Aborts caused by a composite abort-all epoch.
     pub epoch_aborts: u64,
+    /// Transactions that exhausted their restart budget.
+    pub gave_up: u64,
     /// Commit latency, in logical ticks.
     pub latency: LatencySnapshot,
+    /// Granted accesses per store shard (index modulo [`SHARD_SLOTS`]).
+    pub shard_accesses: [u64; SHARD_SLOTS],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            commits: 0,
+            aborts: 0,
+            restarts: 0,
+            reads: 0,
+            writes: 0,
+            ignored_writes: 0,
+            blocked_waits: 0,
+            access_aborts: 0,
+            validation_aborts: 0,
+            epoch_aborts: 0,
+            gave_up: 0,
+            latency: LatencySnapshot::default(),
+            shard_accesses: [0; SHARD_SLOTS],
+        }
+    }
 }
 
 impl MetricsSnapshot {
@@ -136,10 +240,61 @@ impl MetricsSnapshot {
         }
         self.aborts as f64 / self.commits as f64
     }
+
+    /// Converts the snapshot into the serializable registry behind the
+    /// experiment binaries' `--json` output: every counter, the full
+    /// commit-latency histogram, and the per-shard access breakdown.
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new()
+            .counter("commits", self.commits)
+            .counter("aborts", self.aborts)
+            .counter("restarts", self.restarts)
+            .counter("reads", self.reads)
+            .counter("writes", self.writes)
+            .counter("ignored_writes", self.ignored_writes)
+            .counter("blocked_waits", self.blocked_waits)
+            .counter("access_aborts", self.access_aborts)
+            .counter("validation_aborts", self.validation_aborts)
+            .counter("epoch_aborts", self.epoch_aborts)
+            .counter("gave_up", self.gave_up)
+            .histogram(HistogramExport {
+                name: "commit_latency_ticks".to_string(),
+                count: self.latency.count,
+                quantiles: vec![
+                    ("p50".to_string(), self.latency.p50),
+                    ("p95".to_string(), self.latency.p95),
+                    ("p99".to_string(), self.latency.p99),
+                ],
+                buckets: self.latency.buckets.to_vec(),
+            });
+        reg = reg.breakdown(
+            "abort_reasons",
+            vec![
+                ("access_rejected".to_string(), self.access_aborts),
+                ("validation_rejected".to_string(), self.validation_aborts),
+                ("epoch".to_string(), self.epoch_aborts),
+            ],
+        );
+        let entries: Vec<(String, u64)> = self
+            .shard_accesses
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (format!("shard{i}"), n))
+            .collect();
+        reg = reg.breakdown("shard_accesses", entries);
+        reg
+    }
+
+    /// The registry rendered as a JSON value.
+    pub fn to_json(&self) -> Json {
+        self.registry().to_json()
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     #[test]
@@ -163,6 +318,8 @@ mod tests {
     fn empty_histogram_is_all_zero() {
         let s = LatencyHistogram::default().snapshot();
         assert_eq!(s, LatencySnapshot::default());
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 0);
     }
 
     #[test]
@@ -173,5 +330,76 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 2);
         assert!(s.p99 <= 1);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let h = LatencyHistogram::default();
+        h.record(5); // bucket 3: [4, 8), upper bound 7
+        let s = h.snapshot();
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 7, "q = {q}");
+        }
+        assert_eq!((s.p50, s.p95, s.p99), (7, 7, 7));
+    }
+
+    #[test]
+    fn bucket_boundary_splits_adjacent_powers() {
+        // 2^b − 1 and 2^b land in adjacent buckets: 7 → [4,8), 8 → [8,16).
+        let h = LatencyHistogram::default();
+        h.record(7);
+        h.record(8);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[4], 1);
+        assert_eq!(s.quantile(0.5), 7, "lower half reports the lower bucket");
+        assert_eq!(s.quantile(1.0), 15, "upper tail reports the upper bucket");
+    }
+
+    #[test]
+    fn saturating_sample_lands_in_the_last_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(s.quantile(1.0), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn registry_carries_all_counters_and_buckets() {
+        let mut snap = MetricsSnapshot { commits: 3, aborts: 1, ..MetricsSnapshot::default() };
+        snap.shard_accesses[5] = 9;
+        let reg = snap.registry();
+        assert_eq!(reg.counter_value("commits"), Some(3));
+        assert_eq!(reg.counter_value("aborts"), Some(1));
+        assert_eq!(reg.counter_value("gave_up"), Some(0));
+        let rendered = reg.to_json().render();
+        assert!(rendered.contains("\"commit_latency_ticks\""), "{rendered}");
+        assert!(rendered.contains("\"shard5\":9"), "{rendered}");
+    }
+
+    proptest! {
+        /// Quantiles are monotone non-decreasing in q, for any sample set.
+        #[test]
+        fn quantiles_monotone_in_q(
+            samples in proptest::collection::vec(0u64..100_000, 0..200),
+            qa in 0.0f64..=1.0,
+            qb in 0.0f64..=1.0,
+        ) {
+            let h = LatencyHistogram::default();
+            for &x in &samples {
+                h.record(x);
+            }
+            let s = h.snapshot();
+            let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+            prop_assert!(
+                s.quantile(lo) <= s.quantile(hi),
+                "q{lo} = {} > q{hi} = {}", s.quantile(lo), s.quantile(hi)
+            );
+            // And every quantile is bracketed by the data's bucket bounds.
+            if !samples.is_empty() {
+                prop_assert!(s.quantile(1.0) >= *samples.iter().max().unwrap() / 2);
+            }
+        }
     }
 }

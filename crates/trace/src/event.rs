@@ -1,0 +1,348 @@
+//! The typed event vocabulary every scheduler layer reports in.
+//!
+//! One enum covers the whole stack: `Set(j, i)` edges and element
+//! assignments from the core protocol, access decisions with the structured
+//! abort-reason taxonomy, engine-level block/wake and abort events, and
+//! DMT(k) site/lock/message hops. Events carry transaction and item ids
+//! plus the raw decision operands, so the [`crate::audit`] module can
+//! re-check every decision without access to the scheduler that made it.
+
+use mdts_model::{ItemId, OpKind, TxId};
+use mdts_vector::CmpResult;
+
+/// Which protocol rule decided a rejected access (the fine-grained half of
+/// the abort-reason taxonomy; the engine-level half is [`AbortReason`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RejectRule {
+    /// A plain Definition 6 reject: the holder is already ordered after the
+    /// requester and no relaxation applied.
+    VectorOrder,
+    /// The line 9–10 reader rule was attempted (the read was rejected by
+    /// RT) but the requester could not be ordered after the writer.
+    ReaderRule,
+    /// The Thomas write rule was attempted (the write was rejected by WT)
+    /// but the requester could not be ordered after the reader.
+    ThomasRule,
+}
+
+impl RejectRule {
+    /// Stable snake_case name used by the JSON exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectRule::VectorOrder => "vector_order",
+            RejectRule::ReaderRule => "reader_rule",
+            RejectRule::ThomasRule => "thomas_rule",
+        }
+    }
+}
+
+/// Why the engine tore down a transaction incarnation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AbortReason {
+    /// A read or write was refused by the protocol mid-transaction.
+    AccessRejected,
+    /// Commit-time validation (the deferred-write schedule) was refused.
+    ValidationRejected,
+    /// The transaction straddled an `AbortAll` epoch fence.
+    Epoch,
+}
+
+impl AbortReason {
+    /// Stable snake_case name used by the JSON exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::AccessRejected => "access_rejected",
+            AbortReason::ValidationRejected => "validation_rejected",
+            AbortReason::Epoch => "epoch",
+        }
+    }
+}
+
+/// What a `Set(j, i)` call did (mirrors the scheduler's `SetEvent` 1:1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SetEdgeOutcome {
+    /// New dependency information was written: each change is
+    /// `(tx, element, value)` — the paper's "timestamp-element assignment
+    /// (transaction, dimension, value)", with the triggering conflict given
+    /// by the edge's `from`/`to` pair.
+    Encoded {
+        /// The element definitions performed, in order.
+        changes: Vec<(TxId, usize, i64)>,
+    },
+    /// The vectors already said `from < to`; nothing was written.
+    AlreadyOrdered,
+    /// The vectors already said `from > to`, decided at element `at`; the
+    /// requested order cannot be encoded.
+    Refused {
+        /// Deciding element (0-based).
+        at: usize,
+    },
+}
+
+/// How an access decision came out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// Accepted normally: the requester is ordered after both holders.
+    Granted,
+    /// Accepted *invisibly* by the line 9–10 reader rule: the read is
+    /// served but the reader is not recorded as RT.
+    GrantedInvisible,
+    /// Accepted with the write discarded by the Thomas write rule
+    /// (Section III-D-6c).
+    GrantedIgnored,
+    /// Rejected: the holder `against` is already ordered after the
+    /// requester, decided at `column`.
+    Rejected {
+        /// The holder whose order forced the reject.
+        against: TxId,
+        /// Deciding element of the comparison (0-based).
+        column: usize,
+        /// Which rule (or failed relaxation) produced the reject.
+        rule: RejectRule,
+    },
+}
+
+/// An object in the distributed protocol's lock space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DmtObj {
+    /// An item's RT/WT pair.
+    Item(ItemId),
+    /// A transaction's timestamp vector.
+    Vector(TxId),
+}
+
+/// Where a DMT(k) lock acquisition was served from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DmtSource {
+    /// The object lives at the accessing site.
+    Local,
+    /// A previously fetched lock was retained and reused.
+    Retained,
+    /// The object was fetched from a remote site (request + reply).
+    Remote,
+}
+
+impl DmtSource {
+    /// Stable snake_case name used by the JSON exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            DmtSource::Local => "local",
+            DmtSource::Retained => "retained",
+            DmtSource::Remote => "remote",
+        }
+    }
+}
+
+/// One trace event. See the variant docs for which layer emits what.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// A fresh transaction incarnation entered the engine.
+    Begin {
+        /// The new transaction.
+        tx: TxId,
+    },
+    /// A restarted incarnation replaced an aborted one; `hint` is the
+    /// starvation restart hint `TS(blocker, 1) + 1` installed as the first
+    /// element, if any (Section III-D-4).
+    Restart {
+        /// The replacement transaction.
+        tx: TxId,
+        /// The incarnation it replaces.
+        aborted: TxId,
+        /// First-element restart hint, if one was recorded.
+        hint: Option<i64>,
+    },
+    /// A `Set(from, to)` edge: the scheduler tried to order `from < to`.
+    SetEdge {
+        /// Transaction required to come first.
+        from: TxId,
+        /// Transaction required to come second.
+        to: TxId,
+        /// What happened.
+        outcome: SetEdgeOutcome,
+    },
+    /// A Definition 6 vector comparison, with the step cost a scalar scan
+    /// pays for it and what the k-processor tree comparator would pay.
+    Compare {
+        /// Left operand.
+        a: TxId,
+        /// Right operand.
+        b: TxId,
+        /// The comparison result, deciding position included.
+        result: CmpResult,
+        /// Elements a sequential scan inspects (deciding index + 1).
+        scalar_ops: usize,
+        /// Parallel steps of the Figs. 6–7 tree comparator (4 + ⌈log₂ k⌉).
+        tree_steps: usize,
+    },
+    /// An access decision, with the RT/WT holders observed when it was
+    /// made (the operands the auditor re-checks the decision against).
+    Access {
+        /// Requesting transaction.
+        tx: TxId,
+        /// Item accessed.
+        item: ItemId,
+        /// Read or write.
+        kind: OpKind,
+        /// Read-timestamp holder at decision time.
+        rt: TxId,
+        /// Write-timestamp holder at decision time.
+        wt: TxId,
+        /// How the decision came out.
+        outcome: AccessOutcome,
+    },
+    /// The scheduler committed `tx` (its slots become reclaimable).
+    Commit {
+        /// The committed transaction.
+        tx: TxId,
+    },
+    /// The scheduler aborted `tx` and rolled its RT/WT slots back.
+    Abort {
+        /// The aborted transaction.
+        tx: TxId,
+    },
+    /// The engine aborted an incarnation, with the coarse reason.
+    EngineAbort {
+        /// The aborted incarnation.
+        tx: TxId,
+        /// Why the engine gave up on it.
+        reason: AbortReason,
+    },
+    /// `run` exhausted its restart budget and surfaced the abort.
+    GaveUp {
+        /// The last incarnation tried.
+        tx: TxId,
+        /// How many restarts were burned.
+        restarts: u64,
+    },
+    /// A transaction parked on the engine's eventcount (`WakeSeq`).
+    Blocked {
+        /// The blocked transaction.
+        tx: TxId,
+        /// The item it is waiting to access.
+        item: ItemId,
+        /// The kind of access that blocked.
+        kind: OpKind,
+        /// The wake sequence number observed before parking.
+        wake_seen: u64,
+    },
+    /// A commit/abort bumped the eventcount while someone was parked.
+    Wake {
+        /// The new wake sequence number.
+        seq: u64,
+    },
+    /// A DMT(k) site started scheduling one operation (the events up to
+    /// the next `DmtOp` belong to this site).
+    DmtOp {
+        /// Accessing site.
+        site: u32,
+        /// Issuing transaction.
+        tx: TxId,
+        /// Item accessed.
+        item: ItemId,
+        /// Read or write.
+        kind: OpKind,
+    },
+    /// A DMT(k) lock acquisition and where it was served from.
+    DmtLock {
+        /// Acquiring site.
+        site: u32,
+        /// The locked object.
+        obj: DmtObj,
+        /// Local, retained, or a two-message remote fetch.
+        source: DmtSource,
+    },
+    /// A DMT(k) write-back of a dirtied object to its home site.
+    DmtWriteBack {
+        /// Site sending the update.
+        site: u32,
+        /// The object written back.
+        obj: DmtObj,
+        /// Whether the home site is remote (one message) or local (free).
+        remote: bool,
+    },
+    /// A DMT(k) counter-synchronisation broadcast round.
+    DmtSync {
+        /// Initiating site.
+        site: u32,
+        /// Messages spent on the broadcast (`2 · (n_sites − 1)`).
+        messages: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case event name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Begin { .. } => "begin",
+            TraceEvent::Restart { .. } => "restart",
+            TraceEvent::SetEdge { .. } => "set_edge",
+            TraceEvent::Compare { .. } => "compare",
+            TraceEvent::Access { .. } => "access",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Abort { .. } => "abort",
+            TraceEvent::EngineAbort { .. } => "engine_abort",
+            TraceEvent::GaveUp { .. } => "gave_up",
+            TraceEvent::Blocked { .. } => "blocked",
+            TraceEvent::Wake { .. } => "wake",
+            TraceEvent::DmtOp { .. } => "dmt_op",
+            TraceEvent::DmtLock { .. } => "dmt_lock",
+            TraceEvent::DmtWriteBack { .. } => "dmt_write_back",
+            TraceEvent::DmtSync { .. } => "dmt_sync",
+        }
+    }
+
+    /// The transaction the event is about, when there is a single one
+    /// (used as the Chrome `tid` so per-transaction tracks line up).
+    pub fn tx(&self) -> Option<TxId> {
+        match *self {
+            TraceEvent::Begin { tx }
+            | TraceEvent::Restart { tx, .. }
+            | TraceEvent::Access { tx, .. }
+            | TraceEvent::Commit { tx }
+            | TraceEvent::Abort { tx }
+            | TraceEvent::EngineAbort { tx, .. }
+            | TraceEvent::GaveUp { tx, .. }
+            | TraceEvent::Blocked { tx, .. }
+            | TraceEvent::DmtOp { tx, .. } => Some(tx),
+            TraceEvent::SetEdge { to, .. } => Some(to),
+            TraceEvent::Compare { b, .. } => Some(b),
+            TraceEvent::Wake { .. }
+            | TraceEvent::DmtLock { .. }
+            | TraceEvent::DmtWriteBack { .. }
+            | TraceEvent::DmtSync { .. } => None,
+        }
+    }
+}
+
+/// A sequenced event: `seq` is a global total order over the buffer the
+/// event was pushed to (assigned inside the emitting critical section, so
+/// causally dependent decisions never appear before the edges they depend
+/// on).
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceRecord {
+    /// Global sequence number within the owning buffer.
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Elements a sequential Definition 6 scan inspects to reach `result`:
+/// deciding index + 1, or `k` when the vectors are identical (the same
+/// accounting as `ScalarComparator::compare_counted`).
+pub fn scalar_cost(result: CmpResult, k: usize) -> usize {
+    match result {
+        CmpResult::Less { at }
+        | CmpResult::Greater { at }
+        | CmpResult::EqualUndefined { at }
+        | CmpResult::LeftUndefined { at }
+        | CmpResult::RightUndefined { at } => at + 1,
+        CmpResult::Identical => k,
+    }
+}
+
+/// Parallel steps the Figs. 6–7 tree comparator pays for any comparison of
+/// dimension `k`: four constant phases plus ⌈log₂ k⌉ for the prefix-OR.
+pub fn tree_cost(k: usize) -> usize {
+    4 + k.next_power_of_two().trailing_zeros() as usize
+}

@@ -1,0 +1,170 @@
+//! A serializable metrics registry: named counters, full histogram
+//! buckets, and labelled breakdowns, rendered as a schema-stable JSON
+//! document. The engine's `MetricsSnapshot` converts into this; the
+//! experiment binaries emit it under `--json`.
+
+use crate::json::Json;
+
+/// A histogram export: total count, selected quantiles, and the full
+/// bucket array (power-of-two upper bounds, index = bit width).
+#[derive(Clone, PartialEq, Debug)]
+pub struct HistogramExport {
+    /// Metric name, e.g. `"commit_latency_ticks"`.
+    pub name: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// `(quantile label, value)` pairs, e.g. `("p50", 3)`.
+    pub quantiles: Vec<(String, u64)>,
+    /// Raw bucket counts.
+    pub buckets: Vec<u64>,
+}
+
+/// A labelled breakdown of one quantity, e.g. aborts by reason or
+/// accesses by store shard.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Breakdown {
+    /// Breakdown name, e.g. `"abort_reasons"`.
+    pub name: String,
+    /// `(label, value)` pairs in schema order.
+    pub entries: Vec<(String, u64)>,
+}
+
+/// A metrics document: schema id, free-form labels (protocol, threads, …),
+/// counters, histograms, and breakdowns. Field order is preserved
+/// everywhere so emitted documents are schema-stable.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MetricsRegistry {
+    labels: Vec<(String, String)>,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<HistogramExport>,
+    breakdowns: Vec<Breakdown>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds a free-form label (returns `self` for chaining).
+    pub fn label(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.labels.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a named counter.
+    pub fn counter(mut self, name: &str, value: u64) -> Self {
+        self.counters.push((name.to_string(), value));
+        self
+    }
+
+    /// Adds a histogram.
+    pub fn histogram(mut self, histogram: HistogramExport) -> Self {
+        self.histograms.push(histogram);
+        self
+    }
+
+    /// Adds a breakdown.
+    pub fn breakdown(mut self, name: &str, entries: Vec<(String, u64)>) -> Self {
+        self.breakdowns.push(Breakdown { name: name.to_string(), entries });
+        self
+    }
+
+    /// The labels, in insertion order.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// The counters, in insertion order.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histograms, in insertion order.
+    pub fn histograms(&self) -> &[HistogramExport] {
+        &self.histograms
+    }
+
+    /// The breakdowns, in insertion order.
+    pub fn breakdowns(&self) -> &[Breakdown] {
+        &self.breakdowns
+    }
+
+    /// The registry as a JSON value:
+    /// `{"labels":{…},"counters":{…},"histograms":[…],"breakdowns":{…}}`.
+    pub fn to_json(&self) -> Json {
+        let labels = self.labels.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))).collect();
+        let counters = self.counters.iter().map(|&(ref k, v)| (k.clone(), Json::U64(v))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Json::obj(vec![
+                    ("name", Json::str(h.name.clone())),
+                    ("count", Json::U64(h.count)),
+                    (
+                        "quantiles",
+                        Json::Obj(
+                            h.quantiles
+                                .iter()
+                                .map(|&(ref q, v)| (q.clone(), Json::U64(v)))
+                                .collect(),
+                        ),
+                    ),
+                    ("buckets", Json::Arr(h.buckets.iter().map(|&b| Json::U64(b)).collect())),
+                ])
+            })
+            .collect();
+        let breakdowns = self
+            .breakdowns
+            .iter()
+            .map(|b| {
+                (
+                    b.name.clone(),
+                    Json::Obj(
+                        b.entries.iter().map(|&(ref k, v)| (k.clone(), Json::U64(v))).collect(),
+                    ),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("labels", Json::Obj(labels)),
+            ("counters", Json::Obj(counters)),
+            ("histograms", Json::Arr(histograms)),
+            ("breakdowns", Json::Obj(breakdowns)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_renders_schema_stably() {
+        let reg = MetricsRegistry::new()
+            .label("protocol", "MT(3)")
+            .counter("commits", 10)
+            .counter("aborts", 2)
+            .histogram(HistogramExport {
+                name: "latency".to_string(),
+                count: 12,
+                quantiles: vec![("p50".to_string(), 3), ("p99".to_string(), 15)],
+                buckets: vec![0, 4, 8],
+            })
+            .breakdown(
+                "abort_reasons",
+                vec![("access_rejected".to_string(), 2), ("epoch".to_string(), 0)],
+            );
+        assert_eq!(
+            reg.to_json().render(),
+            r#"{"labels":{"protocol":"MT(3)"},"counters":{"commits":10,"aborts":2},"histograms":[{"name":"latency","count":12,"quantiles":{"p50":3,"p99":15},"buckets":[0,4,8]}],"breakdowns":{"abort_reasons":{"access_rejected":2,"epoch":0}}}"#
+        );
+        assert_eq!(reg.counter_value("commits"), Some(10));
+    }
+}

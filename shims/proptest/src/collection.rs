@@ -1,28 +1,49 @@
 //! Collection strategies (`proptest::collection` subset).
 
+use std::ops::Range;
+
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// Strategy for `Vec`s of a fixed length; see [`vec`].
-pub struct VecStrategy<S> {
-    element: S,
-    len: usize,
+/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`,
+/// mirroring real proptest's `SizeRange` conversions.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
 }
 
-/// `collection::vec(element, len)` — a `Vec` of exactly `len` samples.
-///
-/// Real proptest also accepts length *ranges*; this workspace only uses
-/// fixed lengths, so only `usize` is supported.
-pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec`s of fixed or ranged length; see [`vec`].
+pub struct VecStrategy<S, L = usize> {
+    element: S,
+    len: L,
+}
+
+/// `collection::vec(element, len)` — a `Vec` of `len` samples, where
+/// `len` is a fixed `usize` or a `Range<usize>` drawn per sample.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
     VecStrategy { element, len }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
-        (0..self.len).map(|_| self.element.sample(rng)).collect()
+        let len = self.len.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
     }
 }
 

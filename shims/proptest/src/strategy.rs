@@ -1,7 +1,7 @@
 //! The [`Strategy`] trait and primitive strategies.
 
 use std::marker::PhantomData;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SampleRange, Standard};
@@ -44,6 +44,18 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 impl<T> Strategy for Range<T>
 where
     Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Inclusive ranges too (`0.0..=1.0`, `0u64..=u64::MAX`).
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
 {
     type Value = T;
 

@@ -137,6 +137,17 @@ impl SampleRange<f64> for Range<f64> {
     }
 }
 
+impl SampleRange<f64> for RangeInclusive<f64> {
+    /// The upper endpoint itself has measure zero under the uniform
+    /// distribution; inclusive float ranges are sampled like half-open
+    /// ones, except that a degenerate `x..=x` range is allowed.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

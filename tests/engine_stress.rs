@@ -14,12 +14,13 @@
 //! though the doubly-spent unit may be restored elsewhere.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mdts::engine::{BasicToCc, CompositeCc, Database, MtCc, ShardedMtCc, TwoPlCc, TxError};
 use mdts::model::{ItemId, Zipf};
 use mdts::storage::Store;
+use mdts::trace::{audit, TraceBuffer, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -61,6 +62,19 @@ fn check_value_chains(name: &str, db: &Database<i64>, edges: &[Edge]) {
 }
 
 fn stress(name: &str, db: Database<i64>, threads: usize) {
+    stress_with_audit(name, db, threads, None);
+}
+
+/// Like [`stress`], but afterwards replays the captured MT(k) decision
+/// trace through the independent auditor: every accept/reject must be
+/// justified by the Definition 6 vectors, and the committed prefix must be
+/// in TO(k).
+fn stress_with_audit(
+    name: &str,
+    db: Database<i64>,
+    threads: usize,
+    auditing: Option<(Arc<TraceBuffer>, usize)>,
+) {
     let zipf = Zipf::new(ACCOUNTS as usize, ZIPF_THETA);
     let edges: Mutex<Vec<Edge>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
@@ -122,33 +136,52 @@ fn stress(name: &str, db: Database<i64>, threads: usize) {
     check_value_chains(name, &db, &edges);
     // Each edge pair is one committed transfer (audits commit on top).
     assert!(db.metrics().commits >= edges.len() as u64 / 2, "{name}: commit metric undercounts");
+    if let Some((buffer, k)) = auditing {
+        assert_eq!(buffer.dropped(), 0, "{name}: audit needs the complete trace");
+        let report = audit(&buffer.snapshot(), k);
+        assert!(report.is_clean(), "{name}: {}", report.summary());
+        assert!(report.committed as u64 >= db.metrics().commits, "{name}: commits untraced");
+        assert!(report.decisions > 0 && report.comparisons > 0 && report.conflict_pairs > 0);
+    }
 }
 
 fn store() -> Store<i64> {
     Store::with_items(ACCOUNTS, INITIAL)
 }
 
+/// A sharded-MT(k) database with the protocol and the engine tracing into
+/// one shared buffer, so the auditor sees the merged decision stream.
+fn traced_sharded(k: usize) -> (Database<i64>, Arc<TraceBuffer>) {
+    let buffer = TraceBuffer::unbounded(16);
+    let mut cc = ShardedMtCc::new(k);
+    cc.attach_trace(TraceSink::to(&buffer));
+    let db = Database::with_store_concurrent_traced(Box::new(cc), store(), TraceSink::to(&buffer));
+    (db, buffer)
+}
+
 #[test]
 fn sharded_mtk_survives_zipf_hotspot_8_threads() {
-    stress(
-        "MT(3)-sharded/8t",
-        Database::with_store_concurrent(Box::new(ShardedMtCc::new(3)), store()),
-        8,
-    );
+    let (db, buffer) = traced_sharded(3);
+    stress_with_audit("MT(3)-sharded/8t", db, 8, Some((buffer, 3)));
 }
 
 #[test]
 fn sharded_mtk_survives_zipf_hotspot_16_threads() {
-    stress(
-        "MT(3)-sharded/16t",
-        Database::with_store_concurrent(Box::new(ShardedMtCc::new(3)), store()),
-        16,
-    );
+    let (db, buffer) = traced_sharded(3);
+    stress_with_audit("MT(3)-sharded/16t", db, 16, Some((buffer, 3)));
 }
 
 #[test]
 fn serialized_mtk_survives_zipf_hotspot() {
-    stress("MT(3)/8t", Database::with_store(Box::new(MtCc::new(3)), store()), 8);
+    let buffer = TraceBuffer::unbounded(4);
+    let mut cc = MtCc::new(3);
+    cc.attach_trace(TraceSink::to(&buffer));
+    stress_with_audit(
+        "MT(3)/8t",
+        Database::with_store(Box::new(cc), store()),
+        8,
+        Some((buffer, 3)),
+    );
 }
 
 #[test]
