@@ -1,9 +1,13 @@
 //! Criterion bench for the sharded engine's thread scaling: the exp19
 //! sweep as a benchmark — MT(k) on the sharded scheduler vs the same
 //! protocol serialized behind one mutex, at 1/4/8 threads, uniform
-//! low-contention (so any gap is engine overhead, not conflicts).
+//! low-contention (so any gap is engine overhead, not conflicts). The
+//! sharded protocol also runs with its write-once order cache switched
+//! off, so the cache's cost/benefit on the compare path is a first-class
+//! bench line rather than a derived number.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mdts_core::MtOptions;
 use mdts_engine::{run_bank_mix, run_bank_mix_concurrent, BankConfig, MtCc, ShardedMtCc};
 
 fn cfg(threads: usize) -> BankConfig {
@@ -26,6 +30,24 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_function(format!("mt3_sharded/{threads}t"), |b| {
             b.iter_batched(
                 || Box::new(ShardedMtCc::new(3)),
+                |cc| {
+                    let r = run_bank_mix_concurrent(cc, &cfg(threads));
+                    assert!(r.invariant_holds());
+                    r.metrics.commits
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function(format!("mt3_sharded_nocache/{threads}t"), |b| {
+            b.iter_batched(
+                || {
+                    let opts = MtOptions {
+                        starvation_flush: true,
+                        order_cache: false,
+                        ..MtOptions::new(3)
+                    };
+                    Box::new(ShardedMtCc::with_options(opts))
+                },
                 |cc| {
                     let r = run_bank_mix_concurrent(cc, &cfg(threads));
                     assert!(r.invariant_holds());

@@ -16,6 +16,8 @@
 
 //! `--json` replaces the human tables with one `mdts-metrics/v1` document
 //! on stdout (full counters, breakdowns, and latency histograms per run).
+//! `--quick` shrinks the budget and the thread sweep to a CI-sized smoke
+//! run: same code paths and invariant checks, no statistical weight.
 
 use mdts_bench::{json_mode, metrics_document, print_table, Table};
 use mdts_engine::{
@@ -25,6 +27,8 @@ use mdts_engine::{
 
 const TOTAL_TXNS: usize = 4_000;
 const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+const QUICK_TXNS: usize = 400;
+const QUICK_THREADS: [usize; 2] = [1, 4];
 const K: usize = 3;
 const THINK_SLEEP_US: u64 = 100;
 
@@ -53,6 +57,9 @@ impl Protocol {
 
 fn main() {
     let json = json_mode();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (total_txns, thread_sweep): (usize, &[usize]) =
+        if quick { (QUICK_TXNS, &QUICK_THREADS) } else { (TOTAL_TXNS, &THREADS) };
     let mut runs = Vec::new();
     if !json {
         println!("== exp19: multicore scaling, sharded vs serialized engine ==\n");
@@ -78,11 +85,11 @@ fn main() {
         ]);
         for protocol in Protocol::all() {
             let mut base_tps = None;
-            for threads in THREADS {
+            for &threads in thread_sweep {
                 let cfg = BankConfig {
                     accounts,
                     threads,
-                    txns_per_thread: TOTAL_TXNS / threads,
+                    txns_per_thread: total_txns / threads,
                     zipf_theta: theta,
                     read_only_fraction: 0.25,
                     think_sleep_us: THINK_SLEEP_US,

@@ -35,13 +35,17 @@
 //! * [`MvMtScheduler`] — the multiversion extension of III-D-6d: version
 //!   chains per item under the vector order; reads never abort.
 //! * [`SharedMtScheduler`] — MT(k) behind `&self`: item-sharded `RT`/`WT`,
-//!   read-mostly vector rows, lock-free k-th-column counters and O(1)
+//!   a chunked per-slot-locked [`RowTable`], a write-once [`OrderCache`]
+//!   for decided comparisons, lock-free k-th-column counters and O(1)
 //!   refcount reclamation, for multi-threaded engines.
+//!
+//! [`OrderCache`]: mdts_vector::OrderCache
 
 pub mod composite;
 pub mod mtk;
 pub mod mvmt;
 pub mod recognize;
+pub mod rowtable;
 pub mod shared;
 pub mod table;
 
@@ -49,6 +53,7 @@ pub use composite::{NaiveComposite, SharedPrefixComposite};
 pub use mtk::{Decision, HotEncoding, MtOptions, MtScheduler, Reject, SetEvent};
 pub use mvmt::MvMtScheduler;
 pub use recognize::{recognize, to_k, to_k_star, LogScheduler, Recognition};
+pub use rowtable::{RowSlot, RowTable};
 pub use shared::SharedMtScheduler;
 pub use table::TimestampTable;
 

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use mdts_model::{ItemId, OpKind, Operation, TxId};
 use mdts_trace::event::{scalar_cost, tree_cost, AccessOutcome, RejectRule, SetEdgeOutcome};
 use mdts_trace::{TraceBuffer, TraceEvent, TraceSink};
-use mdts_vector::{CmpResult, TsVec};
+use mdts_vector::{CmpResult, OrderCache, OrderCacheStats, TsVec};
 
 use crate::table::TimestampTable;
 
@@ -68,6 +68,13 @@ pub struct MtOptions {
     pub starvation_flush: bool,
     /// Hot-item right-end encoding (III-D-5).
     pub hot_encoding: Option<HotEncoding>,
+    /// Memoize *decided* comparisons (`TS(a) < TS(b)` / `>`) in a write-once
+    /// [`OrderCache`](mdts_vector::OrderCache). Sound because decided orders
+    /// are immutable under the write-once element discipline; the cache is
+    /// flushed whenever the table reports a mutation that could break that
+    /// (the III-D-4 in-place flush, reuse of a reclaimed id, raw table
+    /// access). On by default.
+    pub order_cache: bool,
     /// Attach an internal journal [`TraceBuffer`] so [`MtScheduler::events`]
     /// can reconstruct the `Set` journal (used by the paper-table
     /// harnesses; off by default to keep bulk recognition allocation-free).
@@ -86,6 +93,7 @@ impl MtOptions {
             thomas_write_rule: false,
             starvation_flush: false,
             hot_encoding: None,
+            order_cache: true,
             record_events: false,
         }
     }
@@ -214,6 +222,14 @@ pub struct MtScheduler {
     /// old anchor, so rollback stays disabled for the item's `RT` slot for
     /// good.
     shielded: std::collections::HashSet<ItemId>,
+    /// Write-once order cache: memoized *decided* comparisons, consulted by
+    /// `Set`, `pick` and the reader rule. A clone starts cold (see
+    /// [`OrderCache`]'s `Clone`), which is always valid.
+    cache: OrderCache,
+    /// The table mutation epoch the cache was last synchronized against;
+    /// a table mutation that could flip a decided order advances the
+    /// table's epoch, and the next cache consult flushes.
+    cache_synced_epoch: u64,
     /// Decision-trace sink (disabled by default; see `mdts-trace`).
     /// Cloning the scheduler shares the sink's buffer.
     trace: TraceSink,
@@ -236,6 +252,8 @@ impl MtScheduler {
             footprint: HashMap::new(),
             finished: std::collections::HashSet::new(),
             shielded: std::collections::HashSet::new(),
+            cache: OrderCache::new(),
+            cache_synced_epoch: 0,
             trace,
         }
     }
@@ -259,8 +277,61 @@ impl MtScheduler {
     /// distributed protocol, which seed tables with pre-existing vectors
     /// or site-tagged counters. Mutations must respect the write-once
     /// element discipline or the protocol's guarantees are void.
+    ///
+    /// Conservatively advances the table's mutation epoch, flushing the
+    /// order cache on the next consult — raw access could define elements
+    /// behind the cache's back in ways the write-once argument doesn't
+    /// cover (e.g. DMT(k) write-backs of remote vectors).
     pub fn table_mut(&mut self) -> &mut TimestampTable {
+        self.table.bump_mutation_epoch();
         &mut self.table
+    }
+
+    /// Hit/miss/insert/invalidation counters of the write-once order cache.
+    pub fn order_cache_stats(&self) -> OrderCacheStats {
+        self.cache.stats()
+    }
+
+    /// Definition 6 comparison of `TS(a)` and `TS(b)`, served from the
+    /// write-once order cache when it already holds a decided result.
+    /// Returns the result and whether it was a cache hit. Fresh *decided*
+    /// results are inserted on the way out.
+    fn compare_cached(&mut self, a: TxId, b: TxId) -> (CmpResult, bool) {
+        if !self.opts.order_cache {
+            return (self.table.compare(a, b), false);
+        }
+        let table_epoch = self.table.mutation_epoch();
+        if table_epoch != self.cache_synced_epoch {
+            self.cache_synced_epoch = table_epoch;
+            self.cache.invalidate_all();
+        }
+        let epoch = self.cache.epoch();
+        if let Some(hit) = self.cache.get(a.0, b.0) {
+            debug_assert_eq!(
+                hit,
+                self.table.compare(a, b),
+                "order cache diverged from a fresh compare of {a} and {b}"
+            );
+            return (hit, true);
+        }
+        let cmp = self.table.compare(a, b);
+        self.cache.insert(epoch, a.0, b.0, cmp);
+        (cmp, false)
+    }
+
+    /// Notes a just-encoded order `TS(j) < TS(i)` (decided at column `at`)
+    /// in the cache, so the next consult is a hit.
+    fn cache_note_less(&mut self, j: TxId, i: TxId, at: usize) {
+        if !self.opts.order_cache {
+            return;
+        }
+        debug_assert_eq!(
+            self.table.compare(j, i),
+            CmpResult::Less { at },
+            "encoded order for {j} < {i} does not match the vectors"
+        );
+        let epoch = self.cache.epoch();
+        self.cache.insert(epoch, j.0, i.0, CmpResult::Less { at });
     }
 
     /// Installs an explicit vector for `tx`, replacing any existing row —
@@ -462,7 +533,7 @@ impl MtScheduler {
         // referenced), but a defensive ensure keeps the invariant local.
         self.table.ensure_tx(rt);
         self.table.ensure_tx(wt);
-        if self.table.is_less(rt, wt) {
+        if matches!(self.compare_cached(rt, wt).0, CmpResult::Less { .. }) {
             wt
         } else {
             rt
@@ -491,13 +562,15 @@ impl MtScheduler {
         self.table.ensure_tx(j);
         self.table.ensure_tx(i);
         let k = self.opts.k;
-        let cmp = self.table.compare(j, i);
+        let (cmp, cached) = self.compare_cached(j, i);
         self.trace.emit(|| TraceEvent::Compare {
             a: j,
             b: i,
             result: cmp,
-            scalar_ops: scalar_cost(cmp, k),
+            // A hit costs one memo-table probe instead of a column walk.
+            scalar_ops: if cached { 1 } else { scalar_cost(cmp, k) },
             tree_steps: tree_cost(k),
+            cached,
         });
         match cmp {
             CmpResult::Less { .. } => {
@@ -526,13 +599,18 @@ impl MtScheduler {
                     vec![(j, at, 1), (i, at, 2)]
                 };
                 self.record(SetEvent::Encoded { from: j, to: i, changes });
+                self.cache_note_less(j, i, at);
                 SetResult::Ok
             }
             CmpResult::RightUndefined { at } => {
                 // TS(i, at) undefined; TS(j, at) defined.
                 if hot {
                     if let Some(changes) = self.encode_hot(j, i, at) {
+                        // The right-end encode decides at the first column
+                        // it defined in *both* vectors — the last change.
+                        let p = changes.last().expect("hot encode changes something").1;
                         self.record(SetEvent::Encoded { from: j, to: i, changes });
+                        self.cache_note_less(j, i, p);
                         return SetResult::Ok;
                     }
                 }
@@ -546,6 +624,7 @@ impl MtScheduler {
                 };
                 self.table.ts_mut(i).define(at, value);
                 self.record(SetEvent::Encoded { from: j, to: i, changes: vec![(i, at, value)] });
+                self.cache_note_less(j, i, at);
                 SetResult::Ok
             }
             CmpResult::LeftUndefined { at } => {
@@ -558,6 +637,7 @@ impl MtScheduler {
                 };
                 self.table.ts_mut(j).define(at, value);
                 self.record(SetEvent::Encoded { from: j, to: i, changes: vec![(j, at, value)] });
+                self.cache_note_less(j, i, at);
                 SetResult::Ok
             }
         }
@@ -637,7 +717,7 @@ impl MtScheduler {
                     let after_writer = if self.opts.relaxed_reader_rule {
                         matches!(self.set_less(wt, tx, false), SetResult::Ok)
                     } else {
-                        wt == tx || self.table.is_less(wt, tx)
+                        wt == tx || matches!(self.compare_cached(wt, tx).0, CmpResult::Less { .. })
                     };
                     if after_writer {
                         // The read proceeds invisibly: `RT(x)` is not

@@ -13,30 +13,44 @@
 //!   makes an operation atomic with respect to other accesses of `x` — the
 //!   shard mutex plays the role of Algorithm 1's implicit critical section,
 //!   but per item group instead of global.
-//! * **Vector rows sit behind one `RwLock`** — comparisons (the common
-//!   case: most `Set(j, i)` calls find the order already decided) take the
-//!   read lock and run in parallel; only an actual *encoding* (defining
-//!   vector elements) takes the write lock, re-compares, and defines. The
-//!   re-comparison under the write lock is essential: between dropping the
-//!   read lock and acquiring the write lock, an encoder working on behalf
-//!   of another item may have closed the very same open order (the two
-//!   transactions can be `RT`/`WT` of many items at once). Re-deciding
-//!   under the write lock preserves the write-once discipline of
-//!   [`TsVec::define`].
+//! * **Vector rows live in a chunked, append-only [`RowTable`]** — slots
+//!   are addressed lock-free (chunks are published once via atomic
+//!   pointers and never move), and each slot carries its own small
+//!   `RwLock` around the vector. `begin`/`commit`/`abort` and every
+//!   comparison touch only the slots involved; there is no global rows
+//!   lock to stall on. Encoding (defining vector elements) takes the two
+//!   slots' write locks in ascending index order, re-compares, and
+//!   defines. The re-comparison under the write locks is essential:
+//!   between the optimistic read-locked pass and the write acquisition, an
+//!   encoder working on behalf of another item may have closed the very
+//!   same open order (the two transactions can be `RT`/`WT` of many items
+//!   at once). Re-deciding under the write locks preserves the write-once
+//!   discipline of [`TsVec::define`].
+//! * **Decided orders are memoized in a write-once [`OrderCache`]** —
+//!   under the write-once element discipline a decided `TS(a) < TS(b)` can
+//!   never be contradicted, so `Set(j, i)` first probes the cache and
+//!   serves hits without touching any row lock. Only *decided* results are
+//!   cached; the cache is flushed (epoch bump) whenever a row slot is
+//!   reused after reclamation or a restart reinstalls a vector — the two
+//!   events that can invalidate a memoized order. Inserts carry the epoch
+//!   observed *before* the vectors were read, so an insert racing with an
+//!   invalidation is dropped rather than resurrected.
 //! * **The k-th-column counters are the lock-free
 //!   [`AtomicKthCounters`]** — `ucount`/`lcount` draws need no lock at
 //!   all; distinctness, not program order, is the invariant Algorithm 1
 //!   needs of them.
-//! * **Reclamation (III-D-6b) is refcount-driven and O(1)** — each row
+//! * **Reclamation (III-D-6b) is refcount-driven and O(1)** — each slot
 //!   carries an atomic count of the `RT`/`WT` entries naming it, bumped on
-//!   displacement under the owning shard's lock. `commit` marks the row
-//!   finished; whoever drops the last reference frees it. No scan over the
-//!   items, and no global pause.
+//!   displacement under the owning shard's lock. `commit` marks the slot
+//!   finished; whoever drops the last reference frees the row (under that
+//!   slot's write lock alone). The III-D-4 restart hint also lives in the
+//!   slot, so no side table survives either.
 //!
-//! **Lock order** (deadlock freedom): item shard → rows lock → hints
-//! mutex. A thread holds at most one shard at a time (multi-item
-//! operations take them one by one), and nothing acquires a shard while
-//! holding the rows lock.
+//! **Lock order** (deadlock freedom): item shard → row-slot locks in
+//! ascending slot index → order-cache shard (leaf; nothing is acquired
+//! while it is held). A thread holds at most one item shard at a time
+//! (multi-item operations take them one by one) and at most two slot locks
+//! at a time, always acquired low index first.
 //!
 //! # Divergences from the sequential scheduler
 //!
@@ -55,42 +69,33 @@
 //!   Anchors only add ordering constraints, which never endangers
 //!   serializability.
 //! * Hot-item right-end encoding (III-D-5) and the `SetEvent` journal are
-//!   not supported — the donor-prefix copy would have to hold the write
-//!   lock for O(k) defines per access. Decision tracing *is* supported:
+//!   not supported — the donor-prefix copy would have to hold both write
+//!   locks for O(k) defines per access. Decision tracing *is* supported:
 //!   [`SharedMtScheduler::attach_trace`] routes typed [`TraceEvent`]s to an
 //!   `mdts-trace` buffer. Events are stamped inside the critical section
-//!   that made the decision (rows lock for `Set`, item shard for accesses),
-//!   so the merged sequence shows every decision after the encodes that
-//!   justify it — the property the trace auditor relies on.
+//!   that made the decision (row-slot locks for `Set`, item shard for
+//!   accesses), so the merged sequence shows every decision after the
+//!   encodes that justify it — the property the trace auditor relies on.
+//!   Cache hits are stamped lock-free, but stay sound for the same reason:
+//!   an entry is inserted only *after* the events justifying it were
+//!   emitted, and reading the entry synchronizes with that insert, so the
+//!   hit's sequence number lands after the justifying encode's.
+//!
+//! [`OrderCache`]: mdts_vector::OrderCache
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard};
 
 use mdts_model::{ItemId, OpKind, Operation, TxId};
 use mdts_trace::event::{scalar_cost, tree_cost, AccessOutcome, RejectRule, SetEdgeOutcome};
 use mdts_trace::{TraceEvent, TraceSink};
-use mdts_vector::{AtomicKthCounters, CmpResult, ScalarComparator, TsVec};
+use mdts_vector::{
+    AtomicKthCounters, CmpResult, OrderCache, OrderCacheStats, ScalarComparator, TsVec,
+};
 
 use crate::mtk::{Decision, MtOptions, Reject};
-
-/// One timestamp-table row: the vector plus its reclamation state.
-#[derive(Debug)]
-struct Row {
-    vec: TsVec,
-    /// Number of `RT`/`WT` entries naming this transaction. Bumped under
-    /// the owning item's shard lock; read during reclamation.
-    refs: AtomicU32,
-    /// Set once the transaction committed or aborted — the row may be
-    /// dropped as soon as `refs` reaches zero.
-    finished: AtomicBool,
-}
-
-impl Row {
-    fn new(vec: TsVec) -> Self {
-        Row { vec, refs: AtomicU32::new(0), finished: AtomicBool::new(false) }
-    }
-}
+use crate::rowtable::{RowSlot, RowTable};
 
 /// Per-shard `RT`/`WT` maps (items are striped over shards by id).
 #[derive(Default, Debug)]
@@ -113,12 +118,12 @@ pub struct SharedMtScheduler {
     opts: MtOptions,
     shard_mask: usize,
     shards: Box<[Mutex<ShardItems>]>,
-    /// Vector rows indexed by transaction id; `None` = never begun or
-    /// reclaimed. Row 0 is `T₀` (`⟨0, *, …⟩`), never reclaimed.
-    rows: RwLock<Vec<Option<Row>>>,
+    /// Vector rows indexed by transaction id, one slot per id. Slot 0 is
+    /// `T₀` (`⟨0, *, …⟩`), never reclaimed.
+    rows: RowTable,
+    /// Memoized decided comparisons (see the module docs).
+    cache: OrderCache,
     counters: AtomicKthCounters,
-    /// Starvation-avoidance restart hints (III-D-4).
-    hints: Mutex<HashMap<TxId, i64>>,
     /// Decision-trace sink (disabled by default; see `mdts-trace`).
     trace: TraceSink,
 }
@@ -128,6 +133,13 @@ pub const DEFAULT_SHARDS: usize = 64;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The vector inside a slot guard, panicking if the row is absent
+/// (protocol invariant: every transaction referenced by `RT`/`WT` or being
+/// scheduled has a live vector).
+fn vec_of(guard: &Option<TsVec>, tx: TxId) -> &TsVec {
+    guard.as_ref().unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
 }
 
 impl SharedMtScheduler {
@@ -160,13 +172,15 @@ impl SharedMtScheduler {
         let n = shards.max(1).next_power_of_two();
         let shards: Box<[Mutex<ShardItems>]> =
             (0..n).map(|_| Mutex::new(ShardItems::default())).collect();
+        let rows = RowTable::new();
+        *rows.ensure_slot(0).write() = Some(TsVec::origin(opts.k));
         SharedMtScheduler {
             opts,
             shard_mask: n - 1,
             shards,
-            rows: RwLock::new(vec![Some(Row::new(TsVec::origin(opts.k)))]),
+            rows,
+            cache: OrderCache::new(),
             counters: AtomicKthCounters::new(),
-            hints: Mutex::new(HashMap::new()),
             trace: TraceSink::disabled(),
         }
     }
@@ -198,27 +212,74 @@ impl SharedMtScheduler {
         self.shards.len()
     }
 
-    fn rows_read(&self) -> RwLockReadGuard<'_, Vec<Option<Row>>> {
-        self.rows.read().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn rows_write(&self) -> RwLockWriteGuard<'_, Vec<Option<Row>>> {
-        self.rows.write().unwrap_or_else(PoisonError::into_inner)
+    /// Hit/miss/insert/invalidation counters of the write-once order
+    /// cache.
+    pub fn order_cache_stats(&self) -> OrderCacheStats {
+        self.cache.stats()
     }
 
     fn shard_of(&self, item: ItemId) -> &Mutex<ShardItems> {
         &self.shards[item.index() & self.shard_mask]
     }
 
-    fn vec_in(rows: &[Option<Row>], tx: TxId) -> &TsVec {
-        rows.get(tx.index())
-            .and_then(|r| r.as_ref())
-            .map(|r| &r.vec)
-            .unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
+    fn slot_expect(&self, tx: TxId) -> &RowSlot {
+        self.rows
+            .slot(tx.index())
+            .unwrap_or_else(|| panic!("no row slot for referenced transaction {tx}"))
     }
 
-    fn compare_in(rows: &[Option<Row>], a: TxId, b: TxId) -> CmpResult {
-        ScalarComparator::compare(Self::vec_in(rows, a), Self::vec_in(rows, b))
+    /// Read guards for two distinct slots, returned in `(a, b)` order but
+    /// acquired in ascending slot index (the lock order).
+    fn read_pair(
+        &self,
+        a: TxId,
+        b: TxId,
+    ) -> (RwLockReadGuard<'_, Option<TsVec>>, RwLockReadGuard<'_, Option<TsVec>>) {
+        debug_assert_ne!(a, b, "a slot lock is not reentrant");
+        let (sa, sb) = (self.slot_expect(a), self.slot_expect(b));
+        if a.index() < b.index() {
+            let ga = sa.read();
+            (ga, sb.read())
+        } else {
+            let gb = sb.read();
+            (sa.read(), gb)
+        }
+    }
+
+    /// Write guards for two distinct slots, ascending acquisition as in
+    /// [`read_pair`](Self::read_pair).
+    fn write_pair(
+        &self,
+        a: TxId,
+        b: TxId,
+    ) -> (RwLockWriteGuard<'_, Option<TsVec>>, RwLockWriteGuard<'_, Option<TsVec>>) {
+        debug_assert_ne!(a, b, "a slot lock is not reentrant");
+        let (sa, sb) = (self.slot_expect(a), self.slot_expect(b));
+        if a.index() < b.index() {
+            let ga = sa.write();
+            (ga, sb.write())
+        } else {
+            let gb = sb.write();
+            (sa.write(), gb)
+        }
+    }
+
+    // ---- order cache -----------------------------------------------------
+
+    fn cache_get(&self, a: TxId, b: TxId) -> Option<CmpResult> {
+        if !self.opts.order_cache {
+            return None;
+        }
+        self.cache.get(a.0, b.0)
+    }
+
+    /// Inserts a comparison result observed at `epoch` (sampled *before*
+    /// the vectors were read). Undecided results are ignored by the cache;
+    /// a stale epoch drops the insert.
+    fn cache_put(&self, epoch: u64, a: TxId, b: TxId, result: CmpResult) {
+        if self.opts.order_cache {
+            self.cache.insert(epoch, a.0, b.0, result);
+        }
     }
 
     // ---- lifecycle -------------------------------------------------------
@@ -229,19 +290,22 @@ impl SharedMtScheduler {
     }
 
     fn ensure_tx(&self, tx: TxId) {
-        let idx = tx.index();
+        let slot = self.rows.ensure_slot(tx.index());
         {
-            let rows = self.rows_read();
-            if rows.get(idx).is_some_and(|r| r.is_some()) {
+            if slot.read().is_some() {
                 return;
             }
         }
-        let mut rows = self.rows_write();
-        if idx >= rows.len() {
-            rows.resize_with(idx + 1, || None);
-        }
-        if rows[idx].is_none() {
-            rows[idx] = Some(Row::new(TsVec::undefined(self.opts.k)));
+        let mut row = slot.write();
+        if row.is_none() {
+            if slot.arm() {
+                // The id is being reused after reclamation: memoized
+                // orders naming it are about a dead incarnation. Flush
+                // *before* the new row becomes visible, so any insert
+                // racing with us carries a stale epoch and is dropped.
+                self.cache.invalidate_all();
+            }
+            *row = Some(TsVec::undefined(self.opts.k));
         }
     }
 
@@ -255,19 +319,19 @@ impl SharedMtScheduler {
     /// incarnation must use a fresh id.
     pub fn begin_restarted(&self, new_tx: TxId, aborted: TxId) {
         assert_ne!(new_tx, aborted, "concurrent restarts must use a fresh transaction id");
-        let hint = lock(&self.hints).remove(&aborted);
+        let hint = self.rows.slot(aborted.index()).and_then(RowSlot::take_hint);
         self.trace.emit(|| TraceEvent::Restart { tx: new_tx, aborted, hint });
         match hint {
             Some(first) => {
                 let mut v = TsVec::undefined(self.opts.k);
                 v.define(0, first);
-                let mut rows = self.rows_write();
-                let idx = new_tx.index();
-                if idx >= rows.len() {
-                    rows.resize_with(idx + 1, || None);
+                let slot = self.rows.ensure_slot(new_tx.index());
+                let mut row = slot.write();
+                debug_assert!(row.is_none(), "restart id {new_tx} already in use");
+                if slot.arm() {
+                    self.cache.invalidate_all();
                 }
-                debug_assert!(rows[idx].is_none(), "restart id {new_tx} already in use");
-                rows[idx] = Some(Row::new(v));
+                *row = Some(v);
             }
             None => self.ensure_tx(new_tx),
         }
@@ -278,7 +342,9 @@ impl SharedMtScheduler {
     /// — by whoever displaces its last `RT`/`WT` reference.
     pub fn commit(&self, tx: TxId) -> bool {
         self.trace.emit(|| TraceEvent::Commit { tx });
-        lock(&self.hints).remove(&tx);
+        if let Some(slot) = self.rows.slot(tx.index()) {
+            slot.clear_hint();
+        }
         self.finish(tx)
     }
 
@@ -290,37 +356,50 @@ impl SharedMtScheduler {
         self.finish(tx);
     }
 
+    /// Marks `tx` finished and reclaims its row if already unreferenced.
+    ///
+    /// The `finished` store and `refs` load are `SeqCst`, as are
+    /// `dec_ref`'s `refs` decrement and `finished` load: the classic
+    /// store-then-load on two locations needs the single total order so
+    /// that at least one of the two parties (finisher or last
+    /// dereferencer) observes the other and performs the reclaim.
     fn finish(&self, tx: TxId) -> bool {
         if tx.is_virtual() {
             return false;
         }
+        let Some(slot) = self.rows.slot(tx.index()) else {
+            return false;
+        };
         {
-            let rows = self.rows_read();
-            let Some(row) = rows.get(tx.index()).and_then(|r| r.as_ref()) else {
-                return false;
-            };
-            row.finished.store(true, Ordering::Release);
-            if row.refs.load(Ordering::Acquire) != 0 {
+            if slot.read().is_none() {
                 return false;
             }
+            slot.finished().store(true, Ordering::SeqCst);
         }
-        self.try_reclaim(tx)
+        if slot.refs().load(Ordering::SeqCst) == 0 {
+            self.try_reclaim(tx, slot)
+        } else {
+            false
+        }
     }
 
-    /// Drops the row if (still) unreferenced and finished. The write lock
-    /// synchronizes with every shard-locked refcount update.
-    fn try_reclaim(&self, tx: TxId) -> bool {
-        let mut rows = self.rows_write();
-        let idx = tx.index();
-        match rows.get(idx).and_then(|r| r.as_ref()) {
-            Some(row)
-                if row.refs.load(Ordering::Acquire) == 0
-                    && row.finished.load(Ordering::Acquire) =>
-            {
-                rows[idx] = None;
-                true
-            }
-            _ => false,
+    /// Drops the row if (still) unreferenced and finished. The slot's
+    /// write lock serializes racing reclaimers; the re-check under it
+    /// keeps the drop exactly-once. A finished transaction never gains
+    /// references (only a live accessor can become `RT`/`WT`), so a row
+    /// observed unreferenced here cannot be resurrected.
+    fn try_reclaim(&self, tx: TxId, slot: &RowSlot) -> bool {
+        let mut row = slot.write();
+        if row.is_some()
+            && slot.refs().load(Ordering::SeqCst) == 0
+            && slot.finished().load(Ordering::SeqCst)
+        {
+            *row = None;
+            slot.retire();
+            debug_assert!(!tx.is_virtual(), "T₀ is never finished");
+            true
+        } else {
+            false
         }
     }
 
@@ -328,30 +407,19 @@ impl SharedMtScheduler {
         if tx.is_virtual() {
             return; // T₀ is never reclaimed; skip the bookkeeping.
         }
-        let rows = self.rows_read();
-        Self::row_expect(&rows, tx).refs.fetch_add(1, Ordering::AcqRel);
+        self.slot_expect(tx).refs().fetch_add(1, Ordering::SeqCst);
     }
 
     fn dec_ref(&self, tx: TxId) {
         if tx.is_virtual() {
             return;
         }
-        let (dropped_last, finished) = {
-            let rows = self.rows_read();
-            let row = Self::row_expect(&rows, tx);
-            let prev = row.refs.fetch_sub(1, Ordering::AcqRel);
-            debug_assert!(prev > 0, "refcount underflow for {tx}");
-            (prev == 1, row.finished.load(Ordering::Acquire))
-        };
-        if dropped_last && finished {
-            self.try_reclaim(tx);
+        let slot = self.slot_expect(tx);
+        let prev = slot.refs().fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "refcount underflow for {tx}");
+        if prev == 1 && slot.finished().load(Ordering::SeqCst) {
+            self.try_reclaim(tx, slot);
         }
-    }
-
-    fn row_expect(rows: &[Option<Row>], tx: TxId) -> &Row {
-        rows.get(tx.index())
-            .and_then(|r| r.as_ref())
-            .unwrap_or_else(|| panic!("no live row for referenced transaction {tx}"))
     }
 
     // ---- procedure Set ---------------------------------------------------
@@ -363,20 +431,25 @@ impl SharedMtScheduler {
         matches!(self.set_less(j, i), SetOutcome::Ok)
     }
 
-    /// Emits a [`TraceEvent::Compare`] for an executed comparison. The
-    /// caller must still hold the lock under which `result` was computed:
+    /// Emits a [`TraceEvent::Compare`]. For a fresh comparison the caller
+    /// must still hold the locks under which `result` was computed:
     /// decided results are stable (write-once elements), so stamping the
-    /// sequence number before the lock is released keeps every decision
-    /// event after the encodes that justify it.
+    /// sequence number before the locks are released keeps every decision
+    /// event after the encodes that justify it. A cache hit is emitted
+    /// lock-free but inherits the same guarantee transitively — the entry
+    /// was inserted after the justifying events were emitted, and reading
+    /// it synchronizes with that insert.
     #[inline]
-    fn emit_compare(&self, a: TxId, b: TxId, result: CmpResult) {
+    fn emit_compare(&self, a: TxId, b: TxId, result: CmpResult, cached: bool) {
         let k = self.opts.k;
         self.trace.emit(|| TraceEvent::Compare {
             a,
             b,
             result,
-            scalar_ops: scalar_cost(result, k),
+            // A hit costs one memo-table probe instead of a column walk.
+            scalar_ops: if cached { 1 } else { scalar_cost(result, k) },
             tree_steps: tree_cost(k),
+            cached,
         });
     }
 
@@ -389,93 +462,147 @@ impl SharedMtScheduler {
         if j == i {
             return SetOutcome::Ok; // line 15
         }
-        // Optimistic pass: most Set calls find the order already decided,
-        // and a read lock lets them run in parallel.
-        {
-            let rows = self.rows_read();
-            let cmp = Self::compare_in(&rows, j, i);
-            match cmp {
+        // Cache fast path: a decided order is immutable, so a hit resolves
+        // the call without touching any row lock.
+        if let Some(cmp) = self.cache_get(j, i) {
+            self.emit_compare(j, i, cmp, true);
+            return match cmp {
                 CmpResult::Less { .. } => {
-                    self.emit_compare(j, i, cmp);
                     self.emit_edge(j, i, || SetEdgeOutcome::AlreadyOrdered);
-                    return SetOutcome::Ok;
+                    SetOutcome::Ok
                 }
                 CmpResult::Greater { at } => {
-                    self.emit_compare(j, i, cmp);
                     self.emit_edge(j, i, || SetEdgeOutcome::Refused { at });
-                    return SetOutcome::Refused { at };
+                    SetOutcome::Refused { at }
                 }
-                _ => {}
-            }
+                // The cache never stores undecided results.
+                _ => unreachable!("order cache served an undecided result"),
+            };
         }
-        // The order looked open: re-decide under the write lock (a
+        // The epoch must be sampled before the vectors are read, so an
+        // invalidation racing with this call drops our insert.
+        let epoch = self.cache.epoch();
+        // Optimistic pass: most Set calls find the order already decided,
+        // and the two read locks let them run in parallel. The memo
+        // insert happens after both the justifying emits (see
+        // emit_compare) and the release of the row locks — the cache must
+        // never be touched while protocol locks are held.
+        let decided = {
+            let (gj, gi) = self.read_pair(j, i);
+            let cmp = ScalarComparator::compare(vec_of(&gj, j), vec_of(&gi, i));
+            match cmp {
+                CmpResult::Less { .. } => {
+                    self.emit_compare(j, i, cmp, false);
+                    self.emit_edge(j, i, || SetEdgeOutcome::AlreadyOrdered);
+                    Some((cmp, SetOutcome::Ok))
+                }
+                CmpResult::Greater { at } => {
+                    self.emit_compare(j, i, cmp, false);
+                    self.emit_edge(j, i, || SetEdgeOutcome::Refused { at });
+                    Some((cmp, SetOutcome::Refused { at }))
+                }
+                _ => None,
+            }
+        };
+        if let Some((cmp, outcome)) = decided {
+            self.cache_put(epoch, j, i, cmp);
+            return outcome;
+        }
+        // The order looked open: re-decide under the write locks (a
         // concurrent encoder may have closed it meanwhile) and encode.
         let k = self.opts.k;
-        let mut rows = self.rows_write();
-        let cmp = Self::compare_in(&rows, j, i);
-        self.emit_compare(j, i, cmp);
-        match cmp {
-            CmpResult::Less { .. } => {
-                self.emit_edge(j, i, || SetEdgeOutcome::AlreadyOrdered);
-                SetOutcome::Ok
-            }
-            CmpResult::Greater { at } => {
-                self.emit_edge(j, i, || SetEdgeOutcome::Refused { at });
-                SetOutcome::Refused { at }
-            }
-            CmpResult::Identical => {
-                // Unreachable between distinct transactions: the k-th
-                // column always holds globally distinct counter values.
-                debug_assert!(false, "identical fully-defined vectors for {j} and {i}");
-                SetOutcome::Refused { at: k - 1 }
-            }
-            CmpResult::EqualUndefined { at } => {
-                if at == k - 1 {
-                    let (a, b) = self.counters.fresh_pair();
-                    Self::define_in(&mut rows, j, at, a);
-                    Self::define_in(&mut rows, i, at, b);
-                    self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
-                        changes: vec![(j, at, a), (i, at, b)],
-                    });
-                } else {
-                    Self::define_in(&mut rows, j, at, 1);
-                    Self::define_in(&mut rows, i, at, 2);
-                    self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
-                        changes: vec![(j, at, 1), (i, at, 2)],
-                    });
+        let (memo, outcome) = {
+            let (mut gj, mut gi) = self.write_pair(j, i);
+            let cmp = ScalarComparator::compare(vec_of(&gj, j), vec_of(&gi, i));
+            self.emit_compare(j, i, cmp, false);
+            match cmp {
+                CmpResult::Less { .. } => {
+                    self.emit_edge(j, i, || SetEdgeOutcome::AlreadyOrdered);
+                    (Some(cmp), SetOutcome::Ok)
                 }
-                SetOutcome::Ok
+                CmpResult::Greater { at } => {
+                    self.emit_edge(j, i, || SetEdgeOutcome::Refused { at });
+                    (Some(cmp), SetOutcome::Refused { at })
+                }
+                CmpResult::Identical => {
+                    // Unreachable between distinct transactions: the k-th
+                    // column always holds globally distinct counter values.
+                    debug_assert!(false, "identical fully-defined vectors for {j} and {i}");
+                    (None, SetOutcome::Refused { at: k - 1 })
+                }
+                CmpResult::EqualUndefined { at } => {
+                    if at == k - 1 {
+                        let (a, b) = self.counters.fresh_pair();
+                        vec_of_mut(&mut gj, j).define(at, a);
+                        vec_of_mut(&mut gi, i).define(at, b);
+                        self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
+                            changes: vec![(j, at, a), (i, at, b)],
+                        });
+                    } else {
+                        vec_of_mut(&mut gj, j).define(at, 1);
+                        vec_of_mut(&mut gi, i).define(at, 2);
+                        self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
+                            changes: vec![(j, at, 1), (i, at, 2)],
+                        });
+                    }
+                    (Some(CmpResult::Less { at }), SetOutcome::Ok)
+                }
+                CmpResult::RightUndefined { at } => {
+                    // TS(i, at) undefined; TS(j, at) defined.
+                    let bound = vec_of(&gj, j).get(at).expect("defined by case");
+                    let value = if at == k - 1 {
+                        self.counters.fresh_upper_above(bound)
+                    } else {
+                        bound + 1
+                    };
+                    vec_of_mut(&mut gi, i).define(at, value);
+                    self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
+                        changes: vec![(i, at, value)],
+                    });
+                    (Some(CmpResult::Less { at }), SetOutcome::Ok)
+                }
+                CmpResult::LeftUndefined { at } => {
+                    // TS(j, at) undefined; TS(i, at) defined.
+                    let bound = vec_of(&gi, i).get(at).expect("defined by case");
+                    let value = if at == k - 1 {
+                        self.counters.fresh_lower_below(bound)
+                    } else {
+                        bound - 1
+                    };
+                    vec_of_mut(&mut gj, j).define(at, value);
+                    self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
+                        changes: vec![(j, at, value)],
+                    });
+                    (Some(CmpResult::Less { at }), SetOutcome::Ok)
+                }
             }
-            CmpResult::RightUndefined { at } => {
-                // TS(i, at) undefined; TS(j, at) defined.
-                let bound = Self::vec_in(&rows, j).get(at).expect("defined by case");
-                let value =
-                    if at == k - 1 { self.counters.fresh_upper_above(bound) } else { bound + 1 };
-                Self::define_in(&mut rows, i, at, value);
-                self.emit_edge(j, i, || SetEdgeOutcome::Encoded { changes: vec![(i, at, value)] });
-                SetOutcome::Ok
-            }
-            CmpResult::LeftUndefined { at } => {
-                // TS(j, at) undefined; TS(i, at) defined.
-                let bound = Self::vec_in(&rows, i).get(at).expect("defined by case");
-                let value =
-                    if at == k - 1 { self.counters.fresh_lower_below(bound) } else { bound - 1 };
-                Self::define_in(&mut rows, j, at, value);
-                self.emit_edge(j, i, || SetEdgeOutcome::Encoded { changes: vec![(j, at, value)] });
-                SetOutcome::Ok
-            }
+        };
+        if let Some(cmp) = memo {
+            self.cache_put(epoch, j, i, cmp);
         }
-    }
-
-    fn define_in(rows: &mut [Option<Row>], tx: TxId, at: usize, value: i64) {
-        rows.get_mut(tx.index())
-            .and_then(|r| r.as_mut())
-            .unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
-            .vec
-            .define(at, value);
+        outcome
     }
 
     // ---- scheduling ------------------------------------------------------
+
+    /// Definition 6 comparison via the cache, else under the two slots'
+    /// read locks (inserting any fresh decided result). Does not emit a
+    /// trace event — used by the internal pick/reader-rule consults, which
+    /// never emitted one.
+    fn compare_quick(&self, a: TxId, b: TxId) -> CmpResult {
+        if let Some(cmp) = self.cache_get(a, b) {
+            return cmp;
+        }
+        let epoch = self.cache.epoch();
+        let cmp = {
+            let (ga, gb) = self.read_pair(a, b);
+            ScalarComparator::compare(vec_of(&ga, a), vec_of(&gb, b))
+        };
+        // After the row locks are released: a memo insert must never
+        // stall a thread that holds protocol state.
+        self.cache_put(epoch, a, b, cmp);
+        cmp
+    }
 
     /// Lines 5–6: the larger of `RT(x)` and `WT(x)` under the vector
     /// order. Returns `(larger, smaller)`.
@@ -485,8 +612,7 @@ impl SharedMtScheduler {
         if rt == wt {
             return (rt, wt);
         }
-        let rows = self.rows_read();
-        if matches!(Self::compare_in(&rows, rt, wt), CmpResult::Less { .. }) {
+        if matches!(self.compare_quick(rt, wt), CmpResult::Less { .. }) {
             (wt, rt)
         } else {
             (rt, wt)
@@ -514,12 +640,11 @@ impl SharedMtScheduler {
             // Blocker's first element is defined whenever Set refused (the
             // deciding column has both elements defined; column 0 is at or
             // before it).
-            let first = {
-                let rows = self.rows_read();
-                Self::vec_in(&rows, against).get(0)
-            };
+            let first = self.with_ts(against, |v| {
+                v.unwrap_or_else(|| panic!("no live timestamp vector for {against}")).get(0)
+            });
             if let Some(first) = first {
-                lock(&self.hints).insert(tx, first + 1);
+                self.rows.ensure_slot(tx.index()).set_hint(first + 1);
             }
         }
     }
@@ -698,16 +823,31 @@ impl SharedMtScheduler {
 
     // ---- inspection ------------------------------------------------------
 
-    /// `TS(tx)` (a clone), if the transaction has a live row.
-    pub fn ts(&self, tx: TxId) -> Option<TsVec> {
-        let rows = self.rows_read();
-        rows.get(tx.index()).and_then(|r| r.as_ref()).map(|r| r.vec.clone())
+    /// Runs `f` on a borrow of `TS(tx)` (or `None` if the transaction has
+    /// no live row) under the slot's read lock — the allocation-free form
+    /// of [`ts`](Self::ts) for metrics and trace paths that only need a
+    /// look.
+    pub fn with_ts<R>(&self, tx: TxId, f: impl FnOnce(Option<&TsVec>) -> R) -> R {
+        match self.rows.slot(tx.index()) {
+            Some(slot) => {
+                let row = slot.read();
+                f(row.as_ref())
+            }
+            None => f(None),
+        }
     }
 
-    /// Whether `TS(a) < TS(b)` under Definition 6.
+    /// `TS(tx)` (a clone), if the transaction has a live row.
+    pub fn ts(&self, tx: TxId) -> Option<TsVec> {
+        self.with_ts(tx, |v| v.cloned())
+    }
+
+    /// Whether `TS(a) < TS(b)` under Definition 6 (cache-accelerated).
     pub fn is_less(&self, a: TxId, b: TxId) -> bool {
-        let rows = self.rows_read();
-        matches!(Self::compare_in(&rows, a, b), CmpResult::Less { .. })
+        if a == b {
+            return false;
+        }
+        matches!(self.compare_quick(a, b), CmpResult::Less { .. })
     }
 
     /// `RT(item)`.
@@ -723,14 +863,12 @@ impl SharedMtScheduler {
     /// Number of `RT`/`WT` entries naming `tx` (0 for `T₀` and reclaimed
     /// rows — `T₀`'s references are not tracked; it is never reclaimed).
     pub fn ref_count(&self, tx: TxId) -> u32 {
-        let rows = self.rows_read();
-        rows.get(tx.index()).and_then(|r| r.as_ref()).map_or(0, |r| r.refs.load(Ordering::Acquire))
+        self.rows.slot(tx.index()).map_or(0, |s| s.refs().load(Ordering::SeqCst))
     }
 
     /// Number of live vector rows (including `T₀`).
     pub fn live_rows(&self) -> usize {
-        let rows = self.rows_read();
-        rows.iter().filter(|r| r.is_some()).count()
+        self.rows.iter_slots().filter(|(_, s)| s.read().is_some()).count()
     }
 
     /// A serial order consistent with the final vectors: the given
@@ -739,24 +877,38 @@ impl SharedMtScheduler {
     /// of the strict vector order, cf.
     /// [`TimestampTable::serial_order`](crate::TimestampTable::serial_order).
     pub fn serial_order(&self, txns: &[TxId]) -> Vec<TxId> {
-        let rows = self.rows_read();
-        let mut out = txns.to_vec();
         let k = self.opts.k;
-        let key_at = |t: TxId, m: usize| match Self::vec_in(&rows, t).get(m) {
-            Some(v) => (0u8, v),
+        // Snapshot the vectors slot by slot: decided prefixes are stable
+        // (write-once), so any interleaving of concurrent defines yields a
+        // valid linear extension of the orders decided so far.
+        let mut pairs: Vec<(TxId, TsVec)> = txns
+            .iter()
+            .map(|&t| (t, self.ts(t).unwrap_or_else(|| panic!("no live timestamp vector for {t}"))))
+            .collect();
+        let key_at = |v: &TsVec, m: usize| match v.get(m) {
+            Some(x) => (0u8, x),
             None => (1u8, 0),
         };
-        out.sort_by(|&a, &b| (0..k).map(|m| key_at(a, m)).cmp((0..k).map(|m| key_at(b, m))));
+        pairs.sort_by(|(_, va), (_, vb)| {
+            (0..k).map(|m| key_at(va, m)).cmp((0..k).map(|m| key_at(vb, m)))
+        });
+        // The O(n²) pairwise verification the sort replaced; debug-only.
+        // Goes through the cache-accelerated is_less on purpose — it
+        // cross-checks the cache against the final vectors too.
         debug_assert!(
-            out.iter().enumerate().all(|(p, &a)| {
-                out[p + 1..]
-                    .iter()
-                    .all(|&b| !Self::vec_in(&rows, b).is_less(Self::vec_in(&rows, a)))
-            }),
+            pairs
+                .iter()
+                .enumerate()
+                .all(|(p, (a, _))| { pairs[p + 1..].iter().all(|(b, _)| !self.is_less(*b, *a)) }),
             "sorted order contradicts the strict vector order"
         );
-        out
+        pairs.into_iter().map(|(t, _)| t).collect()
     }
+}
+
+/// Mutable form of [`vec_of`].
+fn vec_of_mut(guard: &mut Option<TsVec>, tx: TxId) -> &mut TsVec {
+    guard.as_mut().unwrap_or_else(|| panic!("no live timestamp vector for {tx}"))
 }
 
 #[cfg(test)]
@@ -871,6 +1023,41 @@ mod tests {
         assert_eq!(s.ts(TxId(3)), None);
     }
 
+    /// `with_ts` exposes the row under the slot lock without cloning, and
+    /// handles never-begun and reclaimed transactions as `None`.
+    #[test]
+    fn with_ts_borrows_the_row() {
+        let s = SharedMtScheduler::with_k(2);
+        assert!(s.with_ts(TxId(9), |v| v.is_none()), "never begun");
+        assert!(s.write(TxId(1), ItemId(0)).is_accept());
+        let first = s.with_ts(TxId(1), |v| v.unwrap().get(0));
+        assert_eq!(first, Some(1));
+        assert!(s.write(TxId(2), ItemId(0)).is_accept());
+        s.commit(TxId(1)); // displaced → reclaimed
+        assert!(s.with_ts(TxId(1), |v| v.is_none()), "reclaimed row reads as None");
+    }
+
+    /// Repeat consults of a decided order are served by the write-once
+    /// cache, and reusing a reclaimed id flushes it.
+    #[test]
+    fn slot_reuse_invalidates_cached_orders() {
+        let s = SharedMtScheduler::with_k(2);
+        let x = ItemId(0);
+        assert!(s.write(TxId(1), x).is_accept());
+        assert!(s.write(TxId(2), x).is_accept()); // encodes T1 < T2
+        assert!(s.order(TxId(1), TxId(2)), "repeat consult");
+        let stats = s.order_cache_stats();
+        assert!(stats.hits > 0, "the repeat consult must hit the cache: {stats:?}");
+        s.commit(TxId(1)); // unreferenced (displaced) → reclaimed
+        assert_eq!(s.ts(TxId(1)), None);
+        s.begin(TxId(1)); // id reuse: must flush the cache
+        assert!(s.order_cache_stats().invalidations > 0, "reuse must invalidate");
+        assert!(
+            s.order(TxId(2), TxId(1)),
+            "fresh incarnation is unordered; the stale T1 < T2 must not refuse"
+        );
+    }
+
     fn run_both(log: &Log, opts: MtOptions) {
         let mut seq = MtScheduler::new(opts);
         let shr = SharedMtScheduler::new(opts);
@@ -926,6 +1113,13 @@ mod tests {
                 ..MtOptions::new(k)
             };
             run_both(&log, opts);
+        }
+
+        /// ... and with the order cache disabled, pinning that the cache
+        /// changes no decision (both sides off ⇒ both sides pure).
+        #[test]
+        fn sequential_equivalence_cache_off(log in arb_log(), k in 1usize..6) {
+            run_both(&log, MtOptions { order_cache: false, ..MtOptions::new(k) });
         }
     }
 
@@ -1021,7 +1215,8 @@ mod tests {
     /// The hotspot workload again, now traced: the independent auditor
     /// replays the merged event sequence from 8 threads and re-confirms
     /// every comparison, encode, and accept/reject decision, plus the
-    /// committed prefix being in TO(k).
+    /// committed prefix being in TO(k). Cache-served comparisons carry the
+    /// `cached` flag and must agree with the auditor's replayed vectors.
     #[test]
     fn concurrent_trace_audits_clean() {
         const THREADS: u32 = 8;
@@ -1066,6 +1261,7 @@ mod tests {
         assert!(report.is_clean(), "{}", report.summary());
         assert!(report.committed > 0, "some transactions must commit");
         assert!(report.decisions > 0 && report.comparisons > 0);
+        assert!(report.cached_comparisons > 0, "the hot set must produce cache hits");
         assert_eq!(buffer.dropped(), 0, "unbounded buffer never drops");
     }
 

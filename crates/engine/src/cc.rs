@@ -14,6 +14,7 @@ use mdts_baselines::{
 };
 use mdts_core::{Decision, MtOptions, MtScheduler, NaiveComposite, SharedMtScheduler};
 use mdts_model::{ItemId, TxId};
+use mdts_vector::OrderCacheStats;
 
 /// Verdict for one access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,6 +89,13 @@ pub trait ConcurrencyControl: Send {
 
     /// The transaction aborted; release its resources.
     fn aborted(&mut self, tx: TxId) -> Vec<TxId>;
+
+    /// Write-once order-cache counters, for protocols that keep one
+    /// (the MT(k) schedulers). `None` means "no such cache", which the
+    /// metrics layer reports as zeros.
+    fn order_cache_stats(&self) -> Option<OrderCacheStats> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -169,6 +177,10 @@ impl ConcurrencyControl for MtCc {
     fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
         self.sched.abort(tx);
         Vec::new()
+    }
+
+    fn order_cache_stats(&self) -> Option<OrderCacheStats> {
+        Some(self.sched.order_cache_stats())
     }
 }
 
@@ -548,6 +560,12 @@ pub trait ConcurrentCc: Send + Sync {
     fn epoch(&self) -> u64 {
         0
     }
+
+    /// Write-once order-cache counters, for protocols that keep one.
+    /// `None` means "no such cache"; the metrics layer reports zeros.
+    fn order_cache_stats(&self) -> Option<OrderCacheStats> {
+        None
+    }
 }
 
 /// Adapter running any sequential [`ConcurrencyControl`] under one mutex
@@ -627,6 +645,10 @@ impl ConcurrentCc for SerializedCc {
 
     fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn order_cache_stats(&self) -> Option<OrderCacheStats> {
+        self.with_inner(|cc| cc.order_cache_stats())
     }
 }
 
@@ -716,5 +738,9 @@ impl ConcurrentCc for ShardedMtCc {
 
     fn aborted(&self, tx: TxId) {
         self.sched.abort(tx);
+    }
+
+    fn order_cache_stats(&self) -> Option<OrderCacheStats> {
+        Some(self.sched.order_cache_stats())
     }
 }

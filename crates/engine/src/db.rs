@@ -208,9 +208,16 @@ impl<V: Clone + Send + 'static> Database<V> {
         self.shared.store.snapshot()
     }
 
-    /// Current counters.
+    /// Current counters. Order-cache hit/miss figures are sampled from
+    /// the protocol at call time (they live in the scheduler, not in the
+    /// engine's counter block).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        if let Some(stats) = self.shared.cc.order_cache_stats() {
+            snap.order_cache_hits = stats.hits;
+            snap.order_cache_misses = stats.misses;
+        }
+        snap
     }
 
     /// Runs `body` as a transaction, retrying on abort up to
@@ -245,7 +252,7 @@ impl<V: Clone + Send + 'static> Database<V> {
             prev = Some(id);
             if attempt < max_restarts {
                 Metrics::bump(&shared.metrics.restarts);
-                std::thread::yield_now();
+                restart_backoff(attempt, id.0);
             }
         }
         Metrics::bump(&shared.metrics.gave_up);
@@ -255,6 +262,28 @@ impl<V: Clone + Send + 'static> Database<V> {
         });
         Err(TxError::RetriesExhausted)
     }
+}
+
+/// Bounded exponential backoff between restart attempts.
+///
+/// A restarted transaction re-enters the conflict window immediately, and
+/// under a hot-spot restart storm every retry adds load exactly where the
+/// system is already saturated: each extra abort increases the reference
+/// churn every *other* in-flight validation sees, so the storm feeds
+/// itself. Yielding for the first couple of attempts keeps short conflicts
+/// cheap; after that the loser sleeps, doubling from 25 µs up to ~1.6 ms,
+/// shedding load instead of re-adding it. The jitter (derived from the
+/// aborted incarnation's id — this crate deliberately has no `rand`
+/// dependency) keeps a crowd of losers from re-colliding in lockstep.
+fn restart_backoff(attempt: usize, id_salt: u32) {
+    if attempt < 3 {
+        std::thread::yield_now();
+        return;
+    }
+    let shift = (attempt - 3).min(4) as u32;
+    let base = 25u64 << shift;
+    let jitter = (u64::from(id_salt.wrapping_mul(0x9E37_79B9)) >> 16 << shift) >> 11;
+    std::thread::sleep(std::time::Duration::from_micros(base + jitter));
 }
 
 /// A live transaction handle.

@@ -79,6 +79,8 @@ impl Metrics {
             validation_aborts: self.validation_aborts.load(Ordering::Relaxed),
             epoch_aborts: self.epoch_aborts.load(Ordering::Relaxed),
             gave_up: self.gave_up.load(Ordering::Relaxed),
+            order_cache_hits: 0,
+            order_cache_misses: 0,
             latency: self.latency.snapshot(),
             shard_accesses,
         }
@@ -206,6 +208,12 @@ pub struct MetricsSnapshot {
     pub epoch_aborts: u64,
     /// Transactions that exhausted their restart budget.
     pub gave_up: u64,
+    /// Comparisons served by the protocol's write-once order cache
+    /// (0 for protocols without one; sampled from the protocol, not a
+    /// client-side counter).
+    pub order_cache_hits: u64,
+    /// Comparisons that missed the order cache and walked the vectors.
+    pub order_cache_misses: u64,
     /// Commit latency, in logical ticks.
     pub latency: LatencySnapshot,
     /// Granted accesses per store shard (index modulo [`SHARD_SLOTS`]).
@@ -226,6 +234,8 @@ impl Default for MetricsSnapshot {
             validation_aborts: 0,
             epoch_aborts: 0,
             gave_up: 0,
+            order_cache_hits: 0,
+            order_cache_misses: 0,
             latency: LatencySnapshot::default(),
             shard_accesses: [0; SHARD_SLOTS],
         }
@@ -257,6 +267,8 @@ impl MetricsSnapshot {
             .counter("validation_aborts", self.validation_aborts)
             .counter("epoch_aborts", self.epoch_aborts)
             .counter("gave_up", self.gave_up)
+            .counter("order_cache_hits", self.order_cache_hits)
+            .counter("order_cache_misses", self.order_cache_misses)
             .histogram(HistogramExport {
                 name: "commit_latency_ticks".to_string(),
                 count: self.latency.count,

@@ -52,6 +52,9 @@ pub struct AuditReport {
     pub assignments: usize,
     /// Recorded comparisons re-executed and matched.
     pub comparisons: usize,
+    /// Of those, comparisons served from the write-once order cache (they
+    /// are re-verified from the replayed vectors all the same).
+    pub cached_comparisons: usize,
     /// Committed transactions seen.
     pub committed: usize,
     /// Conflicting committed pairs checked for a decided order.
@@ -206,8 +209,21 @@ impl Auditor {
         recorded: CmpResult,
         scalar_ops: usize,
         tree_steps: usize,
+        cached: bool,
     ) {
         self.report.comparisons += 1;
+        if cached {
+            self.report.cached_comparisons += 1;
+            // The cache may only ever serve decided strict orders — an
+            // undecided result can still flip, so caching one would be a
+            // soundness bug in the scheduler, not a stale entry.
+            if !matches!(recorded, CmpResult::Less { .. } | CmpResult::Greater { .. }) {
+                self.violation(format!(
+                    "compare(T{},T{}): cache served the undecided result {recorded:?}",
+                    a.0, b.0
+                ));
+            }
+        }
         // Only decided results are stable across the decision→audit gap;
         // undefined-involving results may legitimately have changed.
         match recorded {
@@ -356,8 +372,8 @@ pub fn audit(trace: &Trace, k: usize) -> AuditReport {
     for event in trace.events() {
         match event {
             TraceEvent::SetEdge { from, to, outcome } => a.apply_set_edge(*from, *to, outcome),
-            TraceEvent::Compare { a: x, b: y, result, scalar_ops, tree_steps } => {
-                a.check_compare(*x, *y, *result, *scalar_ops, *tree_steps);
+            TraceEvent::Compare { a: x, b: y, result, scalar_ops, tree_steps, cached } => {
+                a.check_compare(*x, *y, *result, *scalar_ops, *tree_steps, *cached);
             }
             TraceEvent::Access { tx, item, kind, rt, wt, outcome } => {
                 a.check_access(*tx, *item, *kind, *rt, *wt, outcome);

@@ -170,10 +170,17 @@ pub enum TraceEvent {
         b: TxId,
         /// The comparison result, deciding position included.
         result: CmpResult,
-        /// Elements a sequential scan inspects (deciding index + 1).
+        /// Elements a sequential scan inspects (deciding index + 1), or 1
+        /// for a cache hit (one memo-table probe).
         scalar_ops: usize,
         /// Parallel steps of the Figs. 6–7 tree comparator (4 + ⌈log₂ k⌉).
         tree_steps: usize,
+        /// Whether the result was served from the write-once order cache
+        /// instead of a live vector scan. Cached results are always
+        /// *decided* (`Less`/`Greater`) — decided orders are stable under
+        /// the write-once discipline — and the auditor re-verifies them
+        /// from its replayed vectors like any other comparison.
+        cached: bool,
     },
     /// An access decision, with the RT/WT holders observed when it was
     /// made (the operands the auditor re-checks the decision against).

@@ -71,12 +71,13 @@ fn event_fields(event: &TraceEvent) -> Vec<(&'static str, Json)> {
             }
             pairs
         }
-        TraceEvent::Compare { a, b, result, scalar_ops, tree_steps } => vec![
+        TraceEvent::Compare { a, b, result, scalar_ops, tree_steps, cached } => vec![
             ("a", Json::U64(u64::from(a.0))),
             ("b", Json::U64(u64::from(b.0))),
             ("result", cmp_json(*result)),
             ("scalar_ops", Json::U64(*scalar_ops as u64)),
             ("tree_steps", Json::U64(*tree_steps as u64)),
+            ("cached", Json::Bool(*cached)),
         ],
         TraceEvent::Access { tx, item, kind, rt, wt, outcome } => {
             let mut pairs = vec![

@@ -23,16 +23,20 @@
 //! * [`TreeComparator`] — the five-phase simulated vector-processor
 //!   comparison of Figs. 6–7, O(log k) parallel steps;
 //! * [`interval_view`] — the Section VI-A reading of a vector as a shrinking
-//!   timestamp interval.
+//!   timestamp interval;
+//! * [`OrderCache`] — a concurrent memo table for *decided* strict orders,
+//!   sound because elements are write-once (see `ordercache` module docs).
 
 pub mod compare;
 pub mod counters;
 pub mod interval;
+pub mod ordercache;
 pub mod tsvec;
 
 pub use compare::{CmpResult, ParallelCost, ScalarComparator, TreeComparator};
 pub use counters::{AtomicKthCounters, KthCounters};
 pub use interval::interval_view;
+pub use ordercache::{OrderCache, OrderCacheStats};
 pub use tsvec::TsVec;
 
 #[cfg(test)]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Benchmark driver for the engine-scaling experiment.
+#
+#   scripts/bench.sh           full run: the criterion engine_scaling group
+#                              (sharded vs serialized vs cache-off), then the
+#                              full exp19 sweep under --json, written to
+#                              BENCH_pr3.json (schema mdts-metrics/v1).
+#   scripts/bench.sh --smoke   CI-sized: exp19 --quick --json, validated for
+#                              the schema stamp and a sane run count, plus a
+#                              criterion build check. No files written.
+#
+# Run from the repo root (or anywhere — the script cd's home first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCHEMA='mdts-metrics/v1'
+OUT=BENCH_pr3.json
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "== bench smoke: exp19 --quick --json =="
+    doc=$(cargo run --release -q -p mdts-bench --bin exp19_scaling -- --quick --json)
+    if [[ "$doc" != *"\"schema\":\"$SCHEMA\""* ]]; then
+        echo "bench smoke: document is missing the $SCHEMA stamp" >&2
+        exit 1
+    fi
+    if [[ "$doc" != *'"experiment":"exp19"'* ]]; then
+        echo "bench smoke: document is not an exp19 run" >&2
+        exit 1
+    fi
+    echo "== bench smoke: criterion targets compile =="
+    cargo bench -p mdts-bench --bench bench_scaling --no-run
+    echo "bench smoke: OK"
+    exit 0
+fi
+
+echo "== criterion: engine_scaling (sharded / sharded-nocache / serialized) =="
+cargo bench -p mdts-bench --bench bench_scaling
+
+echo "== exp19 (full sweep) --json -> $OUT =="
+cargo run --release -q -p mdts-bench --bin exp19_scaling -- --json > "$OUT"
+grep -q "$SCHEMA" "$OUT"
+echo "bench: wrote $OUT"

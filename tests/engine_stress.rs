@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use mdts::core::MtOptions;
 use mdts::engine::{BasicToCc, CompositeCc, Database, MtCc, ShardedMtCc, TwoPlCc, TxError};
 use mdts::model::{ItemId, Zipf};
 use mdts::storage::Store;
@@ -65,6 +66,15 @@ fn stress(name: &str, db: Database<i64>, threads: usize) {
     stress_with_audit(name, db, threads, None);
 }
 
+/// What an audited run expects of the write-once order cache: hotspot
+/// workloads with the cache on must actually hit it, and runs with the
+/// cache off must trace zero cached comparisons.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CacheExpectation {
+    Hits,
+    Disabled,
+}
+
 /// Like [`stress`], but afterwards replays the captured MT(k) decision
 /// trace through the independent auditor: every accept/reject must be
 /// justified by the Definition 6 vectors, and the committed prefix must be
@@ -73,7 +83,7 @@ fn stress_with_audit(
     name: &str,
     db: Database<i64>,
     threads: usize,
-    auditing: Option<(Arc<TraceBuffer>, usize)>,
+    auditing: Option<(Arc<TraceBuffer>, usize, CacheExpectation)>,
 ) {
     let zipf = Zipf::new(ACCOUNTS as usize, ZIPF_THETA);
     let edges: Mutex<Vec<Edge>> = Mutex::new(Vec::new());
@@ -136,12 +146,35 @@ fn stress_with_audit(
     check_value_chains(name, &db, &edges);
     // Each edge pair is one committed transfer (audits commit on top).
     assert!(db.metrics().commits >= edges.len() as u64 / 2, "{name}: commit metric undercounts");
-    if let Some((buffer, k)) = auditing {
+    if let Some((buffer, k, cache)) = auditing {
         assert_eq!(buffer.dropped(), 0, "{name}: audit needs the complete trace");
         let report = audit(&buffer.snapshot(), k);
         assert!(report.is_clean(), "{name}: {}", report.summary());
         assert!(report.committed as u64 >= db.metrics().commits, "{name}: commits untraced");
         assert!(report.decisions > 0 && report.comparisons > 0 && report.conflict_pairs > 0);
+        match cache {
+            CacheExpectation::Hits => {
+                assert!(
+                    db.metrics().order_cache_hits > 0,
+                    "{name}: a Zipf hotspot must produce order-cache hits"
+                );
+                assert!(
+                    report.cached_comparisons > 0,
+                    "{name}: cache hits must surface as cached Compare events"
+                );
+            }
+            CacheExpectation::Disabled => {
+                assert_eq!(
+                    db.metrics().order_cache_hits,
+                    0,
+                    "{name}: cache disabled yet the metrics report hits"
+                );
+                assert_eq!(
+                    report.cached_comparisons, 0,
+                    "{name}: cache disabled yet the trace has cached compares"
+                );
+            }
+        }
     }
 }
 
@@ -162,13 +195,31 @@ fn traced_sharded(k: usize) -> (Database<i64>, Arc<TraceBuffer>) {
 #[test]
 fn sharded_mtk_survives_zipf_hotspot_8_threads() {
     let (db, buffer) = traced_sharded(3);
-    stress_with_audit("MT(3)-sharded/8t", db, 8, Some((buffer, 3)));
+    stress_with_audit("MT(3)-sharded/8t", db, 8, Some((buffer, 3, CacheExpectation::Hits)));
 }
 
 #[test]
 fn sharded_mtk_survives_zipf_hotspot_16_threads() {
     let (db, buffer) = traced_sharded(3);
-    stress_with_audit("MT(3)-sharded/16t", db, 16, Some((buffer, 3)));
+    stress_with_audit("MT(3)-sharded/16t", db, 16, Some((buffer, 3, CacheExpectation::Hits)));
+}
+
+/// The same hotspot with the order cache switched off: every comparison
+/// walks the vectors, the auditor must still certify the committed
+/// prefix, and no Compare event may claim a cached cost.
+#[test]
+fn sharded_mtk_without_order_cache_survives_zipf_hotspot() {
+    let buffer = TraceBuffer::unbounded(16);
+    let opts = MtOptions { starvation_flush: true, order_cache: false, ..MtOptions::new(3) };
+    let mut cc = ShardedMtCc::with_options(opts);
+    cc.attach_trace(TraceSink::to(&buffer));
+    let db = Database::with_store_concurrent_traced(Box::new(cc), store(), TraceSink::to(&buffer));
+    stress_with_audit(
+        "MT(3)-sharded-nocache/8t",
+        db,
+        8,
+        Some((buffer, 3, CacheExpectation::Disabled)),
+    );
 }
 
 #[test]
@@ -180,7 +231,7 @@ fn serialized_mtk_survives_zipf_hotspot() {
         "MT(3)/8t",
         Database::with_store(Box::new(cc), store()),
         8,
-        Some((buffer, 3)),
+        Some((buffer, 3, CacheExpectation::Hits)),
     );
 }
 
