@@ -47,6 +47,7 @@ pub mod mvmt;
 pub mod recognize;
 pub mod rowtable;
 pub mod shared;
+pub mod sync;
 pub mod table;
 
 pub use composite::{NaiveComposite, SharedPrefixComposite};

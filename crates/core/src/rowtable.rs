@@ -27,13 +27,23 @@
 //! never fully resident on real workloads); `ensure_slot` materializes a
 //! chunk on first touch with a CAS, and losers free their allocation.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::PoisonError;
 
 use mdts_vector::TsVec;
 
+use crate::sync::{
+    AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicUsize, Ordering, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
 /// Slots in the first chunk; chunk `b` holds `BASE << b` slots.
+#[cfg(not(loom))]
 const BASE: usize = 1024;
+/// Under loom a chunk is two slots, so a model touching indices 0 and 2
+/// exercises chunk materialization (including the CAS-loser free path)
+/// without registering a thousand model objects.
+#[cfg(loom)]
+const BASE: usize = 2;
 
 /// Chunks in the spine. `BASE * (2^BUCKETS − 1) > u32::MAX`, so every
 /// possible transaction id has a slot.
@@ -108,6 +118,13 @@ impl RowSlot {
     }
 
     /// Records the III-D-4 restart hint, overwriting any previous one.
+    ///
+    /// Ordering contract (audited in PR 4, checked by
+    /// `rowtable_hint_handoff` in tests/loom_models.rs): classic message
+    /// passing — the payload store may be Relaxed because the flag store
+    /// is Release, and [`take_hint`](Self::take_hint) consumes the flag
+    /// with an Acquire swap, so a taker that observes `hint_set == true`
+    /// also observes the hint value that Release-preceded it.
     pub fn set_hint(&self, first: i64) {
         self.hint.store(first, Ordering::Relaxed);
         self.hint_set.store(true, Ordering::Release);
@@ -160,6 +177,14 @@ impl RowTable {
     }
 
     /// The slot for `idx`, if its chunk has been materialized.
+    ///
+    /// Ordering contract (audited in PR 4, checked by
+    /// `rowtable_chunk_publication` in tests/loom_models.rs): the spine
+    /// load must be Acquire to pair with the Release side of the
+    /// publishing CAS in [`ensure_slot`](Self::ensure_slot) — it
+    /// synchronizes-with the publication, so the chunk's initialized
+    /// slot contents (written before the CAS) are visible before any
+    /// access through the returned reference.
     pub fn slot(&self, idx: usize) -> Option<&RowSlot> {
         let (b, _, off) = locate(idx);
         let chunk = self.spine[b].load(Ordering::Acquire);
@@ -180,6 +205,12 @@ impl RowTable {
         if chunk.is_null() {
             let fresh: Box<[RowSlot]> = (0..len).map(|_| RowSlot::new()).collect();
             let ptr = Box::into_raw(fresh) as *mut RowSlot;
+            // Publication CAS: the success ordering must include Release
+            // so the freshly initialized slots above happen-before any
+            // Acquire spine load that observes `ptr`; the Acquire half
+            // (and the failure ordering) pair with the *winner's*
+            // Release when we lose, making the winner's initialization
+            // visible before we hand out references into its chunk.
             match self.spine[b].compare_exchange(
                 std::ptr::null_mut(),
                 ptr,
@@ -220,8 +251,12 @@ impl Default for RowTable {
 
 impl Drop for RowTable {
     fn drop(&mut self) {
-        for (b, cell) in self.spine.iter_mut().enumerate() {
-            let ptr = *cell.get_mut();
+        for (b, cell) in self.spine.iter().enumerate() {
+            // `&mut self` already guarantees exclusive access; the load
+            // is Acquire (not `get_mut`, which the loom shim cannot
+            // offer) so the publishing CAS is visible even when the
+            // drop happens on a thread that never touched the spine.
+            let ptr = cell.load(Ordering::Acquire);
             if !ptr.is_null() {
                 // SAFETY: `ptr` came from `Box::into_raw` of a `BASE << b`
                 // slice and was published exactly once.
@@ -296,6 +331,50 @@ mod tests {
         slot.set_hint(2);
         slot.clear_hint();
         assert_eq!(slot.take_hint(), None);
+    }
+
+    /// Satellite (PR 4): the two `Box::from_raw` paths — the CAS-loser
+    /// free in `ensure_slot` and the spine teardown in `Drop` — must not
+    /// free memory another thread can still reach. Threads race chunk
+    /// materialization (so some lose the CAS and free their allocation)
+    /// while others hold `with_ts`-style read borrows into slots of the
+    /// *same contested chunk* and write through them; the table drops
+    /// only after every borrow ends. Run under `cargo miri test` (the CI
+    /// miri lane does) to prove the absence of use-after-free rather
+    /// than just the absence of a crash.
+    #[test]
+    fn retire_paths_never_free_reachable_memory() {
+        for _ in 0..8 {
+            let t = RowTable::new();
+            std::thread::scope(|scope| {
+                // Racers: all try to materialize the same second chunk;
+                // exactly one CAS wins, the rest free their fresh boxes
+                // while winners' slots are already in use.
+                for i in 0..4 {
+                    let t = &t;
+                    scope.spawn(move || {
+                        let slot = t.ensure_slot(BASE + i);
+                        *slot.write() = Some(TsVec::undefined(2));
+                    });
+                }
+                // Borrowers: hold read guards into the contested chunk
+                // and look at the rows mid-race, `with_ts`-style.
+                for i in 0..4 {
+                    let t = &t;
+                    scope.spawn(move || {
+                        let slot = t.ensure_slot(BASE + i);
+                        for _ in 0..16 {
+                            let row = slot.read();
+                            if let Some(ts) = row.as_ref() {
+                                assert_eq!(ts.k(), 2);
+                            }
+                        }
+                    });
+                }
+            });
+            // `t` drops here: the spine teardown `Box::from_raw` runs
+            // with no outstanding borrows.
+        }
     }
 
     #[test]

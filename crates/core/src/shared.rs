@@ -85,7 +85,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+// The row-slot guards come from the cfg(loom)-switched layer so this
+// module still compiles when `rowtable` runs under the model checker;
+// the shard maps stay on `std::sync::Mutex` — they are plain sharded
+// HashMaps, not a lock-free protocol, and no loom model drives them.
+use crate::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 use mdts_model::{ItemId, OpKind, Operation, TxId};
 use mdts_trace::event::{scalar_cost, tree_cost, AccessOutcome, RejectRule, SetEdgeOutcome};
@@ -362,7 +368,9 @@ impl SharedMtScheduler {
     /// `dec_ref`'s `refs` decrement and `finished` load: the classic
     /// store-then-load on two locations needs the single total order so
     /// that at least one of the two parties (finisher or last
-    /// dereferencer) observes the other and performs the reclaim.
+    /// dereferencer) observes the other and performs the reclaim
+    /// (audited in PR 4; the Dekker invariant is checked by
+    /// `rowtable_reclaim_dekker` in tests/loom_models.rs).
     fn finish(&self, tx: TxId) -> bool {
         if tx.is_virtual() {
             return false;

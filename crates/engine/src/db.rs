@@ -27,7 +27,7 @@
 //! sequence. Nothing sleeps while holding a store shard.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
 
 use mdts_model::{ItemId, OpKind, TxId};
 use mdts_storage::{ShardedStore, Store, DEFAULT_STORE_SHARDS};
@@ -58,55 +58,7 @@ impl std::error::Error for TxError {}
 #[derive(Debug)]
 pub struct Aborted;
 
-/// Wake-sequence eventcount: blocked transactions wait for the sequence
-/// to move past the value they sampled *before* their failed attempt, so
-/// a release landing between decision and sleep is never lost.
-///
-/// The fast paths are lock-free — [`WakeSeq::current`] is one atomic load
-/// (taken before every protocol call) and [`WakeSeq::bump`] is an atomic
-/// increment plus a waiter check (taken on every release); the condvar's
-/// mutex is touched only when somebody actually blocks. The protocols
-/// that never block therefore never contend here.
-///
-/// Lost-wakeup argument (all accesses `SeqCst`): a waiter publishes
-/// itself in `waiters` *before* re-reading `seq` under the gate; a bumper
-/// increments `seq` *before* reading `waiters`. If the waiter saw the old
-/// `seq`, its `waiters` increment precedes the bumper's read, so the
-/// bumper sees it, takes the gate (serializing with the waiter being
-/// either not-yet-asleep — then the waiter re-reads the new `seq` — or
-/// parked in `wait`) and notifies.
-#[derive(Default)]
-struct WakeSeq {
-    seq: AtomicU64,
-    waiters: AtomicU64,
-    gate: Mutex<()>,
-    cond: Condvar,
-}
-
-impl WakeSeq {
-    fn current(&self) -> u64 {
-        self.seq.load(Ordering::SeqCst)
-    }
-
-    fn bump(&self) -> u64 {
-        let new = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
-        if self.waiters.load(Ordering::SeqCst) > 0 {
-            drop(self.gate.lock().unwrap_or_else(PoisonError::into_inner));
-            self.cond.notify_all();
-        }
-        new
-    }
-
-    fn wait_past(&self, seen: u64) {
-        self.waiters.fetch_add(1, Ordering::SeqCst);
-        let mut g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
-        while self.seq.load(Ordering::SeqCst) == seen {
-            g = self.cond.wait(g).unwrap_or_else(PoisonError::into_inner);
-        }
-        drop(g);
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
-    }
-}
+use crate::wakeseq::WakeSeq;
 
 struct Shared<V> {
     store: ShardedStore<V>,

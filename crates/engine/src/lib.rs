@@ -39,6 +39,8 @@
 pub mod cc;
 pub mod db;
 pub mod metrics;
+pub(crate) mod sync;
+pub mod wakeseq;
 pub mod workload;
 
 pub use cc::{

@@ -1,0 +1,17 @@
+//! `cfg(loom)`-switched synchronization primitives.
+//!
+//! Production builds re-export `std`; model-checking builds
+//! (`RUSTFLAGS="--cfg loom"`) substitute the loom shim's instrumented
+//! types so `tests/loom_models.rs` can explore every interleaving of the
+//! [`WakeSeq`](crate::wakeseq::WakeSeq) eventcount. Only `wakeseq.rs`
+//! routes through here — the rest of the engine (shard locks, metrics
+//! counters) is not a lock-free protocol and stays on `std` directly.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex};

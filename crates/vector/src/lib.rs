@@ -31,6 +31,7 @@ pub mod compare;
 pub mod counters;
 pub mod interval;
 pub mod ordercache;
+pub(crate) mod sync;
 pub mod tsvec;
 
 pub use compare::{CmpResult, ParallelCost, ScalarComparator, TreeComparator};

@@ -1,0 +1,13 @@
+//! `cfg(loom)`-switched synchronization primitives.
+//!
+//! Production builds re-export `std::sync::atomic`; model-checking
+//! builds (`RUSTFLAGS="--cfg loom"`) substitute the loom shim's
+//! instrumented types so `tests/loom_models.rs` can explore every
+//! interleaving of the order cache's seqlock protocol. Only the modules
+//! with lock-free protocols route their atomics through here — plain
+//! statistics counters elsewhere stay on `std` directly.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{fence, AtomicU64, Ordering};

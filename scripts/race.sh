@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Race-hunting entry point: every concurrency check the repo has, in
+# increasing order of cost.
+#
+#   1. loom         — exhaustive interleaving models (always runs; pure
+#                     stable cargo, uses the vendored shims/loom checker)
+#   2. miri         — undefined-behavior / use-after-free detection on the
+#                     core + vector unit tests (runs when the nightly
+#                     `miri` component is installed; skipped otherwise)
+#   3. tsan         — ThreadSanitizer over the engine stress suite in its
+#                     `--cfg tsan` short mode (runs when a nightly
+#                     toolchain with rust-src is available; skipped
+#                     otherwise — TSan needs `-Z build-std`)
+#
+# The skips are deliberate: loom is the gate every environment can run
+# (including this repo's offline build container); miri and TSan lanes
+# also run in CI (.github/workflows/ci.yml) where the toolchains exist.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== loom: shim litmus certification =="
+cargo test -q -p loom --release --test litmus
+
+echo "== loom: ordercache / rowtable / WakeSeq interleaving models =="
+RUSTFLAGS="--cfg loom" cargo test -q --release --test loom_models
+
+if rustup component list --toolchain nightly 2>/dev/null | grep -q '^miri.*(installed)'; then
+  echo "== miri: core + vector unit tests =="
+  # Isolation stays on: nothing in these tests touches the OS. Seeds are
+  # varied in the CI lane; locally one run keeps the loop tight.
+  cargo +nightly miri test -p mdts-core -p mdts-vector --lib
+else
+  echo "== miri: SKIPPED (install with: rustup +nightly component add miri) =="
+fi
+
+if rustup component list --toolchain nightly 2>/dev/null | grep -q '^rust-src.*(installed)'; then
+  echo "== tsan: engine stress suite (short mode) =="
+  RUSTFLAGS="-Z sanitizer=thread --cfg tsan" \
+    cargo +nightly test -Z build-std --target x86_64-unknown-linux-gnu \
+    --release --test engine_stress
+else
+  echo "== tsan: SKIPPED (needs: rustup +nightly component add rust-src) =="
+fi
+
+echo "race: OK"

@@ -2,8 +2,21 @@
 # Full local verification gate: formatting, lints, release build, and the
 # complete workspace test suite (tier-1 is the root package's tests; the
 # workspace run is a superset). Run from the repo root.
+#
+#   --full   additionally run the loom model-checking suite (the shim's
+#            litmus certification plus the ordercache / rowtable /
+#            WakeSeq interleaving models) — see scripts/race.sh for the
+#            standalone race-hunting entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FULL=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) FULL=1 ;;
+    *) echo "usage: $0 [--full]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -16,5 +29,13 @@ cargo build --release
 
 echo "== cargo test --workspace =="
 cargo test --workspace -q
+
+if [[ "$FULL" -eq 1 ]]; then
+  echo "== loom: shim litmus certification =="
+  cargo test -q -p loom --release --test litmus
+
+  echo "== loom: interleaving models (cfg loom) =="
+  RUSTFLAGS="--cfg loom" cargo test -q --release --test loom_models
+fi
 
 echo "verify: OK"

@@ -1,0 +1,7 @@
+//! Spin-loop hints. Under the model a spin hint must be a scheduling
+//! point — otherwise a busy-wait could never observe another thread's
+//! progress and every spinning model would diverge.
+
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

@@ -1,0 +1,83 @@
+//! The exploration driver: runs the model closure once per schedule,
+//! advancing the DFS path between executions until every interleaving
+//! (within the preemption bound) has been checked.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt::Rt;
+
+const DEFAULT_MAX_ITERATIONS: u64 = 500_000;
+
+/// Configures a model-checking run.
+///
+/// Mirrors the subset of `loom::model::Builder` this workspace uses:
+/// `preemption_bound` caps CHESS-style context-switch branching (forced
+/// switches and load-value branches are always exhaustive), and
+/// `max_iterations` is a runaway backstop (a genuine shim extension —
+/// hitting it fails the run rather than silently passing).
+pub struct Builder {
+    pub preemption_bound: Option<usize>,
+    pub max_iterations: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        let preemption_bound =
+            std::env::var("LOOM_MAX_PREEMPTIONS").ok().and_then(|v| v.parse::<usize>().ok());
+        let max_iterations = std::env::var("LOOM_MAX_ITERATIONS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_MAX_ITERATIONS);
+        Builder { preemption_bound, max_iterations }
+    }
+
+    /// Explores every schedule of `f`. Panics on the first failing
+    /// execution (assertion failure, deadlock, or explicit panic inside
+    /// the model), reporting how many complete executions preceded it.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        let rt = Arc::new(Rt::new(self.preemption_bound, self.max_iterations));
+        let mut iterations: u64 = 0;
+        loop {
+            assert!(
+                iterations < rt.max_iterations,
+                "loom shim: exceeded {} iterations without exhausting the model; \
+                 raise LOOM_MAX_ITERATIONS or shrink the model",
+                rt.max_iterations
+            );
+            rt.begin_iteration(iterations);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                f();
+                rt.drain(0);
+            }));
+            if let Err(payload) = run {
+                rt.record_panic(payload.as_ref());
+            }
+            let failure = rt.end_iteration();
+            if let Some(msg) = failure {
+                panic!("loom model failed after {iterations} complete executions: {msg}");
+            }
+            iterations += 1;
+            if !rt.advance_path() {
+                break;
+            }
+        }
+    }
+}
+
+/// Checks `f` under every interleaving with the default [`Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    Builder::new().check(f);
+}

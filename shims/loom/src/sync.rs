@@ -1,0 +1,493 @@
+//! Model-checked drop-ins for `std::sync` types.
+//!
+//! Same shapes as the real loom crate's `loom::sync`: constructors are
+//! not `const` (each object registers with the active model so it gets a
+//! correct creation clock), locks never poison, and every operation is a
+//! scheduling point.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::LockResult;
+
+pub use std::sync::Arc;
+
+use crate::rt::{self, ObjCell, ObjKind};
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt::{self, ObjCell};
+
+    /// Issues a memory fence with the given ordering at a scheduling
+    /// point.
+    pub fn fence(ord: Ordering) {
+        rt::with_rt(|rt, me| rt.fence(me, ord));
+    }
+
+    fn register(cell: &ObjCell, init: u64) {
+        if let Some((rt, _)) = rt::try_rt() {
+            rt.register_atomic(cell, init);
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$meta:meta])* $name:ident, $ty:ty) => {
+            $(#[$meta])*
+            pub struct $name {
+                cell: ObjCell,
+                init: u64,
+            }
+
+            impl $name {
+                #[allow(clippy::unnecessary_cast)]
+                pub fn new(v: $ty) -> Self {
+                    let s = Self { cell: ObjCell::new(), init: v as u64 };
+                    register(&s.cell, s.init);
+                    s
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    rt::with_rt(|rt, me| rt.atomic_load(me, &self.cell, self.init, ord)) as $ty
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn store(&self, val: $ty, ord: Ordering) {
+                    rt::with_rt(|rt, me| {
+                        rt.atomic_store(me, &self.cell, self.init, val as u64, ord)
+                    });
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn swap(&self, val: $ty, ord: Ordering) -> $ty {
+                    rt::with_rt(|rt, me| {
+                        rt.atomic_rmw(me, &self.cell, self.init, ord, |_| val as u64)
+                    }) as $ty
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn fetch_add(&self, val: $ty, ord: Ordering) -> $ty {
+                    rt::with_rt(|rt, me| {
+                        rt.atomic_rmw(me, &self.cell, self.init, ord, |old| {
+                            (old as $ty).wrapping_add(val) as u64
+                        })
+                    }) as $ty
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn fetch_sub(&self, val: $ty, ord: Ordering) -> $ty {
+                    rt::with_rt(|rt, me| {
+                        rt.atomic_rmw(me, &self.cell, self.init, ord, |old| {
+                            (old as $ty).wrapping_sub(val) as u64
+                        })
+                    }) as $ty
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn fetch_max(&self, val: $ty, ord: Ordering) -> $ty {
+                    rt::with_rt(|rt, me| {
+                        rt.atomic_rmw(me, &self.cell, self.init, ord, |old| {
+                            <$ty>::max(old as $ty, val) as u64
+                        })
+                    }) as $ty
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn fetch_or(&self, val: $ty, ord: Ordering) -> $ty {
+                    rt::with_rt(|rt, me| {
+                        rt.atomic_rmw(me, &self.cell, self.init, ord, |old| {
+                            ((old as $ty) | val) as u64
+                        })
+                    }) as $ty
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::with_rt(|rt, me| {
+                        rt.atomic_cas(
+                            me,
+                            &self.cell,
+                            self.init,
+                            current as u64,
+                            new as u64,
+                            success,
+                            failure,
+                        )
+                    })
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+                }
+
+                /// The model treats weak CAS as strong: spurious failure
+                /// would only add interleavings equivalent to a plain
+                /// failed CAS, which the explorer already covers through
+                /// scheduling.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0 as $ty)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.write_str(concat!(stringify!($name), "(..)"))
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU64, u64);
+    atomic_int!(AtomicU32, u32);
+    atomic_int!(AtomicUsize, usize);
+    atomic_int!(AtomicI64, i64);
+
+    pub struct AtomicBool {
+        cell: ObjCell,
+        init: u64,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            let s = Self { cell: ObjCell::new(), init: v as u64 };
+            register(&s.cell, s.init);
+            s
+        }
+
+        pub fn load(&self, ord: Ordering) -> bool {
+            rt::with_rt(|rt, me| rt.atomic_load(me, &self.cell, self.init, ord)) != 0
+        }
+
+        pub fn store(&self, val: bool, ord: Ordering) {
+            rt::with_rt(|rt, me| rt.atomic_store(me, &self.cell, self.init, val as u64, ord));
+        }
+
+        pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+            rt::with_rt(|rt, me| rt.atomic_rmw(me, &self.cell, self.init, ord, |_| val as u64)) != 0
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::with_rt(|rt, me| {
+                rt.atomic_cas(
+                    me,
+                    &self.cell,
+                    self.init,
+                    current as u64,
+                    new as u64,
+                    success,
+                    failure,
+                )
+            })
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("AtomicBool(..)")
+        }
+    }
+
+    pub struct AtomicPtr<T> {
+        cell: ObjCell,
+        init: u64,
+        _marker: std::marker::PhantomData<*mut T>,
+    }
+
+    // Same bounds as std's AtomicPtr: the pointer value itself is plain
+    // data; what it points at is the user's problem.
+    unsafe impl<T> Send for AtomicPtr<T> {}
+    unsafe impl<T> Sync for AtomicPtr<T> {}
+
+    impl<T> AtomicPtr<T> {
+        pub fn new(p: *mut T) -> Self {
+            let s = Self {
+                cell: ObjCell::new(),
+                init: p as usize as u64,
+                _marker: std::marker::PhantomData,
+            };
+            register(&s.cell, s.init);
+            s
+        }
+
+        pub fn load(&self, ord: Ordering) -> *mut T {
+            rt::with_rt(|rt, me| rt.atomic_load(me, &self.cell, self.init, ord)) as usize as *mut T
+        }
+
+        pub fn store(&self, p: *mut T, ord: Ordering) {
+            rt::with_rt(|rt, me| {
+                rt.atomic_store(me, &self.cell, self.init, p as usize as u64, ord)
+            });
+        }
+
+        pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+            rt::with_rt(|rt, me| {
+                rt.atomic_rmw(me, &self.cell, self.init, ord, |_| p as usize as u64)
+            }) as usize as *mut T
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            rt::with_rt(|rt, me| {
+                rt.atomic_cas(
+                    me,
+                    &self.cell,
+                    self.init,
+                    current as usize as u64,
+                    new as usize as u64,
+                    success,
+                    failure,
+                )
+            })
+            .map(|v| v as usize as *mut T)
+            .map_err(|v| v as usize as *mut T)
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("AtomicPtr(..)")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex + Condvar
+// ---------------------------------------------------------------------------
+
+pub struct Mutex<T: ?Sized> {
+    cell: ObjCell,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        let s = Mutex { cell: ObjCell::new(), data: UnsafeCell::new(data) };
+        if let Some((rt, _)) = rt::try_rt() {
+            rt.register_obj(&s.cell, ObjKind::Mutex);
+        }
+        s
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::with_rt(|rt, me| rt.mutex_lock(me, &self.cell));
+        Ok(MutexGuard { lock: self })
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex(..)")
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((rt, me)) = rt::try_rt() {
+            rt.mutex_unlock(me, &self.lock.cell);
+        }
+    }
+}
+
+pub struct Condvar {
+    cell: ObjCell,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        let s = Condvar { cell: ObjCell::new() };
+        if let Some((rt, _)) = rt::try_rt() {
+            rt.register_obj(&s.cell, ObjKind::Cond);
+        }
+        s
+    }
+
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        // The runtime releases and reacquires the mutex itself; the
+        // guard must not run its unlock on this path.
+        std::mem::forget(guard);
+        rt::with_rt(|rt, me| rt.cond_wait(me, &self.cell, &lock.cell));
+        Ok(MutexGuard { lock })
+    }
+
+    pub fn notify_one(&self) {
+        rt::with_rt(|rt, me| rt.cond_notify(me, &self.cell, false));
+    }
+
+    pub fn notify_all(&self) {
+        rt::with_rt(|rt, me| rt.cond_notify(me, &self.cell, true));
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar(..)")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+pub struct RwLock<T: ?Sized> {
+    cell: ObjCell,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(data: T) -> Self {
+        let s = RwLock { cell: ObjCell::new(), data: UnsafeCell::new(data) };
+        if let Some((rt, _)) = rt::try_rt() {
+            rt.register_obj(&s.cell, ObjKind::Rw);
+        }
+        s
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        rt::with_rt(|rt, me| rt.rw_lock(me, &self.cell, false));
+        Ok(RwLockReadGuard { lock: self, _not_send: PhantomData })
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        rt::with_rt(|rt, me| rt.rw_lock(me, &self.cell, true));
+        Ok(RwLockWriteGuard { lock: self, _not_send: PhantomData })
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((rt, me)) = rt::try_rt() {
+            rt.rw_unlock(me, &self.lock.cell, false);
+        }
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((rt, me)) = rt::try_rt() {
+            rt.rw_unlock(me, &self.lock.cell, true);
+        }
+    }
+}

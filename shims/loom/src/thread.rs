@@ -1,0 +1,47 @@
+//! Model-checked threads. `spawn` registers a new model thread (its
+//! first instruction is a scheduling decision like any other); `join` is
+//! a blocking operation the deadlock detector understands.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+use crate::rt;
+
+pub struct JoinHandle<T> {
+    id: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let res = rt::with_rt(|rt, me| rt.join_thread(me, self.id));
+        match res {
+            Some(boxed) => Ok(*boxed
+                .downcast::<T>()
+                .expect("loom shim: join result downcast to the spawn closure's return type")),
+            None => Err(Box::new("model thread panicked".to_string()) as Box<dyn Any + Send>),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JoinHandle({})", self.id)
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let id = rt::with_rt(|rt, me| {
+        rt.spawn_thread(me, Box::new(move || Box::new(f()) as Box<dyn Any + Send>))
+    });
+    JoinHandle { id, _marker: PhantomData }
+}
+
+/// A plain scheduling point: lets the explorer hand the baton elsewhere.
+pub fn yield_now() {
+    rt::with_rt(|rt, me| rt.op_yield(me));
+}

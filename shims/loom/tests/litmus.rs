@@ -1,0 +1,274 @@
+//! Litmus tests for the shim's own memory model: each classic pattern is
+//! checked twice — once with orderings that forbid the weak outcome (the
+//! model must pass) and once with orderings that admit it (the model
+//! must find it, asserted via `#[should_panic]`). A model checker that
+//! cannot reproduce the bugs it exists to catch is worthless, so these
+//! double as the shim's certification suite.
+
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+
+use loom::sync::atomic::{fence, AtomicU64};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+/// Message passing, correct: Release store of the flag after the data
+/// store; Acquire load of the flag before the data load. The stale-data
+/// outcome must be impossible.
+#[test]
+fn mp_release_acquire_passes() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d.store(42, Relaxed);
+            f.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            assert_eq!(data.load(Relaxed), 42, "acquire saw the flag but not the data");
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Message passing, broken: with a Relaxed flag there is no
+/// synchronizes-with edge, so the reader may see the flag without the
+/// data. The model must construct that execution.
+#[test]
+#[should_panic(expected = "acquire saw the flag but not the data")]
+fn mp_relaxed_flag_caught() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d.store(42, Relaxed);
+            f.store(1, Relaxed);
+        });
+        if flag.load(Acquire) == 1 {
+            assert_eq!(data.load(Relaxed), 42, "acquire saw the flag but not the data");
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Message passing via fences: Relaxed accesses bracketed by a Release
+/// fence (writer) and an Acquire fence (reader) restore the edge.
+#[test]
+fn mp_fence_pair_passes() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d.store(42, Relaxed);
+            fence(Release);
+            f.store(1, Relaxed);
+        });
+        if flag.load(Relaxed) == 1 {
+            fence(Acquire);
+            assert_eq!(data.load(Relaxed), 42, "fence pair failed to synchronize");
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Store buffering (Dekker), correct: with SeqCst on all four accesses
+/// at least one thread must see the other's store.
+#[test]
+fn sb_seqcst_passes() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, SeqCst);
+            y2.load(SeqCst)
+        });
+        y.store(1, SeqCst);
+        let saw_x = x.load(SeqCst);
+        let saw_y = t.join().unwrap();
+        assert!(saw_x == 1 || saw_y == 1, "SC forbids both Dekker loads reading 0");
+    });
+}
+
+/// Store buffering, broken: Release/Acquire alone admits the both-zero
+/// outcome. The model must find it.
+#[test]
+#[should_panic(expected = "both Dekker loads read 0")]
+fn sb_release_acquire_caught() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, Release);
+            y2.load(Acquire)
+        });
+        y.store(1, Release);
+        let saw_x = x.load(Acquire);
+        let saw_y = t.join().unwrap();
+        assert!(saw_x == 1 || saw_y == 1, "both Dekker loads read 0");
+    });
+}
+
+/// Coherence: after a thread reads a store it may not later read an
+/// older one (per-location total order).
+#[test]
+fn coherence_no_backwards_reads() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.store(1, Relaxed);
+            x2.store(2, Relaxed);
+        });
+        let a = x.load(Relaxed);
+        let b = x.load(Relaxed);
+        assert!(b >= a, "coherence violation: read {b} after {a}");
+        t.join().unwrap();
+    });
+}
+
+/// RMWs read the newest store in modification order: two concurrent
+/// fetch_adds never lose an increment.
+#[test]
+fn rmw_no_lost_update() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.fetch_add(1, Relaxed);
+        });
+        x.fetch_add(1, Relaxed);
+        t.join().unwrap();
+        assert_eq!(x.load(Relaxed), 2, "lost update through concurrent RMWs");
+    });
+}
+
+/// Release-sequence continuation: a Relaxed RMW between a Release store
+/// and an Acquire load must not break the synchronizes-with edge.
+#[test]
+fn release_sequence_through_rmw() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let (f2,) = (Arc::clone(&flag),);
+        let t1 = thread::spawn(move || {
+            d.store(7, Relaxed);
+            f.store(1, Release);
+        });
+        let t2 = thread::spawn(move || {
+            f2.fetch_add(1, Relaxed);
+        });
+        if flag.load(Acquire) == 2 {
+            // Read the RMW that extended the release sequence.
+            assert_eq!(data.load(Relaxed), 7, "release sequence broken by relaxed RMW");
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+}
+
+/// Mutexes serialize: unlock synchronizes-with the next lock, so a
+/// plain counter behind a mutex never loses updates.
+#[test]
+fn mutex_counter() {
+    loom::model(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    *n.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+}
+
+/// Self-deadlock is detected and reported rather than hanging.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn deadlock_detected() {
+    loom::model(|| {
+        let m = Mutex::new(());
+        let _g1 = m.lock().unwrap();
+        let _g2 = m.lock().unwrap();
+    });
+}
+
+/// Condvar: a waiter that checks its predicate under the mutex never
+/// misses a notify issued while the mutex is held.
+#[test]
+fn condvar_no_lost_wakeup() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock().unwrap();
+            *ready = true;
+            cv.notify_all();
+            drop(ready);
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+}
+
+/// Seqlock, writer missing its Release fence: a reader can accept a torn
+/// (mixed-generation) payload pair. This is the exact shape of the
+/// ordercache bug this PR fixes; the model must catch it.
+#[test]
+#[should_panic(expected = "torn seqlock read")]
+fn seqlock_missing_writer_fence_caught() {
+    seqlock_model(false);
+}
+
+/// Seqlock, correct writer (Release fence between the odd CAS and the
+/// data stores): the two-version-read protocol rejects every torn pair.
+#[test]
+fn seqlock_with_writer_fence_passes() {
+    seqlock_model(true);
+}
+
+fn seqlock_model(writer_fence: bool) {
+    loom::model(move || {
+        let version = Arc::new(AtomicU64::new(0));
+        let a = Arc::new(AtomicU64::new(100));
+        let b = Arc::new(AtomicU64::new(200));
+        let (v2, a2, b2) = (Arc::clone(&version), Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            if v2.compare_exchange(0, 1, Acquire, Relaxed).is_ok() {
+                if writer_fence {
+                    fence(Release);
+                }
+                a2.store(101, Relaxed);
+                b2.store(201, Relaxed);
+                v2.store(2, Release);
+            }
+        });
+        // Crossbeam-style reader: version, data (Relaxed), Acquire
+        // fence, version re-check.
+        let v1 = version.load(Acquire);
+        let av = a.load(Relaxed);
+        let bv = b.load(Relaxed);
+        fence(Acquire);
+        let consistent = v1 & 1 == 0 && version.load(Acquire) == v1;
+        if consistent {
+            assert_eq!(av + 100, bv, "torn seqlock read: ({av}, {bv}) accepted");
+        }
+        t.join().unwrap();
+    });
+}

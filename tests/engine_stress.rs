@@ -27,9 +27,22 @@ use rand::SeedableRng;
 
 const ACCOUNTS: u32 = 64;
 const INITIAL: i64 = 100;
-const TXNS_PER_THREAD: usize = 120;
 const ZIPF_THETA: f64 = 0.9;
 const MAX_RESTARTS: usize = 5_000;
+
+/// Work per client thread. ThreadSanitizer instruments every memory
+/// access (~10–20x slowdown) and keeps per-access shadow state, so the
+/// `--cfg tsan` short mode trims the per-thread transaction count to
+/// keep the suite inside CI timeouts. Everything else — thread counts,
+/// the Zipf hotspot, value-chain checks, and auditor certification —
+/// runs unreduced: TSan needs racing *access pairs*, not long histories,
+/// and the races all live in begin/access/commit interleavings that a
+/// few dozen transactions per thread already exercise thousands of
+/// times.
+#[cfg(not(tsan))]
+const TXNS_PER_THREAD: usize = 120;
+#[cfg(tsan)]
+const TXNS_PER_THREAD: usize = 24;
 
 /// A committed transfer's footprint on one item: `(item, read, written)`.
 type Edge = (ItemId, i64, i64);
