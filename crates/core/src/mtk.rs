@@ -21,7 +21,9 @@
 use std::collections::HashMap;
 
 use mdts_model::{ItemId, OpKind, Operation, TxId};
-use mdts_trace::event::{scalar_cost, tree_cost, AccessOutcome, RejectRule, SetEdgeOutcome};
+use mdts_trace::event::{
+    scalar_cost, tree_cost, AccessOutcome, EncodedChanges, RejectRule, SetEdgeOutcome,
+};
 use mdts_trace::{TraceBuffer, TraceEvent, TraceSink};
 use mdts_vector::{CmpResult, OrderCache, OrderCacheStats, TsVec};
 
@@ -156,7 +158,7 @@ pub enum SetEvent {
         /// Later transaction.
         to: TxId,
         /// Element definitions `(tx, column, value)`.
-        changes: Vec<(TxId, usize, i64)>,
+        changes: EncodedChanges,
     },
     /// The vectors already said `from < to`; nothing to do.
     AlreadyOrdered {
@@ -395,15 +397,13 @@ impl MtScheduler {
     pub fn begin_restarted(&mut self, new_tx: TxId, aborted: TxId) {
         let hint = self.restart_hints.get(&aborted).copied();
         self.trace.emit(|| TraceEvent::Restart { tx: new_tx, aborted, hint });
+        // The III-D-4 flush reuses the aborted incarnation's vector storage
+        // in place (spilled rows keep their boxes) instead of reallocating.
         match self.restart_hints.remove(&aborted) {
-            Some(first) => {
-                let mut v = TsVec::undefined(self.opts.k);
-                v.define(0, first);
-                self.table.install(new_tx, v);
-            }
+            Some(first) => self.table.flush_in_place(new_tx, Some(first)),
             None => {
                 if new_tx == aborted {
-                    self.table.install(new_tx, TsVec::undefined(self.opts.k));
+                    self.table.flush_in_place(new_tx, None);
                 } else {
                     self.table.ensure_tx(new_tx);
                 }
@@ -592,11 +592,11 @@ impl MtScheduler {
                     let (a, b) = self.table.counters_mut().fresh_pair();
                     self.table.ts_mut(j).define(at, a);
                     self.table.ts_mut(i).define(at, b);
-                    vec![(j, at, a), (i, at, b)]
+                    EncodedChanges::pair((j, at, a), (i, at, b))
                 } else {
                     self.table.ts_mut(j).define(at, 1);
                     self.table.ts_mut(i).define(at, 2);
-                    vec![(j, at, 1), (i, at, 2)]
+                    EncodedChanges::pair((j, at, 1), (i, at, 2))
                 };
                 self.record(SetEvent::Encoded { from: j, to: i, changes });
                 self.cache_note_less(j, i, at);
@@ -609,7 +609,7 @@ impl MtScheduler {
                         // The right-end encode decides at the first column
                         // it defined in *both* vectors — the last change.
                         let p = changes.last().expect("hot encode changes something").1;
-                        self.record(SetEvent::Encoded { from: j, to: i, changes });
+                        self.record(SetEvent::Encoded { from: j, to: i, changes: changes.into() });
                         self.cache_note_less(j, i, p);
                         return SetResult::Ok;
                     }
@@ -623,7 +623,11 @@ impl MtScheduler {
                     bound + 1
                 };
                 self.table.ts_mut(i).define(at, value);
-                self.record(SetEvent::Encoded { from: j, to: i, changes: vec![(i, at, value)] });
+                self.record(SetEvent::Encoded {
+                    from: j,
+                    to: i,
+                    changes: EncodedChanges::one((i, at, value)),
+                });
                 self.cache_note_less(j, i, at);
                 SetResult::Ok
             }
@@ -636,7 +640,11 @@ impl MtScheduler {
                     bound - 1
                 };
                 self.table.ts_mut(j).define(at, value);
-                self.record(SetEvent::Encoded { from: j, to: i, changes: vec![(j, at, value)] });
+                self.record(SetEvent::Encoded {
+                    from: j,
+                    to: i,
+                    changes: EncodedChanges::one((j, at, value)),
+                });
                 self.cache_note_less(j, i, at);
                 SetResult::Ok
             }
@@ -1019,7 +1027,11 @@ mod tests {
         assert!(s.write(TxId(1), ItemId(0)).is_accept());
         assert_eq!(
             s.events(),
-            &[SetEvent::Encoded { from: TxId(0), to: TxId(1), changes: vec![(TxId(1), 0, 1)] }]
+            &[SetEvent::Encoded {
+                from: TxId(0),
+                to: TxId(1),
+                changes: EncodedChanges::one((TxId(1), 0, 1)),
+            }]
         );
     }
 

@@ -47,7 +47,7 @@ fn table1_example2_vectors() {
         match ev {
             SetEvent::Encoded { from: f, to: t, changes: c } => {
                 assert_eq!((f, t), (from, to));
-                assert_eq!(c, changes);
+                assert_eq!(c.as_slice(), changes.as_slice());
             }
             _ => unreachable!(),
         }

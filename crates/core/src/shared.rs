@@ -7,8 +7,10 @@
 //! table's state along the axes it is actually accessed on:
 //!
 //! * **`RT(x)`/`WT(x)` live in item shards** — a power-of-two array of
-//!   mutexes, striped by item id. An operation on `x` holds only the shard
-//!   of `x`; operations on items in different shards never contend here.
+//!   mutexes, striped by item id, each holding a flat dense table of
+//!   `(RT, WT)` pairs indexed by the item's high id bits (no hashing on
+//!   the access path). An operation on `x` holds only the shard of `x`;
+//!   operations on items in different shards never contend here.
 //!   Holding the shard across the whole pick–Set–update sequence is what
 //!   makes an operation atomic with respect to other accesses of `x` — the
 //!   shard mutex plays the role of Algorithm 1's implicit critical section,
@@ -83,18 +85,19 @@
 //!
 //! [`OrderCache`]: mdts_vector::OrderCache
 
-use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 // The row-slot guards come from the cfg(loom)-switched layer so this
 // module still compiles when `rowtable` runs under the model checker;
-// the shard maps stay on `std::sync::Mutex` — they are plain sharded
-// HashMaps, not a lock-free protocol, and no loom model drives them.
+// the shard tables stay on `std::sync::Mutex` — they are plain dense
+// arrays, not a lock-free protocol, and no loom model drives them.
 use crate::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 use mdts_model::{ItemId, OpKind, Operation, TxId};
-use mdts_trace::event::{scalar_cost, tree_cost, AccessOutcome, RejectRule, SetEdgeOutcome};
+use mdts_trace::event::{
+    scalar_cost, tree_cost, AccessOutcome, EncodedChanges, RejectRule, SetEdgeOutcome,
+};
 use mdts_trace::{TraceEvent, TraceSink};
 use mdts_vector::{
     AtomicKthCounters, CmpResult, OrderCache, OrderCacheStats, ScalarComparator, TsVec,
@@ -103,11 +106,47 @@ use mdts_vector::{
 use crate::mtk::{Decision, MtOptions, Reject};
 use crate::rowtable::{RowSlot, RowTable};
 
-/// Per-shard `RT`/`WT` maps (items are striped over shards by id).
+/// `RT(x)` and `WT(x)` of one item. They are always read together (the
+/// pick path consults both holders), so they share a 8-byte slot — one
+/// cache line covers 8 items.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct HolderPair {
+    rt: TxId,
+    wt: TxId,
+}
+
+impl Default for HolderPair {
+    fn default() -> Self {
+        HolderPair { rt: TxId::VIRTUAL, wt: TxId::VIRTUAL }
+    }
+}
+
+/// Per-shard `RT`/`WT` table. Items are striped over shards by the low
+/// bits of their id, so the high bits form a dense per-shard index — no
+/// hashing on the access path, just one bounds-checked load. The table
+/// grows on first touch of an item and never shrinks; untouched entries
+/// read as `T₀` (exactly the absent-key semantics of the old `HashMap`s),
+/// so steady state performs no allocation at all.
 #[derive(Default, Debug)]
 struct ShardItems {
-    rt: HashMap<ItemId, TxId>,
-    wt: HashMap<ItemId, TxId>,
+    slots: Vec<HolderPair>,
+}
+
+impl ShardItems {
+    /// Both holders of the item at dense per-shard index `local`.
+    #[inline]
+    fn pair(&self, local: usize) -> HolderPair {
+        self.slots.get(local).copied().unwrap_or_default()
+    }
+
+    /// Mutable slot for `local`, growing the table on first touch.
+    #[inline]
+    fn pair_mut(&mut self, local: usize) -> &mut HolderPair {
+        if local >= self.slots.len() {
+            self.slots.resize(local + 1, HolderPair::default());
+        }
+        &mut self.slots[local]
+    }
 }
 
 /// Outcome of the concurrent `Set(j, i)`.
@@ -123,6 +162,9 @@ enum SetOutcome {
 pub struct SharedMtScheduler {
     opts: MtOptions,
     shard_mask: usize,
+    /// `log₂(#shards)` — item id low bits select the shard, the remaining
+    /// high bits are the dense index within it.
+    shard_bits: u32,
     shards: Box<[Mutex<ShardItems>]>,
     /// Vector rows indexed by transaction id, one slot per id. Slot 0 is
     /// `T₀` (`⟨0, *, …⟩`), never reclaimed.
@@ -183,6 +225,7 @@ impl SharedMtScheduler {
         SharedMtScheduler {
             opts,
             shard_mask: n - 1,
+            shard_bits: n.trailing_zeros(),
             shards,
             rows,
             cache: OrderCache::new(),
@@ -224,8 +267,11 @@ impl SharedMtScheduler {
         self.cache.stats()
     }
 
-    fn shard_of(&self, item: ItemId) -> &Mutex<ShardItems> {
-        &self.shards[item.index() & self.shard_mask]
+    /// The shard owning `item` and the item's dense index within it.
+    #[inline]
+    fn shard_of(&self, item: ItemId) -> (&Mutex<ShardItems>, usize) {
+        let idx = item.index();
+        (&self.shards[idx & self.shard_mask], idx >> self.shard_bits)
     }
 
     fn slot_expect(&self, tx: TxId) -> &RowSlot {
@@ -544,13 +590,13 @@ impl SharedMtScheduler {
                         vec_of_mut(&mut gj, j).define(at, a);
                         vec_of_mut(&mut gi, i).define(at, b);
                         self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
-                            changes: vec![(j, at, a), (i, at, b)],
+                            changes: EncodedChanges::pair((j, at, a), (i, at, b)),
                         });
                     } else {
                         vec_of_mut(&mut gj, j).define(at, 1);
                         vec_of_mut(&mut gi, i).define(at, 2);
                         self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
-                            changes: vec![(j, at, 1), (i, at, 2)],
+                            changes: EncodedChanges::pair((j, at, 1), (i, at, 2)),
                         });
                     }
                     (Some(CmpResult::Less { at }), SetOutcome::Ok)
@@ -565,7 +611,7 @@ impl SharedMtScheduler {
                     };
                     vec_of_mut(&mut gi, i).define(at, value);
                     self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
-                        changes: vec![(i, at, value)],
+                        changes: EncodedChanges::one((i, at, value)),
                     });
                     (Some(CmpResult::Less { at }), SetOutcome::Ok)
                 }
@@ -579,7 +625,7 @@ impl SharedMtScheduler {
                     };
                     vec_of_mut(&mut gj, j).define(at, value);
                     self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
-                        changes: vec![(j, at, value)],
+                        changes: EncodedChanges::one((j, at, value)),
                     });
                     (Some(CmpResult::Less { at }), SetOutcome::Ok)
                 }
@@ -614,9 +660,7 @@ impl SharedMtScheduler {
 
     /// Lines 5–6: the larger of `RT(x)` and `WT(x)` under the vector
     /// order. Returns `(larger, smaller)`.
-    fn pick(&self, s: &ShardItems, item: ItemId) -> (TxId, TxId) {
-        let rt = s.rt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
-        let wt = s.wt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
+    fn pick(&self, HolderPair { rt, wt }: HolderPair) -> (TxId, TxId) {
         if rt == wt {
             return (rt, wt);
         }
@@ -627,16 +671,16 @@ impl SharedMtScheduler {
         }
     }
 
-    fn set_rt_locked(&self, s: &mut ShardItems, item: ItemId, tx: TxId) {
-        let prev = s.rt.insert(item, tx).unwrap_or(TxId::VIRTUAL);
+    fn set_rt_locked(&self, s: &mut ShardItems, local: usize, tx: TxId) {
+        let prev = std::mem::replace(&mut s.pair_mut(local).rt, tx);
         if prev != tx {
             self.inc_ref(tx);
             self.dec_ref(prev);
         }
     }
 
-    fn set_wt_locked(&self, s: &mut ShardItems, item: ItemId, tx: TxId) {
-        let prev = s.wt.insert(item, tx).unwrap_or(TxId::VIRTUAL);
+    fn set_wt_locked(&self, s: &mut ShardItems, local: usize, tx: TxId) {
+        let prev = std::mem::replace(&mut s.pair_mut(local).wt, tx);
         if prev != tx {
             self.inc_ref(tx);
             self.dec_ref(prev);
@@ -698,14 +742,15 @@ impl SharedMtScheduler {
     /// Schedules a read of `item` by `tx` (the `read` arm of `Scheduler`).
     pub fn read(&self, tx: TxId, item: ItemId) -> Decision {
         self.ensure_tx(tx);
-        let mut s = lock(self.shard_of(item));
-        let rt = s.rt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
-        let wt = s.wt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
-        let (larger, smaller) = self.pick(&s, item);
+        let (shard, local) = self.shard_of(item);
+        let mut s = lock(shard);
+        let pair = s.pair(local);
+        let HolderPair { rt, wt } = pair;
+        let (larger, smaller) = self.pick(pair);
         match self.order_after_holders(tx, larger, smaller) {
             Ok(()) => {
                 self.emit_access(tx, item, OpKind::Read, rt, wt, AccessOutcome::Granted);
-                self.set_rt_locked(&mut s, item, tx); // line 7
+                self.set_rt_locked(&mut s, local, tx); // line 7
                 Decision::accept()
             }
             Err((against, at)) => {
@@ -760,14 +805,15 @@ impl SharedMtScheduler {
     /// `Scheduler`).
     pub fn write(&self, tx: TxId, item: ItemId) -> Decision {
         self.ensure_tx(tx);
-        let mut s = lock(self.shard_of(item));
-        let rt = s.rt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
-        let wt = s.wt.get(&item).copied().unwrap_or(TxId::VIRTUAL);
-        let (larger, smaller) = self.pick(&s, item);
+        let (shard, local) = self.shard_of(item);
+        let mut s = lock(shard);
+        let pair = s.pair(local);
+        let HolderPair { rt, wt } = pair;
+        let (larger, smaller) = self.pick(pair);
         match self.order_after_holders(tx, larger, smaller) {
             Ok(()) => {
                 self.emit_access(tx, item, OpKind::Write, rt, wt, AccessOutcome::Granted);
-                self.set_wt_locked(&mut s, item, tx); // line 12
+                self.set_wt_locked(&mut s, local, tx); // line 12
                 Decision::accept()
             }
             Err((against, at)) => {
@@ -860,12 +906,14 @@ impl SharedMtScheduler {
 
     /// `RT(item)`.
     pub fn rt(&self, item: ItemId) -> TxId {
-        lock(self.shard_of(item)).rt.get(&item).copied().unwrap_or(TxId::VIRTUAL)
+        let (shard, local) = self.shard_of(item);
+        lock(shard).pair(local).rt
     }
 
     /// `WT(item)`.
     pub fn wt(&self, item: ItemId) -> TxId {
-        lock(self.shard_of(item)).wt.get(&item).copied().unwrap_or(TxId::VIRTUAL)
+        let (shard, local) = self.shard_of(item);
+        lock(shard).pair(local).wt
     }
 
     /// Number of `RT`/`WT` entries naming `tx` (0 for `T₀` and reclaimed
@@ -921,6 +969,7 @@ fn vec_of_mut(guard: &mut Option<TsVec>, tx: TxId) -> &mut TsVec {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     use proptest::prelude::*;

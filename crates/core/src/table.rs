@@ -118,6 +118,30 @@ impl TimestampTable {
         self.vectors[idx] = Some(vector);
     }
 
+    /// The III-D-4 restart flush, storage-reusing form: resets `tx`'s
+    /// existing row to fully undefined in place (pre-defining element 0
+    /// with `first` when the starvation fix recorded a hint) instead of
+    /// allocating a replacement vector. Falls back to
+    /// [`install`](Self::install) when the transaction has no live row.
+    /// Like any overwrite of a live vector, it advances the mutation epoch
+    /// so memoized orders naming the old incarnation go stale.
+    pub fn flush_in_place(&mut self, tx: TxId, first: Option<i64>) {
+        let idx = tx.index();
+        if let Some(Some(v)) = self.vectors.get_mut(idx) {
+            match first {
+                Some(f) => v.flush(f),
+                None => v.clear(),
+            }
+            self.mutations += 1;
+            return;
+        }
+        let mut v = TsVec::undefined(self.k);
+        if let Some(f) = first {
+            v.define(0, f);
+        }
+        self.install(tx, v);
+    }
+
     /// Bookkeeping for a vector appearing in slot `idx`: if the slot held a
     /// since-reclaimed vector, the id is being reused and memoized
     /// comparisons naming it go stale.
@@ -363,6 +387,29 @@ mod tests {
         t.ts_mut(TxId(3)).define(0, 7);
         t.ensure_tx(TxId(3));
         assert_eq!(t.ts_expect(TxId(3)).get(0), Some(7), "existing vector untouched");
+    }
+
+    #[test]
+    fn flush_in_place_reuses_row_and_bumps_epoch() {
+        // k = 70 forces the spilled representation, so storage reuse is
+        // observable: the flushed row must still be the boxed form.
+        let mut t = TimestampTable::new(70);
+        t.ensure_tx(TxId(1));
+        t.ts_mut(TxId(1)).define(0, 3);
+        t.ts_mut(TxId(1)).define(7, 9);
+        let before = t.mutation_epoch();
+        t.flush_in_place(TxId(1), Some(5));
+        assert!(t.mutation_epoch() > before, "live-row overwrite invalidates memoized orders");
+        let v = t.ts_expect(TxId(1));
+        assert!(v.is_spilled());
+        assert_eq!(v.get(0), Some(5));
+        assert_eq!(v.defined_count(), 1);
+        // Plain flush (no hint): fully undefined again.
+        t.flush_in_place(TxId(1), None);
+        assert!(t.ts_expect(TxId(1)).is_fully_undefined());
+        // No live row: falls back to install.
+        t.flush_in_place(TxId(9), Some(2));
+        assert_eq!(t.ts_expect(TxId(9)).get(0), Some(2));
     }
 
     #[test]

@@ -224,7 +224,7 @@ impl DmtScheduler {
                 &r.event
             {
                 assignments += changes.len() as u64;
-                for &(tx, _, _) in changes {
+                for &(tx, _, _) in changes.iter() {
                     let obj = ObjectId::Vector(tx);
                     if !touched.contains(&obj) {
                         touched.push(obj);

@@ -183,6 +183,10 @@ impl<V: Clone + Send + 'static> Database<V> {
         let shared = &*self.shared;
         let start_tick = shared.clock.load(Ordering::Relaxed);
         let mut prev: Option<TxId> = None;
+        // One workspace for the whole retry loop: a restarted incarnation
+        // re-fills the buffers its predecessor already grew, so a restart
+        // storm does not churn the allocator.
+        let mut scratch = TxScratch::default();
         for attempt in 0..=max_restarts {
             let id = TxId(shared.next_tx.fetch_add(1, Ordering::Relaxed) + 1);
             shared.trace.emit(|| TraceEvent::Begin { tx: id });
@@ -191,7 +195,7 @@ impl<V: Clone + Send + 'static> Database<V> {
                 None => shared.cc.begin(id),
             }
             let epoch = shared.cc.epoch();
-            let mut tx = Tx { shared, id, epoch, writes: Vec::new() };
+            let mut tx = Tx { shared, id, epoch, scratch: std::mem::take(&mut scratch) };
             if let Ok(value) = body(&mut tx) {
                 if tx.commit() {
                     Metrics::bump(&shared.metrics.commits);
@@ -200,7 +204,9 @@ impl<V: Clone + Send + 'static> Database<V> {
                     return Ok(value);
                 }
             }
-            // The failing call already cleaned up this incarnation.
+            // The failing call already cleaned up this incarnation; take the
+            // (cleared) buffers back for the next one.
+            scratch = std::mem::take(&mut tx.scratch);
             prev = Some(id);
             if attempt < max_restarts {
                 Metrics::bump(&shared.metrics.restarts);
@@ -238,14 +244,31 @@ fn restart_backoff(attempt: usize, id_salt: u32) {
     std::thread::sleep(std::time::Duration::from_micros(base + jitter));
 }
 
+/// Reusable transaction-local buffers, recycled across restart attempts
+/// by [`Database::run`]: after the first incarnation grows them, retries
+/// of the same workload run allocation-free in the engine layer.
+struct TxScratch<V> {
+    /// Deferred-write workspace (last write per item wins); applied at
+    /// commit, cleared on abort.
+    writes: Vec<(ItemId, V)>,
+    /// Commit-time write-set items, in validation order.
+    items: Vec<ItemId>,
+    /// Commit-time store-shard indices (sorted, deduped).
+    shard_idxs: Vec<usize>,
+}
+
+impl<V> Default for TxScratch<V> {
+    fn default() -> Self {
+        TxScratch { writes: Vec::new(), items: Vec::new(), shard_idxs: Vec::new() }
+    }
+}
+
 /// A live transaction handle.
 pub struct Tx<'a, V> {
     shared: &'a Shared<V>,
     id: TxId,
     epoch: u64,
-    /// Transaction-local deferred-write workspace (last write per item
-    /// wins); applied at commit, dropped on abort.
-    writes: Vec<(ItemId, V)>,
+    scratch: TxScratch<V>,
 }
 
 impl<V: Clone + Send + 'static> Tx<'_, V> {
@@ -262,7 +285,7 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
     /// (the trace layer's abort taxonomy). The workspace is
     /// transaction-local, so dropping the handle discards it.
     fn cleanup(&mut self, reason: AbortReason) {
-        self.writes.clear();
+        self.scratch.writes.clear();
         self.shared.cc.aborted(self.id);
         Metrics::bump(&self.shared.metrics.aborts);
         Metrics::bump(match reason {
@@ -312,8 +335,13 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                     Metrics::bump(&self.shared.metrics.reads);
                     self.shared.metrics.bump_shard(shard_idx);
                     self.tick();
-                    let own =
-                        self.writes.iter().rev().find(|(i, _)| *i == item).map(|(_, v)| v.clone());
+                    let own = self
+                        .scratch
+                        .writes
+                        .iter()
+                        .rev()
+                        .find(|(i, _)| *i == item)
+                        .map(|(_, v)| v.clone());
                     return Ok(own.or(stored));
                 }
                 v
@@ -359,9 +387,9 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                     }
                     Metrics::bump(&self.shared.metrics.writes);
                     self.tick();
-                    match self.writes.iter_mut().find(|(i, _)| *i == item) {
+                    match self.scratch.writes.iter_mut().find(|(i, _)| *i == item) {
                         Some(slot) => slot.1 = value,
-                        None => self.writes.push((item, value)),
+                        None => self.scratch.writes.push((item, value)),
                     }
                     return Ok(());
                 }
@@ -399,32 +427,38 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
             return false;
         }
         // Deterministic order for validation and apply, and the ascending
-        // shard order the deadlock-freedom argument needs.
-        self.writes.sort_by_key(|(item, _)| *item);
-        let items: Vec<ItemId> = self.writes.iter().map(|(item, _)| *item).collect();
-        let mut shard_idxs: Vec<usize> =
-            items.iter().map(|&i| self.shared.store.shard_index(i)).collect();
-        shard_idxs.sort_unstable();
-        shard_idxs.dedup();
+        // shard order the deadlock-freedom argument needs. The item and
+        // shard-index buffers are recycled across restart attempts.
+        self.scratch.writes.sort_by_key(|(item, _)| *item);
+        self.scratch.items.clear();
+        self.scratch.items.extend(self.scratch.writes.iter().map(|(item, _)| *item));
+        self.scratch.shard_idxs.clear();
+        self.scratch
+            .shard_idxs
+            .extend(self.scratch.items.iter().map(|&i| self.shared.store.shard_index(i)));
+        self.scratch.shard_idxs.sort_unstable();
+        self.scratch.shard_idxs.dedup();
         // Hold every write-set shard across validate + apply: the commit
         // is atomic against any reader (readers hold their item's shard
         // across grant + fetch) — visible entirely or not at all.
         let mut guards: Vec<_> =
-            shard_idxs.iter().map(|&i| self.shared.store.lock_shard(i)).collect();
-        match self.shared.cc.validate_commit(self.id, &items) {
+            self.scratch.shard_idxs.iter().map(|&i| self.shared.store.lock_shard(i)).collect();
+        match self.shared.cc.validate_commit(self.id, &self.scratch.items) {
             CommitDecision::Commit { skip } => {
                 if self.shared.cc.epoch() != self.epoch {
                     drop(guards);
                     self.cleanup(AbortReason::Epoch);
                     return false;
                 }
-                for (item, value) in self.writes.drain(..) {
+                for (item, value) in self.scratch.writes.drain(..) {
                     if skip.contains(&item) {
                         Metrics::bump(&self.shared.metrics.ignored_writes);
                         continue;
                     }
                     let shard_idx = self.shared.store.shard_index(item);
-                    let slot = shard_idxs
+                    let slot = self
+                        .scratch
+                        .shard_idxs
                         .binary_search(&shard_idx)
                         .expect("shard of a write-set item was locked");
                     guards[slot].insert(item, value);

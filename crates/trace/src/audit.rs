@@ -143,7 +143,7 @@ impl Auditor {
     fn apply_set_edge(&mut self, from: TxId, to: TxId, outcome: &SetEdgeOutcome) {
         match outcome {
             SetEdgeOutcome::Encoded { changes } => {
-                for &(tx, element, value) in changes {
+                for &(tx, element, value) in changes.iter() {
                     self.report.assignments += 1;
                     if element >= self.k {
                         self.violation(format!(

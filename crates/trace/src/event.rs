@@ -58,6 +58,91 @@ impl AbortReason {
     }
 }
 
+/// One timestamp-element assignment: `(transaction, 0-based element,
+/// value)` — the paper's "(transaction, dimension, value)" triple.
+pub type Change = (TxId, usize, i64);
+
+/// The element definitions one `Set` edge performed, in order.
+///
+/// Algorithm 1 defines at most two elements per call (the two sides of an
+/// `EqualUndefined`), so the common case is stored inline and emitting a
+/// `SetEdge` event allocates nothing; only the III-D-5 hot-item prefix
+/// copy (up to k assignments) spills to a heap vector. Dereferences to a
+/// `[Change]` slice, so consumers iterate it like the `Vec` it replaced.
+#[derive(Clone)]
+pub struct EncodedChanges {
+    /// Inline storage, valid for `..len` when `spill` is empty.
+    inline: [Change; 2],
+    len: u8,
+    /// Overflow storage; when non-empty it holds *all* the changes.
+    spill: Vec<Change>,
+}
+
+impl EncodedChanges {
+    const EMPTY: Change = (TxId::VIRTUAL, 0, 0);
+
+    /// A single assignment (the `?` cases of procedure `Set`).
+    pub fn one(c: Change) -> Self {
+        EncodedChanges { inline: [c, Self::EMPTY], len: 1, spill: Vec::new() }
+    }
+
+    /// Two assignments (the `=` case: both sides of the open column).
+    pub fn pair(a: Change, b: Change) -> Self {
+        EncodedChanges { inline: [a, b], len: 2, spill: Vec::new() }
+    }
+
+    /// The assignments as a slice, in encode order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Change] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl From<Vec<Change>> for EncodedChanges {
+    /// Packs short change lists inline; longer ones (the hot-item prefix
+    /// copy) keep the vector as spill storage.
+    fn from(v: Vec<Change>) -> Self {
+        match *v.as_slice() {
+            [] => EncodedChanges { inline: [Self::EMPTY; 2], len: 0, spill: Vec::new() },
+            [a] => Self::one(a),
+            [a, b] => Self::pair(a, b),
+            _ => EncodedChanges { inline: [Self::EMPTY; 2], len: 0, spill: v },
+        }
+    }
+}
+
+impl FromIterator<Change> for EncodedChanges {
+    fn from_iter<I: IntoIterator<Item = Change>>(iter: I) -> Self {
+        iter.into_iter().collect::<Vec<_>>().into()
+    }
+}
+
+impl std::ops::Deref for EncodedChanges {
+    type Target = [Change];
+
+    fn deref(&self) -> &[Change] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for EncodedChanges {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for EncodedChanges {}
+
+impl std::fmt::Debug for EncodedChanges {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 /// What a `Set(j, i)` call did (mirrors the scheduler's `SetEvent` 1:1).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SetEdgeOutcome {
@@ -67,7 +152,7 @@ pub enum SetEdgeOutcome {
     /// by the edge's `from`/`to` pair.
     Encoded {
         /// The element definitions performed, in order.
-        changes: Vec<(TxId, usize, i64)>,
+        changes: EncodedChanges,
     },
     /// The vectors already said `from < to`; nothing was written.
     AlreadyOrdered,

@@ -215,7 +215,7 @@ mod tests {
                 event: TraceEvent::SetEdge {
                     from: TxId(0),
                     to: TxId(1),
-                    outcome: SetEdgeOutcome::Encoded { changes: vec![(TxId(1), 0, 1)] },
+                    outcome: SetEdgeOutcome::Encoded { changes: vec![(TxId(1), 0, 1)].into() },
                 },
             },
         ])

@@ -46,7 +46,7 @@ pub fn render_decision_table(
             TraceEvent::SetEdge { from, to, outcome } => match outcome {
                 SetEdgeOutcome::Encoded { changes } => {
                     let mut parts = Vec::new();
-                    for &(tx, element, value) in changes {
+                    for &(tx, element, value) in changes.iter() {
                         let v = vectors.entry(tx.0).or_insert_with(|| TsVec::undefined(k));
                         if v.get(element).is_none() {
                             v.define(element, value);
@@ -132,7 +132,7 @@ mod tests {
                 event: TraceEvent::SetEdge {
                     from: TxId::VIRTUAL,
                     to: TxId(1),
-                    outcome: SetEdgeOutcome::Encoded { changes: vec![(TxId(1), 0, 1)] },
+                    outcome: SetEdgeOutcome::Encoded { changes: vec![(TxId(1), 0, 1)].into() },
                 },
             },
             TraceRecord {
@@ -152,7 +152,7 @@ mod tests {
                     from: TxId(1),
                     to: TxId(2),
                     outcome: SetEdgeOutcome::Encoded {
-                        changes: vec![(TxId(1), 1, 1), (TxId(2), 1, 2)],
+                        changes: vec![(TxId(1), 1, 1), (TxId(2), 1, 2)].into(),
                     },
                 },
             },

@@ -65,8 +65,10 @@ impl CmpResult {
     }
 }
 
-/// The sequential comparator: O(1) fast paths off the cached first-defined
-/// index, then a chunked scan over 64-element definedness-bitmap words.
+/// The sequential comparator: for `k ≤ 64` a one-word path that locates the
+/// first not-both-defined position with a single AND + `trailing_zeros` on
+/// the definedness words; for larger `k`, O(1) fast paths off the cached
+/// first-defined index, then a chunked scan over 64-element bitmap words.
 ///
 /// The reported `ops` count keeps the semantics of the naive left-to-right
 /// scan — `deciding index + 1`, or `k` for `Identical` — so the cost
@@ -84,9 +86,45 @@ impl ScalarComparator {
     pub fn compare_counted(a: &TsVec, b: &TsVec) -> (CmpResult, usize) {
         assert_eq!(a.k(), b.k(), "vectors of different dimension are never compared");
         let k = a.k();
+        let (av, bv) = (a.values_raw(), b.values_raw());
 
-        // Fast path: unless both vectors define element 0, position 0 is
-        // already not both-defined and the comparison is decided there.
+        // One-word fast path (k ≤ 64, i.e. every inline vector and most
+        // spilled ones): the entire definedness picture is a single pair of
+        // words, so the first not-both-defined position falls out of one
+        // AND + trailing_zeros with no per-element branching, and a `?`/`=`
+        // outcome at position 0 never touches the value arrays at all. The
+        // `ops` count keeps the naive-scan semantics (deciding index + 1).
+        if k <= 64 {
+            let (da, db) = (a.defined_word0(), b.defined_word0());
+            let mask = if k == 64 { !0u64 } else { (1u64 << k) - 1 };
+            // First position where not both are defined (k if none).
+            let cand = (((da & db) ^ mask).trailing_zeros() as usize).min(k);
+            // First value difference inside the both-defined run [0, cand).
+            let (run_a, run_b) = (&av[..cand], &bv[..cand]);
+            for (m, (&x, &y)) in run_a.iter().zip(run_b).enumerate() {
+                if x != y {
+                    let r = if x < y {
+                        CmpResult::Less { at: m }
+                    } else {
+                        CmpResult::Greater { at: m }
+                    };
+                    return (r, m + 1);
+                }
+            }
+            if cand == k {
+                return (CmpResult::Identical, k);
+            }
+            let r = match (da >> cand & 1 == 1, db >> cand & 1 == 1) {
+                (false, false) => CmpResult::EqualUndefined { at: cand },
+                (false, true) => CmpResult::LeftUndefined { at: cand },
+                (true, false) => CmpResult::RightUndefined { at: cand },
+                (true, true) => unreachable!("bit {cand} counted as not-both-defined"),
+            };
+            return (r, cand + 1);
+        }
+
+        // Multi-word path (k > 64, always spilled). Fast path: unless both
+        // vectors define element 0, the comparison is decided there.
         let fa = a.first_defined().unwrap_or(k);
         let fb = b.first_defined().unwrap_or(k);
         match (fa == 0, fb == 0) {
@@ -95,7 +133,6 @@ impl ScalarComparator {
             (true, false) => return (CmpResult::RightUndefined { at: 0 }, 1),
             (true, true) => {}
         }
-        let (av, bv) = (a.values_raw(), b.values_raw());
         // Both defined at 0 — the protocol's common case (every vector the
         // scheduler compares is ordered against T₀ first).
         if av[0] != bv[0] {
@@ -356,6 +393,59 @@ mod tests {
             ScalarComparator::compare_counted(&full, &full.clone()),
             (CmpResult::Identical, 192)
         );
+    }
+
+    #[test]
+    fn one_word_path_matches_naive_for_small_k() {
+        // Deterministic sweep of the k ≤ 64 path (inline and spilled) with
+        // every divergence class at every position; the proptests in
+        // `tsvec_props` cover the randomized version.
+        for k in [1usize, 2, 5, 6, 7, 8, 63, 64] {
+            for p in 0..k {
+                for (da, db) in [
+                    (Some(7), Some(9)),
+                    (Some(9), Some(7)),
+                    (None, None),
+                    (None, Some(1)),
+                    (Some(1), None),
+                ] {
+                    let mut ea: Vec<Option<i64>> = (0..k).map(|m| Some(m as i64)).collect();
+                    let mut eb = ea.clone();
+                    ea[p] = da;
+                    eb[p] = db;
+                    for m in p + 1..k {
+                        ea[m] = None;
+                        eb[m] = None;
+                    }
+                    let a = TsVec::from_elems(&ea);
+                    let b = TsVec::from_elems(&eb);
+                    let expect = naive_counted(&a, &b);
+                    assert_eq!(ScalarComparator::compare_counted(&a, &b), expect, "k={k} p={p}");
+                    // Forced-spilled twins must agree with the inline result.
+                    let (sa, sb) = (spilled_twin(&a), spilled_twin(&b));
+                    assert_eq!(
+                        ScalarComparator::compare_counted(&sa, &sb),
+                        expect,
+                        "spilled k={k} p={p}"
+                    );
+                }
+            }
+            let full = TsVec::from_elems(&(0..k).map(|m| Some(m as i64)).collect::<Vec<_>>());
+            assert_eq!(
+                ScalarComparator::compare_counted(&full, &full.clone()),
+                (CmpResult::Identical, k)
+            );
+        }
+    }
+
+    fn spilled_twin(v: &TsVec) -> TsVec {
+        let mut s = TsVec::undefined_spilled(v.k());
+        for m in 0..v.k() {
+            if let Some(x) = v.get(m) {
+                s.define(m, x);
+            }
+        }
+        s
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub use compare::{CmpResult, ParallelCost, ScalarComparator, TreeComparator};
 pub use counters::{AtomicKthCounters, KthCounters};
 pub use interval::interval_view;
 pub use ordercache::{OrderCache, OrderCacheStats};
-pub use tsvec::TsVec;
+pub use tsvec::{TsVec, INLINE_K};
 
 #[cfg(test)]
 mod order_props;
+#[cfg(test)]
+mod tsvec_props;

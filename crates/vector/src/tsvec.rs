@@ -1,40 +1,91 @@
 //! The timestamp vector `TS(i)` and Definition 6.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::ManuallyDrop;
+use std::num::NonZeroU32;
 
 use crate::compare::{CmpResult, ScalarComparator};
+
+/// Largest dimension stored inline: with `INLINE_K` `i64` values, one `u64`
+/// definedness word, and the `k`/`first_defined` header, the whole vector is
+/// exactly one 64-byte cache line (`6 × 8 + 8 + 4 + 4`). The paper's
+/// examples use k = 2–4, so the realistic case is always inline.
+pub const INLINE_K: usize = 6;
+
+/// High bit of the `k_tag` header word: set when the vector uses the boxed
+/// large-k representation. The dimension occupies the low 31 bits, so
+/// `k_tag` is never zero (k ≥ 1) and `Option<TsVec>` gets a niche.
+const SPILLED_TAG: u32 = 1 << 31;
 
 /// A k-dimensional timestamp vector. The paper's undefined element `*` is
 /// represented by a cleared bit in a definedness bitmap.
 ///
 /// # Layout
 ///
-/// Dense `i64` values plus a `u64`-word definedness bitmap, rather than
-/// `[Option<i64>]`:
+/// A small-vector union, sized to one 64-byte cache line:
 ///
-/// * comparisons (the scheduler's hot loop) test and skip whole 64-element
-///   words of the bitmap instead of branching per `Option`;
-/// * the index of the first defined element is cached, so the common
-///   Definition 6 cases that are decided at element 0 — both undefined,
-///   exactly one defined, or both defined with distinct values — resolve in
-///   O(1) without touching the arrays.
+/// * for `k ≤ INLINE_K` the values live in an inline `[i64; INLINE_K]` and
+///   the definedness bitmap is the single header word `defined0` — no heap
+///   pointers at all, so the scheduler's hot compare loop never chases a
+///   `Box` and cloning/creating a vector never allocates;
+/// * for larger `k` the union holds the boxed layout (dense `i64` values
+///   plus `u64` bitmap words). `defined0` then mirrors bitmap word 0, so
+///   the one-word comparator fast path reads the same field for both
+///   representations.
+///
+/// The representation is chosen by `k` alone (`k ≤ INLINE_K` ⇒ inline);
+/// [`TsVec::undefined_spilled`] forces the boxed form for benchmarks and
+/// the representation-agreement proptests. `Eq`/`Hash` are representation
+/// agnostic: a forced-spilled vector equals its inline twin.
+///
+/// In both forms:
+///
+/// * comparisons (the scheduler's hot loop) test whole 64-element words of
+///   the bitmap instead of branching per `Option`;
+/// * the index of the first defined element is cached, so Definition 6
+///   cases decided at element 0 resolve in O(1) without a scan.
 ///
 /// # Invariants
 ///
-/// Undefined slots hold value `0` and bitmap bits past `k` are clear, so the
-/// derived `Eq`/`Hash` agree with element-wise comparison of
-/// `Option<i64>`s. `first_defined` is `k` when nothing is defined.
+/// Undefined slots hold value `0` and bitmap bits past `k` are clear, so
+/// `Eq`/`Hash` agree with element-wise comparison of `Option<i64>`s.
+/// `first_defined` is `k` when nothing is defined. For the spilled form,
+/// `defined0 == defined[0]` always.
 ///
 /// Elements are write-once: the protocols only ever *define* an undefined
 /// element; they never overwrite a defined one ([`TsVec::define`] enforces
 /// this). The one exception is the starvation fix of Section III-D-4, which
 /// flushes the whole vector ([`TsVec::flush`]).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TsVec {
+    /// Dimension in the low 31 bits; [`SPILLED_TAG`] selects the union arm.
+    k_tag: NonZeroU32,
+    /// Cached index of the first defined element; `k` when none is.
+    first_defined: u32,
+    /// Definedness bits for elements 0–63 (the whole bitmap when inline; a
+    /// mirror of `defined[0]` when spilled).
+    defined0: u64,
+    data: Data,
+}
+
+/// Storage arm, discriminated by `SPILLED_TAG` in `k_tag`.
+union Data {
+    inline: [i64; INLINE_K],
+    spilled: ManuallyDrop<Spill>,
+}
+
+/// The boxed large-k storage (the pre-inline layout).
+#[derive(Clone)]
+struct Spill {
     values: Box<[i64]>,
     defined: Box<[u64]>,
-    first_defined: u32,
 }
+
+#[cfg(target_pointer_width = "64")]
+const _: () = {
+    assert!(std::mem::size_of::<TsVec>() == 64, "TsVec must stay one cache line");
+    assert!(std::mem::size_of::<Option<TsVec>>() == 64, "k_tag niche must cover Option");
+};
 
 /// Number of `u64` bitmap words covering `k` elements.
 #[inline]
@@ -44,16 +95,41 @@ fn words(k: usize) -> usize {
 
 impl TsVec {
     /// A fully undefined vector `⟨*, …, *⟩` of dimension `k` (Algorithm 1,
-    /// line 1).
+    /// line 1). Allocation-free for `k ≤ INLINE_K`.
     ///
     /// # Panics
     /// Panics if `k == 0`.
     pub fn undefined(k: usize) -> Self {
         assert!(k >= 1, "timestamp vectors need at least one dimension");
+        if k <= INLINE_K {
+            TsVec {
+                k_tag: NonZeroU32::new(k as u32).unwrap(),
+                first_defined: k as u32,
+                defined0: 0,
+                data: Data { inline: [0; INLINE_K] },
+            }
+        } else {
+            Self::undefined_spilled(k)
+        }
+    }
+
+    /// A fully undefined vector in the boxed representation regardless of
+    /// `k` — the baseline for benchmarks and the representation-agreement
+    /// proptests. Logically identical (`Eq`/`Hash`/`compare`) to
+    /// [`TsVec::undefined`]; the protocols themselves never need it.
+    pub fn undefined_spilled(k: usize) -> Self {
+        assert!(k >= 1, "timestamp vectors need at least one dimension");
+        assert!((k as u64) < SPILLED_TAG as u64, "dimension too large");
         TsVec {
-            values: vec![0; k].into_boxed_slice(),
-            defined: vec![0; words(k)].into_boxed_slice(),
+            k_tag: NonZeroU32::new(k as u32 | SPILLED_TAG).unwrap(),
             first_defined: k as u32,
+            defined0: 0,
+            data: Data {
+                spilled: ManuallyDrop::new(Spill {
+                    values: vec![0; k].into_boxed_slice(),
+                    defined: vec![0; words(k)].into_boxed_slice(),
+                }),
+            },
         }
     }
 
@@ -78,18 +154,27 @@ impl TsVec {
         v
     }
 
+    /// Whether the boxed large-k representation is in use.
+    #[inline]
+    pub fn is_spilled(&self) -> bool {
+        self.k_tag.get() & SPILLED_TAG != 0
+    }
+
     /// Dimension `k`.
     #[inline]
     pub fn k(&self) -> usize {
-        self.values.len()
+        (self.k_tag.get() & !SPILLED_TAG) as usize
     }
 
-    /// Whether element `m` is defined (0-based, no bounds check beyond
-    /// the bitmap's).
+    /// Whether element `m` is defined (0-based).
     #[inline]
     pub fn is_defined(&self, m: usize) -> bool {
         debug_assert!(m < self.k());
-        self.defined[m / 64] >> (m % 64) & 1 == 1
+        if m < 64 {
+            self.defined0 >> m & 1 == 1
+        } else {
+            self.defined_words()[m / 64] >> (m % 64) & 1 == 1
+        }
     }
 
     /// `TS(i, m)` with `m` 0-based (the paper indexes from 1).
@@ -97,7 +182,7 @@ impl TsVec {
     pub fn get(&self, m: usize) -> Option<i64> {
         assert!(m < self.k(), "element {m} out of range for k = {}", self.k());
         if self.is_defined(m) {
-            Some(self.values[m])
+            Some(self.values_raw()[m])
         } else {
             None
         }
@@ -115,21 +200,45 @@ impl TsVec {
         }
     }
 
+    /// Definedness bits for elements 0–63 in one word — the whole bitmap
+    /// for `k ≤ 64`, valid for both representations (the comparator's
+    /// one-word fast path reads only this).
+    #[inline]
+    pub fn defined_word0(&self) -> u64 {
+        self.defined0
+    }
+
     /// The raw definedness bitmap (64 elements per word, LSB-first; bits at
     /// and past `k` are zero).
     #[inline]
     pub fn defined_words(&self) -> &[u64] {
-        &self.defined
+        if self.is_spilled() {
+            // SAFETY: the tag says the spilled arm is initialised.
+            unsafe { &self.data.spilled.defined }
+        } else {
+            std::slice::from_ref(&self.defined0)
+        }
     }
 
-    /// The raw value array; entries at undefined positions hold `0`.
+    /// The raw value array (length `k`); entries at undefined positions
+    /// hold `0`.
     #[inline]
     pub fn values_raw(&self) -> &[i64] {
-        &self.values
+        // SAFETY: the tag says which arm is initialised; the inline arm is
+        // meaningful only up to k.
+        unsafe {
+            if self.is_spilled() {
+                &self.data.spilled.values
+            } else {
+                &self.data.inline[..self.k()]
+            }
+        }
     }
 
-    /// Elements as `Option`s (allocates; for tests and table displays, not
-    /// the comparison hot path).
+    /// Elements as `Option`s. Allocates — for tests and table displays
+    /// only, never the scheduler paths (kept cold so it cannot creep back
+    /// into them unnoticed).
+    #[cold]
     pub fn elems(&self) -> Vec<Option<i64>> {
         (0..self.k()).map(|m| self.get(m)).collect()
     }
@@ -144,10 +253,25 @@ impl TsVec {
         debug_assert!(
             !self.is_defined(m),
             "element {m} already defined to {:?}; write-once discipline violated",
-            self.values[m]
+            self.values_raw()[m]
         );
-        self.values[m] = value;
-        self.defined[m / 64] |= 1 << (m % 64);
+        if m < 64 {
+            self.defined0 |= 1 << m;
+        }
+        if self.is_spilled() {
+            // SAFETY: tag-checked arm; defined[0] mirrors defined0.
+            unsafe {
+                let spill = &mut self.data.spilled;
+                spill.values[m] = value;
+                spill.defined[m / 64] |= 1 << (m % 64);
+            }
+        } else {
+            debug_assert!(m < self.k());
+            // SAFETY: tag-checked arm; m < k ≤ INLINE_K.
+            unsafe {
+                self.data.inline[m] = value;
+            }
+        }
         if (m as u32) < self.first_defined {
             self.first_defined = m as u32;
         }
@@ -155,7 +279,7 @@ impl TsVec {
 
     /// Number of defined elements.
     pub fn defined_count(&self) -> usize {
-        self.defined.iter().map(|w| w.count_ones() as usize).sum()
+        self.defined_words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether every element is still undefined (a transaction that has not
@@ -165,18 +289,35 @@ impl TsVec {
         self.first_defined as usize >= self.k()
     }
 
+    /// Resets to fully undefined *in place*, reusing any spilled storage —
+    /// the restart paths use this instead of building a fresh vector.
+    pub fn clear(&mut self) {
+        self.defined0 = 0;
+        self.first_defined = self.k() as u32;
+        if self.is_spilled() {
+            // SAFETY: tag-checked arm.
+            unsafe {
+                let spill = &mut self.data.spilled;
+                spill.values.fill(0);
+                spill.defined.fill(0);
+            }
+        } else {
+            // Writing a `Copy` union field is safe.
+            self.data.inline = [0; INLINE_K];
+        }
+    }
+
     /// Starvation fix (Section III-D-4): flush the vector and pre-set the
     /// first element, so the restarted transaction is already ordered after
-    /// the transaction that aborted it.
+    /// the transaction that aborted it. In place — no allocation.
     pub fn flush(&mut self, first: i64) {
-        self.values.fill(0);
-        self.defined.fill(0);
-        self.first_defined = self.k() as u32;
+        self.clear();
         self.define(0, first);
     }
 
-    /// The prefix `⟨t₁ … t_l⟩` as `Option`s (allocates), used by the
-    /// composite protocol's shared-prefix tables (Section IV).
+    /// The prefix `⟨t₁ … t_l⟩` as `Option`s. Allocates — test/display-only
+    /// like [`TsVec::elems`] (the composite tables keep their own rows).
+    #[cold]
     pub fn prefix(&self, len: usize) -> Vec<Option<i64>> {
         (0..len).map(|m| self.get(m)).collect()
     }
@@ -190,6 +331,60 @@ impl TsVec {
     /// deciding elements defined).
     pub fn is_less(&self, other: &TsVec) -> bool {
         matches!(self.compare(other), CmpResult::Less { .. })
+    }
+}
+
+impl Drop for TsVec {
+    fn drop(&mut self) {
+        if self.is_spilled() {
+            // SAFETY: tag-checked arm, dropped exactly once here.
+            unsafe { ManuallyDrop::drop(&mut self.data.spilled) }
+        }
+    }
+}
+
+impl Clone for TsVec {
+    fn clone(&self) -> Self {
+        let data = if self.is_spilled() {
+            // SAFETY: tag-checked arm.
+            Data { spilled: ManuallyDrop::new(unsafe { Spill::clone(&self.data.spilled) }) }
+        } else {
+            // SAFETY: tag-checked arm; [i64; 6] is plain data.
+            Data { inline: unsafe { self.data.inline } }
+        };
+        TsVec {
+            k_tag: self.k_tag,
+            first_defined: self.first_defined,
+            defined0: self.defined0,
+            data,
+        }
+    }
+}
+
+// Representation-agnostic equality/hash: `k`, the bitmap words, and the
+// value array (undefined slots pinned to 0 by invariant) — a forced-spilled
+// vector equals its inline twin.
+impl PartialEq for TsVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.k() == other.k()
+            && self.defined_words() == other.defined_words()
+            && self.values_raw() == other.values_raw()
+    }
+}
+
+impl Eq for TsVec {}
+
+impl Hash for TsVec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.k().hash(state);
+        self.defined_words().hash(state);
+        self.values_raw().hash(state);
+    }
+}
+
+impl fmt::Debug for TsVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TsVec({self}{})", if self.is_spilled() { ", spilled" } else { "" })
     }
 }
 
@@ -252,6 +447,62 @@ mod tests {
     }
 
     #[test]
+    fn repr_follows_dimension() {
+        assert!(!TsVec::undefined(1).is_spilled());
+        assert!(!TsVec::undefined(INLINE_K).is_spilled());
+        assert!(TsVec::undefined(INLINE_K + 1).is_spilled());
+        assert!(TsVec::undefined_spilled(2).is_spilled());
+    }
+
+    #[test]
+    fn spilled_and_inline_twins_are_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &TsVec| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        for k in 1..=INLINE_K {
+            let mut a = TsVec::undefined(k);
+            let mut b = TsVec::undefined_spilled(k);
+            assert_eq!(a, b, "fully undefined, k = {k}");
+            for m in (0..k).rev() {
+                a.define(m, m as i64 * 3 - 1);
+                b.define(m, m as i64 * 3 - 1);
+                assert_eq!(a, b, "k = {k}, defined down to {m}");
+                assert_eq!(hash(&a), hash(&b));
+                assert_eq!(a.first_defined(), b.first_defined());
+                assert_eq!(a.defined_words(), b.defined_words());
+                assert_eq!(a.values_raw(), b.values_raw());
+            }
+            let (mut ca, mut cb) = (a.clone(), b.clone());
+            assert_eq!(ca, cb);
+            ca.flush(9);
+            cb.flush(9);
+            assert_eq!(ca, cb);
+            assert_eq!(ca.to_string(), cb.to_string());
+        }
+    }
+
+    #[test]
+    fn clear_reuses_storage_and_fully_undefines() {
+        for mut v in [TsVec::from_elems(&[Some(1), Some(2)]), {
+            let mut s = TsVec::undefined_spilled(70);
+            s.define(0, 4);
+            s.define(69, 5);
+            s
+        }] {
+            let spilled = v.is_spilled();
+            v.clear();
+            assert!(v.is_fully_undefined());
+            assert_eq!(v.defined_count(), 0);
+            assert_eq!(v.is_spilled(), spilled, "clear must not change representation");
+            assert!(v.values_raw().iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
     fn first_defined_cache_tracks_defines() {
         let mut v = TsVec::undefined(130);
         assert_eq!(v.first_defined(), None);
@@ -277,9 +528,11 @@ mod tests {
             assert_eq!(v.is_defined(m), expect, "element {m}");
             assert_eq!(v.get(m), expect.then_some(m as i64), "element {m}");
         }
-        // Bits past k stay clear, words cover exactly ⌈k/64⌉.
+        // Bits past k stay clear, words cover exactly ⌈k/64⌉, and the
+        // word-0 mirror matches the boxed bitmap.
         assert_eq!(v.defined_words().len(), 4);
         assert_eq!(v.defined_words()[3] >> (200 - 192), 0);
+        assert_eq!(v.defined_word0(), v.defined_words()[0]);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Representation-agreement property tests: the inline and forced-spilled
+//! `TsVec` forms must both behave exactly like a `Vec<Option<i64>>`
+//! reference model under define/flush/compare/prefix/`Eq`/`Hash`, with the
+//! INLINE_K boundary (k = INLINE_K and INLINE_K + 1) covered explicitly.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use crate::compare::{CmpResult, ScalarComparator};
+use crate::tsvec::{TsVec, INLINE_K};
+
+/// The reference model: plain `Option`s, with the naive left-to-right
+/// Definition 6 scan.
+#[derive(Clone, Debug, PartialEq)]
+struct Model(Vec<Option<i64>>);
+
+impl Model {
+    fn undefined(k: usize) -> Self {
+        Model(vec![None; k])
+    }
+
+    fn define(&mut self, m: usize, value: i64) {
+        assert!(self.0[m].is_none());
+        self.0[m] = Some(value);
+    }
+
+    fn flush(&mut self, first: i64) {
+        self.0.fill(None);
+        self.0[0] = Some(first);
+    }
+
+    fn compare(&self, other: &Model) -> (CmpResult, usize) {
+        let mut ops = 0;
+        for m in 0..self.0.len() {
+            ops += 1;
+            match (self.0[m], other.0[m]) {
+                (Some(x), Some(y)) if x == y => continue,
+                (Some(x), Some(y)) if x < y => return (CmpResult::Less { at: m }, ops),
+                (Some(_), Some(_)) => return (CmpResult::Greater { at: m }, ops),
+                (None, None) => return (CmpResult::EqualUndefined { at: m }, ops),
+                (None, Some(_)) => return (CmpResult::LeftUndefined { at: m }, ops),
+                (Some(_), None) => return (CmpResult::RightUndefined { at: m }, ops),
+            }
+        }
+        (CmpResult::Identical, ops)
+    }
+}
+
+/// One write-once mutation.
+#[derive(Clone, Debug)]
+enum Op {
+    Define { m: usize, value: i64 },
+    Flush { first: i64 },
+}
+
+fn arb_ops(k: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    // Mostly defines, occasional flushes (the shim has no `prop_oneof!`, so
+    // a selector field picks the variant).
+    proptest::collection::vec(
+        (0..9usize, 0..k, -5i64..6).prop_map(|(sel, m, value)| {
+            if sel < 8 {
+                Op::Define { m, value }
+            } else {
+                Op::Flush { first: value }
+            }
+        }),
+        0..len + 1,
+    )
+}
+
+/// Applies `ops` to the model and to both representations, skipping defines
+/// the write-once discipline forbids.
+fn apply(k: usize, ops: &[Op]) -> (Model, TsVec, TsVec) {
+    let mut model = Model::undefined(k);
+    let mut natural = TsVec::undefined(k);
+    let mut spilled = TsVec::undefined_spilled(k);
+    for op in ops {
+        match *op {
+            Op::Define { m, value } => {
+                if model.0[m].is_none() {
+                    model.define(m, value);
+                    natural.define(m, value);
+                    spilled.define(m, value);
+                }
+            }
+            Op::Flush { first } => {
+                model.flush(first);
+                natural.flush(first);
+                spilled.flush(first);
+            }
+        }
+    }
+    (model, natural, spilled)
+}
+
+fn hash_of(v: &TsVec) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+fn assert_matches_model(model: &Model, v: &TsVec) {
+    let k = model.0.len();
+    assert_eq!(v.k(), k);
+    assert_eq!(v.elems(), model.0, "elems");
+    for len in [0, 1, k / 2, k] {
+        assert_eq!(v.prefix(len), model.0[..len], "prefix({len})");
+    }
+    assert_eq!(v.first_defined(), model.0.iter().position(Option::is_some), "first_defined");
+    assert_eq!(v.defined_count(), model.0.iter().flatten().count(), "defined_count");
+    assert_eq!(v.is_fully_undefined(), model.0.iter().all(Option::is_none));
+    for (m, e) in model.0.iter().enumerate() {
+        assert_eq!(v.get(m), *e, "get({m})");
+        assert_eq!(v.is_defined(m), e.is_some(), "is_defined({m})");
+    }
+}
+
+/// k values straddling the inline/spilled boundary, plus a multi-word case.
+const KS: [usize; 4] = [2, INLINE_K, INLINE_K + 1, 70];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Both representations track the model through arbitrary write-once
+    /// histories, and stay equal (with equal hashes) to each other.
+    #[test]
+    fn representations_track_model(seed in arb_ops(70, 24)) {
+        for k in KS {
+            let ops: Vec<Op> = seed
+                .iter()
+                .filter(|op| !matches!(op, Op::Define { m, .. } if *m >= k))
+                .cloned()
+                .collect();
+            let (model, natural, spilled) = apply(k, &ops);
+            assert_matches_model(&model, &natural);
+            assert_matches_model(&model, &spilled);
+            prop_assert_eq!(&natural, &spilled);
+            prop_assert_eq!(hash_of(&natural), hash_of(&spilled));
+            prop_assert_eq!(natural.to_string(), spilled.to_string());
+            // Clones preserve representation and state.
+            prop_assert_eq!(&natural.clone(), &natural);
+            let sc = spilled.clone();
+            prop_assert!(sc.is_spilled());
+            prop_assert_eq!(&sc, &spilled);
+        }
+    }
+
+    /// Definition 6 and its `ops` accounting agree with the model's naive
+    /// scan in every representation pairing (inline/inline, inline/spilled,
+    /// spilled/spilled).
+    #[test]
+    fn compare_matches_model(sa in arb_ops(70, 24), sb in arb_ops(70, 24)) {
+        for k in KS {
+            let keep = |seed: &[Op]| -> Vec<Op> {
+                seed.iter()
+                    .filter(|op| !matches!(op, Op::Define { m, .. } if *m >= k))
+                    .cloned()
+                    .collect()
+            };
+            let (ma, na, pa) = apply(k, &keep(&sa));
+            let (mb, nb, pb) = apply(k, &keep(&sb));
+            let expect = ma.compare(&mb);
+            for (a, b) in [(&na, &nb), (&na, &pb), (&pa, &nb), (&pa, &pb)] {
+                prop_assert_eq!(ScalarComparator::compare_counted(a, b), expect, "k = {}", k);
+            }
+            prop_assert_eq!(ScalarComparator::compare_counted(&nb, &na), (expect.0.flip(), mb.compare(&ma).1));
+        }
+    }
+
+    /// `Eq`/`Hash` follow the model: logical equality regardless of the
+    /// define order or representation, inequality whenever the models
+    /// differ.
+    #[test]
+    fn eq_and_hash_follow_model(sa in arb_ops(INLINE_K + 1, 16), sb in arb_ops(INLINE_K + 1, 16)) {
+        for k in [INLINE_K, INLINE_K + 1] {
+            let keep = |seed: &[Op]| -> Vec<Op> {
+                seed.iter()
+                    .filter(|op| !matches!(op, Op::Define { m, .. } if *m >= k))
+                    .cloned()
+                    .collect()
+            };
+            let (ma, na, pa) = apply(k, &keep(&sa));
+            let (mb, nb, pb) = apply(k, &keep(&sb));
+            let model_eq = ma == mb;
+            for (a, b) in [(&na, &nb), (&na, &pb), (&pa, &pb)] {
+                prop_assert_eq!(a == b, model_eq, "k = {}", k);
+                if model_eq {
+                    prop_assert_eq!(hash_of(a), hash_of(b), "k = {}", k);
+                }
+            }
+        }
+    }
+}

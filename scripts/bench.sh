@@ -2,19 +2,21 @@
 # Benchmark driver for the engine-scaling experiment.
 #
 #   scripts/bench.sh           full run: the criterion engine_scaling group
-#                              (sharded vs serialized vs cache-off), then the
+#                              (sharded vs serialized vs cache-off) and the
+#                              vector-compare groups (Figs. 6–7 plus the
+#                              small-k inline/spilled/boxed sweep), then the
 #                              full exp19 sweep under --json, written to
-#                              BENCH_pr3.json (schema mdts-metrics/v1).
+#                              BENCH_pr5.json (schema mdts-metrics/v1).
 #   scripts/bench.sh --smoke   CI-sized: exp19 --quick --json, validated for
-#                              the schema stamp and a sane run count, plus a
-#                              criterion build check. No files written.
+#                              the schema stamp and a sane run count, plus
+#                              criterion build checks. No files written.
 #
 # Run from the repo root (or anywhere — the script cd's home first).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCHEMA='mdts-metrics/v1'
-OUT=BENCH_pr3.json
+OUT=BENCH_pr5.json
 
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== bench smoke: exp19 --quick --json =="
@@ -29,12 +31,16 @@ if [[ "${1:-}" == "--smoke" ]]; then
     fi
     echo "== bench smoke: criterion targets compile =="
     cargo bench -p mdts-bench --bench bench_scaling --no-run
+    cargo bench -p mdts-bench --bench bench_compare --no-run
     echo "bench smoke: OK"
     exit 0
 fi
 
 echo "== criterion: engine_scaling (sharded / sharded-nocache / serialized) =="
 cargo bench -p mdts-bench --bench bench_scaling
+
+echo "== criterion: vector compare (Figs. 6-7 + small-k representation sweep) =="
+cargo bench -p mdts-bench --bench bench_compare
 
 echo "== exp19 (full sweep) --json -> $OUT =="
 cargo run --release -q -p mdts-bench --bin exp19_scaling -- --json > "$OUT"

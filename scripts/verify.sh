@@ -30,6 +30,12 @@ cargo build --release
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+# The zero-allocation gate runs inside the workspace suite too (it is a
+# root-package integration test), but an explicit release-mode pass keeps
+# the assertion meaningful under the optimizer as well.
+echo "== alloc-regression gate (release) =="
+cargo test --release -q --test alloc_zero
+
 if [[ "$FULL" -eq 1 ]]; then
   echo "== loom: shim litmus certification =="
   cargo test -q -p loom --release --test litmus
