@@ -8,32 +8,58 @@
 //! * **MV-MT(k) vs MT(k)** (vectors): a reader that cannot be ordered
 //!   after the newest writer is slotted *between* two writers of the
 //!   chain and served the older version.
+//!
+//! `--json` replaces the human table with one `mdts-metrics/v1` document
+//! on stdout — one run per (workload, protocol) cell with `trials` and
+//! `accepted` counters, so the BENCH_* trajectory can track the MV
+//! acceptance gap release over release.
 
 use mdts_baselines::{BasicTimestampOrdering, MvTimestampOrdering};
-use mdts_bench::{print_table, Table};
+use mdts_bench::{json_mode, metrics_document, print_table, Table};
 use mdts_core::{to_k, MvMtScheduler};
 use mdts_model::{MultiStepConfig, WorkloadKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+const PROTOCOLS: [&str; 4] = ["basic TO", "MVTO", "MT(2q-1)", "MV-MT(2q-1)"];
+
 fn main() {
-    println!("== exp18: III-D-6d — multiversion timestamps (extension) ==\n");
+    let json = json_mode();
+    if !json {
+        println!("== exp18: III-D-6d — multiversion timestamps (extension) ==\n");
+    }
     let trials = 4000u64;
     let mut t = Table::new(&["workload", "basic TO", "MVTO", "MT(2q-1)", "MV-MT(2q-1)"]);
+    let mut runs = Vec::new();
     for kind in [WorkloadKind::Uniform, WorkloadKind::Hotspot, WorkloadKind::ReadHeavy] {
         let cfg = MultiStepConfig { min_ops: 2, max_ops: 4, ..kind.config(5, 12) };
-        let (mut b, mut mv, mut sv, mut mvv) = (0u64, 0u64, 0u64, 0u64);
+        let mut accepted = [0u64; 4];
         for seed in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed);
             let log = cfg.generate(&mut rng);
             let k = 2 * log.max_ops_per_txn().max(1) - 1;
-            b += BasicTimestampOrdering::accepts(&log) as u64;
-            mv += MvTimestampOrdering::accepts(&log) as u64;
-            sv += to_k(&log, k) as u64;
-            mvv += MvMtScheduler::accepts(&log) as u64;
+            accepted[0] += BasicTimestampOrdering::accepts(&log) as u64;
+            accepted[1] += MvTimestampOrdering::accepts(&log) as u64;
+            accepted[2] += to_k(&log, k) as u64;
+            accepted[3] += MvMtScheduler::accepts(&log) as u64;
         }
         let pct = |c: u64| format!("{:.1}%", c as f64 / trials as f64 * 100.0);
-        t.row(&[kind.name().into(), pct(b), pct(mv), pct(sv), pct(mvv)]);
+        let mut row = vec![kind.name().to_string()];
+        row.extend(accepted.iter().map(|&c| pct(c)));
+        t.row(&row);
+        for (protocol, &count) in PROTOCOLS.iter().zip(&accepted) {
+            runs.push(
+                mdts_trace::MetricsRegistry::new()
+                    .label("workload", kind.name())
+                    .label("protocol", *protocol)
+                    .counter("trials", trials)
+                    .counter("accepted", count),
+            );
+        }
+    }
+    if json {
+        println!("{}", metrics_document("exp18", &runs).render());
+        return;
     }
     print_table(&t);
     println!(

@@ -14,6 +14,18 @@
 //! the Zipf sweep measures how much of that headroom survives a contended
 //! hotspot.
 
+//! The third sweep is the MV-MT(k) serving-path lane (ISSUE 6): a 95/5
+//! read-heavy mix where read-only audits run as snapshot transactions on
+//! version chains — they never abort, restart, or block writers — against
+//! single-version MT(k) (same protocol, scans on the write path) and the
+//! serialized `mvto` baseline. `--read-only-fraction F` and `--scan-len N`
+//! reshape that lane from the CLI. Read-mostly serving is an order of
+//! magnitude faster than the contended transfer mixes, so on the shared
+//! budget this sweep would be a sub-100 ms flash run measuring startup
+//! effects; it runs a 10× budget instead, long enough that steady-state
+//! costs — version-chain growth, timestamp-table growth, GC and row
+//! reclamation — sit inside the measurement window.
+//!
 //! `--json` replaces the human tables with one `mdts-metrics/v1` document
 //! on stdout (full counters, breakdowns, and latency histograms per run).
 //! `--quick` shrinks the budget and the thread sweep to a CI-sized smoke
@@ -21,8 +33,9 @@
 
 use mdts_bench::{json_mode, metrics_document, print_table, Table};
 use mdts_engine::{
-    run_bank_mix, run_bank_mix_concurrent, BankConfig, BankReport, BasicToCc, MtCc, ShardedMtCc,
-    TwoPlCc,
+    run_bank_mix, run_bank_mix_concurrent, run_bank_mix_multiversion,
+    run_bank_mix_multiversion_audited, BankConfig, BankReport, BasicToCc, MtCc, MvToCc,
+    ShardedMtCc, TwoPlCc,
 };
 
 const TOTAL_TXNS: usize = 4_000;
@@ -32,42 +45,77 @@ const QUICK_THREADS: [usize; 2] = [1, 4];
 const K: usize = 3;
 const THINK_SLEEP_US: u64 = 100;
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq)]
 enum Protocol {
+    MvMtSnapshot,
     MtSharded,
     MtSerialized,
+    Mvto,
     TwoPl,
     To1,
 }
 
 impl Protocol {
-    fn all() -> [Protocol; 4] {
+    fn scaling() -> [Protocol; 4] {
         [Protocol::MtSharded, Protocol::MtSerialized, Protocol::TwoPl, Protocol::To1]
+    }
+
+    fn read_heavy() -> [Protocol; 4] {
+        [Protocol::MvMtSnapshot, Protocol::MtSharded, Protocol::Mvto, Protocol::To1]
     }
 
     fn run(self, cfg: &BankConfig) -> BankReport {
         match self {
+            Protocol::MvMtSnapshot => run_bank_mix_multiversion(K, cfg),
             Protocol::MtSharded => run_bank_mix_concurrent(Box::new(ShardedMtCc::new(K)), cfg),
             Protocol::MtSerialized => run_bank_mix(Box::new(MtCc::new(K)), cfg),
+            Protocol::Mvto => run_bank_mix(Box::new(MvToCc::new()), cfg),
             Protocol::TwoPl => run_bank_mix(Box::new(TwoPlCc::new()), cfg),
             Protocol::To1 => run_bank_mix(Box::new(BasicToCc::new(true)), cfg),
         }
     }
 }
 
+/// Value of a `--flag value` argument, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
 fn main() {
     let json = json_mode();
     let quick = std::env::args().any(|a| a == "--quick");
+    let read_only_fraction: f64 = arg_value("--read-only-fraction")
+        .map(|v| v.parse().expect("--read-only-fraction expects a float in [0,1]"))
+        .unwrap_or(0.95);
+    let scan_len: usize = arg_value("--scan-len")
+        .map(|v| v.parse().expect("--scan-len expects a positive integer"))
+        .unwrap_or(8);
     let (total_txns, thread_sweep): (usize, &[usize]) =
         if quick { (QUICK_TXNS, &QUICK_THREADS) } else { (TOTAL_TXNS, &THREADS) };
     let mut runs = Vec::new();
     if !json {
         println!("== exp19: multicore scaling, sharded vs serialized engine ==\n");
     }
-    for (label, accounts, theta) in [
-        ("uniform low contention (4096 accounts)", 4096u32, 0.0f64),
-        ("Zipf hotspot (256 accounts, theta 0.9)", 256, 0.9),
-    ] {
+    let read_heavy_label = format!(
+        "read-heavy {:.0}/{:.0} (256 accounts, theta 0.9, scans of {scan_len})",
+        read_only_fraction * 100.0,
+        (1.0 - read_only_fraction) * 100.0
+    );
+    let (scaling, read_heavy) = (Protocol::scaling(), Protocol::read_heavy());
+    let read_heavy_txns = total_txns * 10;
+    #[allow(clippy::type_complexity)]
+    let sweeps: [(&str, u32, f64, f64, usize, usize, &[Protocol]); 3] = [
+        ("uniform low contention (4096 accounts)", 4096, 0.0, 0.25, 4, total_txns, &scaling),
+        ("Zipf hotspot (256 accounts, theta 0.9)", 256, 0.9, 0.25, 4, total_txns, &scaling),
+        (&read_heavy_label, 256, 0.9, read_only_fraction, scan_len, read_heavy_txns, &read_heavy),
+    ];
+    for (label, accounts, theta, ro_fraction, scan, budget, protocols) in sweeps {
         if !json {
             println!("{label}:");
         }
@@ -77,21 +125,23 @@ fn main() {
             "commits",
             "aborts/commit",
             "blocked",
+            "snapshots",
             "txn/s",
             "speedup",
             "p50",
             "p99",
             "invariant",
         ]);
-        for protocol in Protocol::all() {
+        for &protocol in protocols {
             let mut base_tps = None;
             for &threads in thread_sweep {
                 let cfg = BankConfig {
                     accounts,
                     threads,
-                    txns_per_thread: total_txns / threads,
+                    txns_per_thread: budget / threads,
                     zipf_theta: theta,
-                    read_only_fraction: 0.25,
+                    read_only_fraction: ro_fraction,
+                    scan_len: scan,
                     think_sleep_us: THINK_SLEEP_US,
                     max_restarts: 2_000,
                     ..Default::default()
@@ -104,6 +154,7 @@ fn main() {
                     r.metrics.commits.to_string(),
                     format!("{:.2}", r.metrics.abort_rate()),
                     r.metrics.blocked_waits.to_string(),
+                    r.metrics.snapshot_txns.to_string(),
                     format!("{:.0}", r.throughput),
                     format!("{:.2}x", r.throughput / base.max(1e-9)),
                     r.metrics.latency.p50.to_string(),
@@ -111,6 +162,15 @@ fn main() {
                     if r.invariant_holds() { "ok" } else { "VIOLATED" }.into(),
                 ]);
                 assert!(r.invariant_holds(), "{} violated serializability", r.protocol);
+                if protocol == Protocol::MvMtSnapshot {
+                    // The serving-path contract: read-only transactions
+                    // never abort or restart, so every failure budget
+                    // spent belongs to the update lane.
+                    assert!(
+                        r.metrics.snapshot_txns > 0,
+                        "multiversion lane never served a snapshot transaction"
+                    );
+                }
                 runs.push(
                     r.metrics
                         .registry()
@@ -119,6 +179,8 @@ fn main() {
                         .label("threads", threads.to_string())
                         .label("accounts", accounts.to_string())
                         .label("zipf_theta", format!("{theta}"))
+                        .label("read_only_fraction", format!("{ro_fraction}"))
+                        .label("scan_len", scan.to_string())
                         .counter("throughput_txn_per_s", r.throughput as u64),
                 );
             }
@@ -128,10 +190,50 @@ fn main() {
             println!();
         }
     }
+    // Certification pass: the measurement runs above are untraced (a
+    // full mdts-trace journal costs real throughput), so re-run the
+    // read-heavy mix scaled down with the journal attached and hand the
+    // committed prefix to the auditor — every snapshot read must name a
+    // version whose stamp the re-derived Definition-6 order places below
+    // the reader.
+    let audit_cfg = BankConfig {
+        accounts: 256,
+        threads: 8,
+        txns_per_thread: (total_txns / 8).max(50),
+        zipf_theta: 0.9,
+        read_only_fraction,
+        scan_len,
+        think_sleep_us: 0,
+        max_restarts: 2_000,
+        ..Default::default()
+    };
+    let (audited, verdict) = run_bank_mix_multiversion_audited(K, &audit_cfg);
+    assert!(audited.invariant_holds(), "audited MV run violated conservation");
+    assert!(
+        verdict.violations.is_empty(),
+        "MV read-heavy run failed certification: {}",
+        verdict.summary()
+    );
+    assert!(verdict.version_reads > 0, "auditor saw no version reads");
+    runs.push(
+        audited
+            .metrics
+            .registry()
+            .label("protocol", audited.protocol)
+            .label("sweep", "read-heavy certification (traced)")
+            .label("threads", audit_cfg.threads.to_string())
+            .counter("audited_version_reads", verdict.version_reads as u64)
+            .counter("audit_violations", verdict.violations.len() as u64),
+    );
     if json {
         println!("{}", metrics_document("exp19", &runs).render());
         return;
     }
+    println!(
+        "auditor: committed prefix of a traced read-heavy MV run certified\n\
+         ({} version reads, 0 violations)\n",
+        verdict.version_reads
+    );
     println!(
         "reading the shape: under uniform load MT(k)'s throughput climbs with the\n\
          thread count — transactions overlap their think/I/O waits because nothing\n\
@@ -142,6 +244,14 @@ fn main() {
          per-access headroom over the serialized protocol mutex that one core\n\
          cannot show in wall-clock figures, but the abort/blocked columns are\n\
          hardware-independent. Latencies are logical ticks, comparable across rows\n\
-         of the same sweep."
+         of the same sweep. On the read-heavy lane the MV-MT(k) snapshot path\n\
+         serves every audit from version chains (the snapshots column) — read-only\n\
+         transactions never abort, restart, or block writers, so its abort rate\n\
+         tracks the 5% update lane alone while single-version MT(k) pays for scan\n\
+         admission at the hotspot. Serialized mvto wins the single-thread race on\n\
+         raw per-op simplicity but convoys on its global mutex as threads grow,\n\
+         and its unpruned timestamp table and version vectors drift upward over\n\
+         the steady-state budget; the sharded snapshot path holds flat latency\n\
+         (p99 ticks) and takes the 16-thread row."
     );
 }

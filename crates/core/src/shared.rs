@@ -85,7 +85,7 @@
 //!
 //! [`OrderCache`]: mdts_vector::OrderCache
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 // The row-slot guards come from the cfg(loom)-switched layer so this
@@ -96,7 +96,7 @@ use crate::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 use mdts_model::{ItemId, OpKind, Operation, TxId};
 use mdts_trace::event::{
-    scalar_cost, tree_cost, AccessOutcome, EncodedChanges, RejectRule, SetEdgeOutcome,
+    scalar_cost, tree_cost, AccessOutcome, Change, EncodedChanges, RejectRule, SetEdgeOutcome,
 };
 use mdts_trace::{TraceEvent, TraceSink};
 use mdts_vector::{
@@ -155,6 +155,25 @@ enum SetOutcome {
     Refused { at: usize },
 }
 
+/// Which version generation a snapshot read must be served from (the
+/// MV-MT(k) serving path, [`SharedMtScheduler::snapshot_read`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnapshotRead {
+    /// The reader is ordered after both current holders and became the
+    /// item's `RT` holder: it reads the *current* committed value (the
+    /// chain tail). Every future writer of the item is forced above the
+    /// reader by the ordinary holder rule — or refused and aborted
+    /// without installing a version — so the read can never go stale.
+    Current,
+    /// The reader is decided *below* one of the current holders: it must
+    /// be served from an older version on the chain
+    /// ([`SharedMtScheduler::snapshot_order_after`]). Holders only ever
+    /// advance upward and decided `<` is transitive over write-once
+    /// vectors, so every future writer of the item still orders above
+    /// the reader — the stale read stays a consistent cut.
+    Older,
+}
+
 /// The concurrent MT(k) scheduler. All methods take `&self`; the type is
 /// `Send + Sync` and meant to be shared across worker threads (e.g. behind
 /// an `Arc`).
@@ -172,6 +191,14 @@ pub struct SharedMtScheduler {
     /// Memoized decided comparisons (see the module docs).
     cache: OrderCache,
     counters: AtomicKthCounters,
+    /// Per-column running maximum over every *saturated* commit stamp
+    /// published by [`stamp_commit`](Self::stamp_commit). Snapshot readers
+    /// define their own elements strictly above these maxima, which orders
+    /// every reader after every version published before the reader's
+    /// element was defined — the monotonicity that makes seq-watermark
+    /// version GC sound (DESIGN.md §8). `SeqCst`, matching the MV store's
+    /// install/registry counters the soundness argument chains through.
+    col_max: Box<[AtomicI64]>,
     /// Decision-trace sink (disabled by default; see `mdts-trace`).
     trace: TraceSink,
 }
@@ -222,6 +249,7 @@ impl SharedMtScheduler {
             (0..n).map(|_| Mutex::new(ShardItems::default())).collect();
         let rows = RowTable::new();
         *rows.ensure_slot(0).write() = Some(TsVec::origin(opts.k));
+        let k = opts.k;
         SharedMtScheduler {
             opts,
             shard_mask: n - 1,
@@ -230,6 +258,7 @@ impl SharedMtScheduler {
             rows,
             cache: OrderCache::new(),
             counters: AtomicKthCounters::new(),
+            col_max: (0..k).map(|_| AtomicI64::new(0)).collect(),
             trace: TraceSink::disabled(),
         }
     }
@@ -513,6 +542,18 @@ impl SharedMtScheduler {
     }
 
     fn set_less(&self, j: TxId, i: TxId) -> SetOutcome {
+        self.set_less_with(j, i, false)
+    }
+
+    /// `Set(j, i)` with a choice of element-value strategy for `i`'s
+    /// side. With `boost` every element defined on `i`'s side is chosen
+    /// strictly above the published per-column maximum (`col_max`), so
+    /// `i` can never later be decided below a transaction whose commit
+    /// stamp was published before the element was defined — the snapshot
+    /// readers' invariant behind chain-walk termination at the GC pivot
+    /// (DESIGN.md §8). Without `boost` the ordinary minimal values are
+    /// used.
+    fn set_less_with(&self, j: TxId, i: TxId, boost: bool) -> SetOutcome {
         if j == i {
             return SetOutcome::Ok; // line 15
         }
@@ -585,25 +626,36 @@ impl SharedMtScheduler {
                     (None, SetOutcome::Refused { at: k - 1 })
                 }
                 CmpResult::EqualUndefined { at } => {
+                    let floor = if boost { self.col_max[at].load(Ordering::SeqCst) } else { 0 };
                     if at == k - 1 {
-                        let (a, b) = self.counters.fresh_pair();
+                        let (a, b) = if boost {
+                            let a = self.counters.fresh_upper();
+                            (a, self.counters.fresh_upper_above(a.max(floor)))
+                        } else {
+                            self.counters.fresh_pair()
+                        };
                         vec_of_mut(&mut gj, j).define(at, a);
                         vec_of_mut(&mut gi, i).define(at, b);
                         self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
                             changes: EncodedChanges::pair((j, at, a), (i, at, b)),
                         });
                     } else {
+                        // floor ≥ 0, so the boosted value stays above 1.
+                        let b = floor + 2;
                         vec_of_mut(&mut gj, j).define(at, 1);
-                        vec_of_mut(&mut gi, i).define(at, 2);
+                        vec_of_mut(&mut gi, i).define(at, b);
                         self.emit_edge(j, i, || SetEdgeOutcome::Encoded {
-                            changes: EncodedChanges::pair((j, at, 1), (i, at, 2)),
+                            changes: EncodedChanges::pair((j, at, 1), (i, at, b)),
                         });
                     }
                     (Some(CmpResult::Less { at }), SetOutcome::Ok)
                 }
                 CmpResult::RightUndefined { at } => {
                     // TS(i, at) undefined; TS(j, at) defined.
-                    let bound = vec_of(&gj, j).get(at).expect("defined by case");
+                    let mut bound = vec_of(&gj, j).get(at).expect("defined by case");
+                    if boost {
+                        bound = bound.max(self.col_max[at].load(Ordering::SeqCst));
+                    }
                     let value = if at == k - 1 {
                         self.counters.fresh_upper_above(bound)
                     } else {
@@ -873,6 +925,262 @@ impl SharedMtScheduler {
             }
         }
         Decision::Accept { ignored }
+    }
+
+    // ---- multi-version snapshot support ----------------------------------
+
+    /// Freezes the committing writer's vector into a **saturated** version
+    /// stamp: every still-undefined element is defined — non-last columns
+    /// to `0` (column 0 is never open here: a committing writer was
+    /// granted at least one access, which ordered it after `T₀`), the
+    /// k-th column to a fresh upper counter draw — and the per-column
+    /// maxima are advanced to cover the final vector. A fully defined row
+    /// can never gain elements, so the returned clone *is* the writer's
+    /// final vector forever: every later comparison against the stamp is
+    /// decidable, which is what lets snapshot readers walk version chains
+    /// without ever aborting or blocking.
+    ///
+    /// The fill and its [`TraceEvent::StampFill`] event happen inside the
+    /// row's write critical section, so the auditor's replayed vector
+    /// agrees with every comparison emitted after this point.
+    ///
+    /// Call once per committing MV writer, after commit-time validation
+    /// granted its writes and before its versions are installed.
+    pub fn stamp_commit(&self, tx: TxId) -> TsVec {
+        let k = self.opts.k;
+        let slot = self.slot_expect(tx);
+        let mut row = slot.write();
+        let v = vec_of_mut(&mut row, tx);
+        let mut changes: Vec<Change> = Vec::new();
+        for m in 0..k {
+            if !v.is_defined(m) {
+                let value = if m == k - 1 { self.counters.fresh_upper() } else { 0 };
+                v.define(m, value);
+                changes.push((tx, m, value));
+            }
+        }
+        for m in 0..k {
+            let value = v.get(m).expect("saturated above");
+            self.col_max[m].fetch_max(value, Ordering::SeqCst);
+        }
+        let stamp = v.clone();
+        if !changes.is_empty() {
+            self.trace.emit(|| TraceEvent::StampFill { tx, changes: changes.into() });
+        }
+        stamp
+    }
+
+    /// Schedules a snapshot (read-only transaction) read of `item` — the
+    /// MV-MT(k) serving path. Unlike [`read`](Self::read) this never
+    /// rejects: when the reader cannot be ordered after the current
+    /// holders it is served from an older version instead
+    /// ([`SnapshotRead::Older`]).
+    ///
+    /// Consistency of a multi-item snapshot rests on one invariant:
+    /// *after this call returns, every future writer of `item` is
+    /// necessarily ordered above the reader* (or refused, aborting
+    /// without installing a version). In the `Current` arm the reader
+    /// becomes the `RT` holder, so future writers order directly above
+    /// it. In the `Older` arm the reader is decided below one of the
+    /// current holders; holders only advance upward, so every future
+    /// writer orders above that holder and — decided `<` being
+    /// transitive over write-once vectors — above the reader. Either
+    /// way the version the reader selects stays the newest one below it
+    /// forever, which is what makes the cut a fixed point of the final
+    /// vector order.
+    ///
+    /// The reader's own elements are *boosted* (defined above
+    /// `col_max`, see [`set_less_with`](Self::set_less_with)), so it is
+    /// never decided below any stamp published before its snapshot
+    /// began — the chain walk of the `Older` arm therefore always
+    /// terminates at or above the GC pivot (DESIGN.md §8).
+    /// The caller must have [`begin`](Self::begin)-ed `tx` — the reader's
+    /// row is allocated up front so this path stays allocation-free.
+    pub fn snapshot_read(&self, tx: TxId, item: ItemId) -> SnapshotRead {
+        let (shard, local) = self.shard_of(item);
+        let mut s = lock(shard);
+        let pair = s.pair(local);
+        let HolderPair { rt, wt } = pair;
+        // Like `pick`, but remember whether the holders' mutual order is
+        // *decided*: decided `<` is stable over write-once vectors, so
+        // `smaller < larger < tx` makes the second `Set` redundant.
+        let (larger, smaller, decided) = if rt == wt {
+            (rt, wt, true)
+        } else {
+            match self.compare_quick(rt, wt) {
+                CmpResult::Less { .. } => (wt, rt, true),
+                CmpResult::Greater { .. } => (rt, wt, true),
+                _ => (rt, wt, false),
+            }
+        };
+        // Reader rule (lines 9–10) first: when the larger holder is still
+        // *live* — typically a transfer holding `RT` through its think
+        // window, or another reader mid-scan — escalating above it would
+        // steal the slot it must revalidate against. Slip below it
+        // instead (see [`slip_below_live`](Self::slip_below_live)): the
+        // holder's position and the `RT` slot stay untouched, so a
+        // pending writer commits undisturbed no matter how many readers
+        // arrive during its think window.
+        if self.slip_below_live(tx, larger) {
+            if larger != wt && matches!(self.set_less_with(smaller, tx, true), SetOutcome::Ok) {
+                // Between `WT` and a live `RT`: the current version is
+                // the newest one below the reader — an invisible Current
+                // read, shielded by the larger holder (every future
+                // writer orders above it, hence transitively above us).
+                self.emit_access(tx, item, OpKind::Read, rt, wt, AccessOutcome::GrantedInvisible);
+                return SnapshotRead::Current;
+            }
+            // Below the newest version's writer: serve a predecessor.
+            self.emit_access(tx, item, OpKind::Read, rt, wt, AccessOutcome::GrantedStale);
+            return SnapshotRead::Older;
+        }
+        let ordered = match self.set_less_with(larger, tx, true) {
+            SetOutcome::Ok => {
+                decided || matches!(self.set_less_with(smaller, tx, true), SetOutcome::Ok)
+            }
+            SetOutcome::Refused { .. } => false,
+        };
+        if ordered {
+            self.emit_access(tx, item, OpKind::Read, rt, wt, AccessOutcome::Granted);
+            self.set_rt_locked(&mut s, local, tx); // line 7
+            SnapshotRead::Current
+        } else {
+            self.emit_access(tx, item, OpKind::Read, rt, wt, AccessOutcome::GrantedStale);
+            SnapshotRead::Older
+        }
+    }
+
+    /// The line 9–10 reader rule (remark after Theorem 3) on the
+    /// snapshot path: order
+    /// `tx` strictly *below* a live holder instead of escalating above
+    /// it. Returns `true` iff `TS(tx) < TS(holder)` is decided on exit.
+    ///
+    /// Escalating above a holder that is still running steals the item's
+    /// `RT` slot from under it: a transfer in its think window finds a
+    /// boosted reader above it at validation, restarts, and meets the
+    /// next reader's boost on the retry — under a read-heavy hotspot
+    /// that starvation spiral is unbounded, because snapshot readers
+    /// arrive faster than the writer can revalidate. Slipping below the
+    /// live holder leaves its position untouched; the reader serves the
+    /// newest version below itself as always and is *shielded* by the
+    /// holder — every future writer orders above the item's holders and,
+    /// decided `<` being transitive over write-once vectors, above the
+    /// reader, so the read stays protected without an `RT` update.
+    ///
+    /// The slipped element is defined in the open window strictly
+    /// between the published column maximum and the holder's element:
+    /// the boost invariant (no reader element at or below a commit stamp
+    /// published before it was defined) survives, so the chain-walk /
+    /// GC-pivot argument of DESIGN.md §8 is untouched. When the window
+    /// is closed, the holder's deciding element is still undefined, the
+    /// order is already decided the other way, or the holder has
+    /// finished (an inert anchor nobody revalidates against — escalating
+    /// over it starves no one), returns `false` and the caller escalates
+    /// as before.
+    ///
+    /// The holder must be a current `RT`/`WT` entry of a shard the
+    /// caller holds locked: that reference pins its row against
+    /// reclamation while we look at it.
+    fn slip_below_live(&self, tx: TxId, holder: TxId) -> bool {
+        if holder == tx || holder.is_virtual() {
+            return false;
+        }
+        let slot = self.slot_expect(holder);
+        if slot.finished().load(Ordering::SeqCst) {
+            return false;
+        }
+        if let Some(cmp) = self.cache_get(tx, holder) {
+            return matches!(cmp, CmpResult::Less { .. });
+        }
+        let epoch = self.cache.epoch();
+        let k = self.opts.k;
+        let (memo, slipped) = {
+            let (mut gtx, gh) = self.write_pair(tx, holder);
+            let cmp = ScalarComparator::compare(vec_of(&gtx, tx), vec_of(&gh, holder));
+            match cmp {
+                CmpResult::Less { .. } => (Some(cmp), true),
+                CmpResult::Greater { .. } => (Some(cmp), false),
+                CmpResult::LeftUndefined { at } if at < k - 1 => {
+                    // `tx` open at `at`, holder defined. The last column
+                    // is excluded: its globally-unique counter values
+                    // cannot be re-derived from a bound without risking
+                    // a value at or below the column maximum.
+                    let bound = vec_of(&gh, holder).get(at).expect("defined by case");
+                    let floor = self.col_max[at].load(Ordering::SeqCst);
+                    if bound <= floor + 1 {
+                        (None, false) // window closed: escalate instead
+                    } else {
+                        let value = bound - 1;
+                        self.emit_compare(tx, holder, cmp, false);
+                        vec_of_mut(&mut gtx, tx).define(at, value);
+                        self.emit_edge(tx, holder, || SetEdgeOutcome::Encoded {
+                            changes: EncodedChanges::one((tx, at, value)),
+                        });
+                        (Some(CmpResult::Less { at }), true)
+                    }
+                }
+                _ => (None, false),
+            }
+        };
+        if let Some(cmp) = memo {
+            self.cache_put(epoch, tx, holder, cmp);
+        }
+        slipped
+    }
+
+    /// The MV-MT(k) gap test for one chain version: orders the snapshot
+    /// reader `reader` (its row vector) against a saturated version
+    /// stamp. Returns `true` when the reader sits *after* the stamp's
+    /// writer (the version is visible), `false` when it sits *before*
+    /// (the walk must descend to an older version). Never refuses or
+    /// blocks: a saturated stamp can only compare `Less`, `Greater` or
+    /// `RightUndefined`, and the open-element case is resolved by
+    /// defining the reader's element above both the per-column maximum
+    /// and the stamp — which also orders the reader after every other
+    /// stamp published before the define (the GC monotonicity
+    /// invariant, DESIGN.md §8).
+    ///
+    /// Allocation-free for `k ≤ INLINE_K` with tracing disabled.
+    pub fn snapshot_order_after(&self, reader: TxId, stamp: &TsVec, stamp_writer: TxId) -> bool {
+        let k = self.opts.k;
+        let slot = self.slot_expect(reader);
+        // Fast path: the reader's existing elements usually already
+        // decide the order, needing only the row's read lock.
+        {
+            let row = slot.read();
+            match ScalarComparator::compare(stamp, vec_of(&row, reader)) {
+                CmpResult::Less { .. } => return true,
+                CmpResult::Greater { .. } => return false,
+                _ => {}
+            }
+        }
+        let mut row = slot.write();
+        loop {
+            match ScalarComparator::compare(stamp, vec_of(&row, reader)) {
+                CmpResult::Less { .. } => return true,
+                CmpResult::Greater { .. } => return false,
+                CmpResult::RightUndefined { at } => {
+                    let bound = self.col_max[at]
+                        .load(Ordering::SeqCst)
+                        .max(stamp.get(at).expect("stamp is saturated"));
+                    let value = if at == k - 1 {
+                        // Globally distinct, so `Identical` stays
+                        // impossible even for a fully defined reader.
+                        self.counters.fresh_upper_above(bound)
+                    } else {
+                        bound + 1
+                    };
+                    vec_of_mut(&mut row, reader).define(at, value);
+                    self.emit_edge(stamp_writer, reader, || SetEdgeOutcome::Encoded {
+                        changes: EncodedChanges::one((reader, at, value)),
+                    });
+                }
+                other => {
+                    debug_assert!(false, "unsaturated stamp in snapshot walk: {other:?}");
+                    return true;
+                }
+            }
+        }
     }
 
     // ---- inspection ------------------------------------------------------

@@ -6,11 +6,12 @@
 //! deferred writes in [`ConcurrencyControl::validate_commit`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use mdts_baselines::basic_to::ToVerdict;
 use mdts_baselines::{
-    BasicTimestampOrdering, IntervalScheduler, LockManager, LockMode, LockOutcome, Occ,
+    BasicTimestampOrdering, IntervalScheduler, LockManager, LockMode, LockOutcome,
+    MvTimestampOrdering, Occ,
 };
 use mdts_core::{Decision, MtOptions, MtScheduler, NaiveComposite, SharedMtScheduler};
 use mdts_model::{ItemId, TxId};
@@ -507,6 +508,76 @@ impl ConcurrencyControl for IntervalCc {
 }
 
 // ---------------------------------------------------------------------
+// MVTO
+// ---------------------------------------------------------------------
+
+/// Reed-style multiversion timestamp ordering (III-D-6d) under deferred
+/// writes — the single-valued-timestamp baseline for the engine's
+/// multiversion lane. Reads never abort at the protocol level (an old
+/// reader is served an old version); only a write that would invalidate
+/// an already-served read aborts.
+///
+/// Scheduling-only, like every other adapter: the engine's single-version
+/// store serves the *values*, so a read here may return a newer value
+/// than the version MVTO notionally served. The adapter measures MVTO's
+/// *acceptance and abort behaviour* (the paper's comparison axis), not
+/// value-level multiversion semantics — those live in the engine's own
+/// snapshot path.
+pub struct MvToCc {
+    sched: MvTimestampOrdering,
+}
+
+impl MvToCc {
+    /// Fresh multiversion TO protocol.
+    pub fn new() -> Self {
+        MvToCc { sched: MvTimestampOrdering::new() }
+    }
+}
+
+impl Default for MvToCc {
+    fn default() -> Self {
+        MvToCc::new()
+    }
+}
+
+impl ConcurrencyControl for MvToCc {
+    fn name(&self) -> &'static str {
+        "MVTO"
+    }
+
+    fn begin(&mut self, tx: TxId) {
+        let _ = self.sched.timestamp(tx);
+    }
+
+    fn read(&mut self, tx: TxId, item: ItemId) -> Verdict {
+        let _ = self.sched.read(tx, item);
+        Verdict::Granted // an old version is always servable
+    }
+
+    fn write(&mut self, _tx: TxId, _item: ItemId) -> Verdict {
+        Verdict::Granted // deferred: validated at commit
+    }
+
+    fn validate_commit(&mut self, tx: TxId, writes: &[ItemId]) -> CommitDecision {
+        for &item in writes {
+            if !self.sched.write(tx, item) {
+                return CommitDecision::Abort;
+            }
+        }
+        CommitDecision::commit()
+    }
+
+    fn committed(&mut self, _tx: TxId) -> Vec<TxId> {
+        Vec::new()
+    }
+
+    fn aborted(&mut self, tx: TxId) -> Vec<TxId> {
+        self.sched.purge(tx);
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
 // Concurrent protocols
 // ---------------------------------------------------------------------
 
@@ -662,7 +733,10 @@ impl ConcurrentCc for SerializedCc {
 /// decisions. Deferred-write discipline as in [`MtCc`]: reads validate
 /// when issued, writes at commit (VI-C-2).
 pub struct ShardedMtCc {
-    sched: SharedMtScheduler,
+    /// Shared with the engine's multiversion serving path (if enabled):
+    /// snapshot readers order themselves against writer stamps through the
+    /// same scheduler instance the write path validates against.
+    sched: Arc<SharedMtScheduler>,
 }
 
 impl ShardedMtCc {
@@ -676,12 +750,18 @@ impl ShardedMtCc {
     /// Sharded MT(k) with explicit options (hot-item encoding and the
     /// event journal are not supported by the concurrent scheduler).
     pub fn with_options(opts: MtOptions) -> Self {
-        ShardedMtCc { sched: SharedMtScheduler::new(opts) }
+        ShardedMtCc { sched: Arc::new(SharedMtScheduler::new(opts)) }
     }
 
     /// Explicit options and item-shard count.
     pub fn with_shards(opts: MtOptions, shards: usize) -> Self {
-        ShardedMtCc { sched: SharedMtScheduler::with_shards(opts, shards) }
+        ShardedMtCc { sched: Arc::new(SharedMtScheduler::with_shards(opts, shards)) }
+    }
+
+    /// Wraps an already-shared scheduler (the multiversion engine path
+    /// keeps a second handle for its snapshot readers).
+    pub fn from_arc(sched: Arc<SharedMtScheduler>) -> Self {
+        ShardedMtCc { sched }
     }
 
     /// The underlying scheduler (read access for tests).
@@ -689,11 +769,19 @@ impl ShardedMtCc {
         &self.sched
     }
 
+    /// A second handle to the underlying scheduler.
+    pub fn scheduler_arc(&self) -> Arc<SharedMtScheduler> {
+        Arc::clone(&self.sched)
+    }
+
     /// Routes the scheduler's decision trace to `sink` (see
     /// [`SharedMtScheduler::attach_trace`]). Attach before handing the
-    /// protocol to a [`crate::Database`].
+    /// protocol to a [`crate::Database`] — the scheduler must not be
+    /// shared yet (panics if another handle exists).
     pub fn attach_trace(&mut self, sink: mdts_trace::TraceSink) {
-        self.sched.attach_trace(sink);
+        Arc::get_mut(&mut self.sched)
+            .expect("attach_trace before sharing the scheduler")
+            .attach_trace(sink);
     }
 }
 

@@ -29,11 +29,14 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mdts_core::{SharedMtScheduler, SnapshotRead};
 use mdts_model::{ItemId, OpKind, TxId};
-use mdts_storage::{ShardedStore, Store, DEFAULT_STORE_SHARDS};
+use mdts_storage::{ConcurrentMvStore, ShardedStore, Store, DEFAULT_STORE_SHARDS};
 use mdts_trace::{AbortReason, TraceEvent, TraceSink};
 
-use crate::cc::{CommitDecision, ConcurrencyControl, ConcurrentCc, SerializedCc, Verdict};
+use crate::cc::{
+    CommitDecision, ConcurrencyControl, ConcurrentCc, SerializedCc, ShardedMtCc, Verdict,
+};
 use crate::metrics::{Metrics, MetricsSnapshot};
 
 /// Terminal failure of [`Database::run`].
@@ -60,9 +63,22 @@ pub struct Aborted;
 
 use crate::wakeseq::WakeSeq;
 
+/// The multiversion serving path (MV-MT(k), III-D-6d): a concurrent
+/// version-chain store stamped by — and a second handle to — the same
+/// sharded MT(k) scheduler the write path validates against. Versions
+/// store `Option<V>` so the floor of a never-written item is `None`,
+/// matching [`Tx::read`]'s "never written" convention.
+struct MvState<V> {
+    store: ConcurrentMvStore<Option<V>>,
+    sched: Arc<SharedMtScheduler>,
+}
+
 struct Shared<V> {
     store: ShardedStore<V>,
     cc: Box<dyn ConcurrentCc>,
+    /// `Some` when the database serves read-only snapshot transactions
+    /// from version chains (see [`Database::run_read_only`]).
+    mv: Option<MvState<V>>,
     next_tx: AtomicU32,
     /// Logical clock: one tick per granted access and per applied commit.
     /// Commit latency is measured in these ticks (deterministic per
@@ -138,6 +154,7 @@ impl<V: Clone + Send + 'static> Database<V> {
             shared: Arc::new(Shared {
                 store: ShardedStore::from_store(store, DEFAULT_STORE_SHARDS),
                 cc,
+                mv: None,
                 next_tx: AtomicU32::new(0),
                 clock: AtomicU64::new(0),
                 wake: WakeSeq::default(),
@@ -146,6 +163,66 @@ impl<V: Clone + Send + 'static> Database<V> {
                 trace,
             }),
         }
+    }
+
+    /// Empty database under sharded MT(k) with the multiversion serving
+    /// path enabled: read-only transactions run through
+    /// [`Database::run_read_only`] and never abort, restart or block.
+    pub fn new_multiversion(k: usize) -> Self
+    where
+        V: Sync,
+    {
+        Database::with_store_multiversion_traced(
+            ShardedMtCc::new(k),
+            Store::new(),
+            TraceSink::disabled(),
+        )
+    }
+
+    /// Database with a pre-populated store under sharded MT(k), with the
+    /// multiversion serving path enabled and the engine trace routed to
+    /// `trace`. Attach the protocol's trace to the same buffer *before*
+    /// passing `cc` here (see [`ShardedMtCc::attach_trace`]) for a merged,
+    /// auditable stream.
+    pub fn with_store_multiversion_traced(
+        cc: ShardedMtCc,
+        store: Store<V>,
+        trace: TraceSink,
+    ) -> Self
+    where
+        V: Sync,
+    {
+        let sched = cc.scheduler_arc();
+        Database {
+            shared: Arc::new(Shared {
+                store: ShardedStore::from_store(store, DEFAULT_STORE_SHARDS),
+                cc: Box::new(cc),
+                mv: Some(MvState { store: ConcurrentMvStore::new(), sched }),
+                next_tx: AtomicU32::new(0),
+                clock: AtomicU64::new(0),
+                wake: WakeSeq::default(),
+                metrics: Metrics::default(),
+                name: "MV-MT(k)",
+                trace,
+            }),
+        }
+    }
+
+    /// Whether the multiversion serving path is enabled.
+    pub fn has_multiversion(&self) -> bool {
+        self.shared.mv.is_some()
+    }
+
+    /// Versions reclaimed by chain pruning so far (0 without the
+    /// multiversion path).
+    pub fn mv_pruned(&self) -> u64 {
+        self.shared.mv.as_ref().map_or(0, |mv| mv.store.pruned())
+    }
+
+    /// Versions currently kept for `item` (0 without the multiversion
+    /// path; test hook).
+    pub fn mv_version_count(&self, item: ItemId) -> usize {
+        self.shared.mv.as_ref().map_or(0, |mv| mv.store.version_count(item))
     }
 
     /// The protocol's display name.
@@ -219,6 +296,153 @@ impl<V: Clone + Send + 'static> Database<V> {
             restarts: max_restarts as u64,
         });
         Err(TxError::RetriesExhausted)
+    }
+
+    /// Runs `body` as a read-only snapshot transaction on the
+    /// multiversion serving path: every read slots the reader into the
+    /// gap between two chain writers — the MV-MT(k) rule of III-D-6d.
+    /// The reader is a real (visible) transaction: it takes `RT`
+    /// entries like any reader, which is what pins its reads against
+    /// future writers, but a read that cannot be ordered after the
+    /// current holders is served from an *older* version instead of
+    /// rejected. Snapshot transactions therefore **never abort, never
+    /// restart and never block a writer**; `body` runs exactly once and
+    /// its value is returned directly.
+    ///
+    /// # Panics
+    /// Panics if the database was not built with the multiversion path
+    /// (see [`Database::new_multiversion`]).
+    pub fn run_read_only<T>(&self, body: impl FnOnce(&mut SnapshotTx<'_, V>) -> T) -> T
+    where
+        V: Sync,
+    {
+        let shared = &*self.shared;
+        let mv = shared.mv.as_ref().expect("snapshot transactions need the multiversion path");
+        let start_tick = shared.clock.load(Ordering::Relaxed);
+        let id = TxId(shared.next_tx.fetch_add(1, Ordering::Relaxed) + 1);
+        shared.trace.emit(|| TraceEvent::Begin { tx: id });
+        // Allocate the reader's row up front so the reads themselves
+        // stay allocation-free.
+        mv.sched.begin(id);
+        // Register with GC *before* the first read (and therefore before
+        // the reader's first vector element is defined): the captured
+        // ticket is what keeps pruning away from every version this
+        // reader may still descend to.
+        let guard = mv.store.begin_snapshot();
+        let mut tx = SnapshotTx { shared, mv, id, _guard: guard };
+        let out = body(&mut tx);
+        mv.sched.commit(id);
+        Metrics::bump(&shared.metrics.snapshot_txns);
+        Metrics::bump(&shared.metrics.commits);
+        let end_tick = shared.clock.load(Ordering::Relaxed);
+        shared.metrics.latency.record(end_tick.saturating_sub(start_tick));
+        shared.trace.emit(|| TraceEvent::Commit { tx: id });
+        out
+    }
+}
+
+/// A live read-only snapshot transaction (see
+/// [`Database::run_read_only`]). Reads cannot fail, so there is no
+/// [`Aborted`] plumbing; at `k ≤ 6` a steady-state read makes zero
+/// allocations (shard mutexes, row locks, inline vector elements).
+pub struct SnapshotTx<'a, V> {
+    shared: &'a Shared<V>,
+    mv: &'a MvState<V>,
+    id: TxId,
+    _guard: mdts_storage::SnapshotGuard<'a>,
+}
+
+impl<V: Clone + Send + Sync + 'static> SnapshotTx<'_, V> {
+    /// This snapshot transaction's id (unique, for trace attribution).
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// Reads `item`: the current committed value when the reader orders
+    /// after the item's holders ([`SnapshotRead::Current`]), else the
+    /// newest chain version whose writer's stamp orders before this
+    /// reader. `None` means the item had never been written below the
+    /// reader's position.
+    pub fn read(&mut self, item: ItemId) -> Option<V> {
+        let shared = self.shared;
+        let id = self.id;
+        let sched = &self.mv.sched;
+        Metrics::bump(&shared.metrics.snapshot_reads);
+        shared.clock.fetch_add(1, Ordering::Relaxed);
+        // Pin the item's store shard first (the engine's read lock
+        // order). Commits hold every write-set shard across validate +
+        // install + apply, so under the shard lock the `RT`/`WT`
+        // holders, the version chain and the stored value are mutually
+        // consistent: the `WT` holder's version *is* the chain tail and
+        // the stored value.
+        let shard_idx = shared.store.shard_index(item);
+        let shard = shared.store.lock_shard(shard_idx);
+        match sched.snapshot_read(id, item) {
+            SnapshotRead::Current => {
+                // Ordered after both holders and now the RT holder: the
+                // current committed value is this reader's version, and
+                // every future writer is forced above the reader (or
+                // refused without installing), so the read stays the
+                // newest one below the reader forever.
+                let mv = &self.mv;
+                shared.trace.emit(|| {
+                    // Chain walk only when a sink is attached — the hot
+                    // path never takes the chain lock for tracing.
+                    let writer = mv
+                        .store
+                        .with_chain(item, |chain| chain.last().map(|v| v.writer))
+                        .unwrap_or(TxId::VIRTUAL);
+                    TraceEvent::VersionRead { tx: id, item, writer }
+                });
+                shard.get(&item).cloned()
+            }
+            SnapshotRead::Older => {
+                // Decided below one of the current holders — protected
+                // transitively, but the current value may be too new.
+                // Walk the chain newest → oldest: the first version
+                // whose (saturated) stamp orders before the reader is
+                // the one to serve; every newer version's stamp was
+                // decided *greater*, and write-once vectors keep those
+                // decisions stable. The walk always selects: the
+                // reader's pivot — the newest version installed before
+                // its begin ticket, which GC never reclaims —
+                // fetch-maxed its stamp into the column maxima before
+                // the reader's first (boosted) element was defined, so
+                // the reader orders strictly after it (the T₀ floor,
+                // stamped ⟨0,*,…⟩, is the degenerate case).
+                let selected = self.mv.store.with_chain(item, |chain| {
+                    for v in chain.iter().rev() {
+                        if sched.snapshot_order_after(id, &v.stamp, v.writer) {
+                            let writer = v.writer;
+                            shared.trace.emit(|| TraceEvent::VersionRead { tx: id, item, writer });
+                            return Some(v.value.clone());
+                        }
+                    }
+                    let oldest = chain.first()?;
+                    // Unreachable per the GC contract; serve the oldest
+                    // retained version, attributed truthfully so an
+                    // audit flags the ordering breach instead of
+                    // masking it.
+                    debug_assert!(false, "snapshot walk descended past its pivot");
+                    let writer = oldest.writer;
+                    shared.trace.emit(|| TraceEvent::VersionRead { tx: id, item, writer });
+                    Some(oldest.value.clone())
+                });
+                selected.unwrap_or_else(|| {
+                    // Empty chain: the item has never been written (the
+                    // outranking holder is a reader, or a writer whose
+                    // write was Thomas-ignored), so the base value is
+                    // the one below every transaction.
+                    let base = shard.get(&item).cloned();
+                    shared.trace.emit(|| TraceEvent::VersionRead {
+                        tx: id,
+                        item,
+                        writer: TxId::VIRTUAL,
+                    });
+                    base
+                })
+            }
+        }
     }
 }
 
@@ -450,6 +674,17 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                     self.cleanup(AbortReason::Epoch);
                     return false;
                 }
+                // Multiversion path: saturate this writer's vector into a
+                // frozen stamp once, then install one version per applied
+                // write. Still under every write-set store shard, so chain
+                // append order equals write-grant order per item, and
+                // Thomas-ignored writes install nothing.
+                let mv_stamp = match &self.shared.mv {
+                    Some(mv) if !self.scratch.writes.is_empty() => {
+                        Some((mv, mv.sched.stamp_commit(self.id)))
+                    }
+                    _ => None,
+                };
                 for (item, value) in self.scratch.writes.drain(..) {
                     if skip.contains(&item) {
                         Metrics::bump(&self.shared.metrics.ignored_writes);
@@ -461,6 +696,21 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                         .shard_idxs
                         .binary_search(&shard_idx)
                         .expect("shard of a write-set item was locked");
+                    if let Some((mv, stamp)) = &mv_stamp {
+                        // The pre-apply store value seeds the chain floor
+                        // on first install (attributed to T₀).
+                        let pre = guards[slot].get(&item).cloned();
+                        let id = self.id;
+                        let trace = &self.shared.trace;
+                        mv.store.install_with(
+                            item,
+                            id,
+                            stamp.clone(),
+                            Some(value.clone()),
+                            || pre,
+                            |_seq| trace.emit(|| TraceEvent::VersionInstall { writer: id, item }),
+                        );
+                    }
                     guards[slot].insert(item, value);
                     self.shared.metrics.bump_shard(shard_idx);
                 }

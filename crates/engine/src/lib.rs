@@ -27,6 +27,7 @@
 //! | [`CompositeCc`] | MT(k⁺) with the paper's abort-all-and-restart rule |
 //! | [`TwoPlCc`] | strict two-phase locking (blocking, deadlock victims) |
 //! | [`BasicToCc`] | single-valued timestamp ordering |
+//! | [`MvToCc`] | Reed-style multiversion timestamp ordering |
 //! | [`OccCc`] | optimistic with backward validation |
 //! | [`IntervalCc`] | Bayer-style dynamic timestamp intervals |
 //!
@@ -35,6 +36,11 @@
 //! | adapter | protocol |
 //! |---|---|
 //! | [`ShardedMtCc`] | MT(k) on [`mdts_core::SharedMtScheduler`] — item-sharded timestamp table, O(1) reclamation |
+//!
+//! With [`Database::new_multiversion`] the engine additionally serves
+//! **read-only snapshot transactions** from MV-MT(k) version chains
+//! ([`Database::run_read_only`]): they never abort, restart or block
+//! writers.
 
 pub mod cc;
 pub mod db;
@@ -45,11 +51,14 @@ pub mod workload;
 
 pub use cc::{
     BasicToCc, CommitDecision, CompositeCc, ConcurrencyControl, ConcurrentCc, IntervalCc, MtCc,
-    OccCc, SerializedCc, ShardedMtCc, TwoPlCc, Verdict,
+    MvToCc, OccCc, SerializedCc, ShardedMtCc, TwoPlCc, Verdict,
 };
-pub use db::{Database, Tx, TxError};
+pub use db::{Database, SnapshotTx, Tx, TxError};
 pub use metrics::{LatencySnapshot, MetricsSnapshot};
-pub use workload::{run_bank_mix, run_bank_mix_concurrent, BankConfig, BankReport};
+pub use workload::{
+    run_bank_mix, run_bank_mix_concurrent, run_bank_mix_multiversion,
+    run_bank_mix_multiversion_audited, BankConfig, BankReport,
+};
 
 #[cfg(test)]
 mod engine_tests;

@@ -28,6 +28,12 @@ pub(crate) struct Metrics {
     pub epoch_aborts: AtomicU64,
     /// Transactions that exhausted their restart budget.
     pub gave_up: AtomicU64,
+    /// Read-only snapshot transactions served by the multiversion path
+    /// (they never abort, restart or block, so they appear in no other
+    /// abort/restart counter).
+    pub snapshot_txns: AtomicU64,
+    /// Item reads served from version chains by snapshot transactions.
+    pub snapshot_reads: AtomicU64,
     pub latency: LatencyHistogram,
     /// Granted accesses per store shard (reads at fetch, writes at apply).
     pub shard_accesses: [AtomicU64; SHARD_SLOTS],
@@ -47,6 +53,8 @@ impl Default for Metrics {
             validation_aborts: AtomicU64::new(0),
             epoch_aborts: AtomicU64::new(0),
             gave_up: AtomicU64::new(0),
+            snapshot_txns: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             shard_accesses: [0u64; SHARD_SLOTS].map(AtomicU64::new),
         }
@@ -79,6 +87,8 @@ impl Metrics {
             validation_aborts: self.validation_aborts.load(Ordering::Relaxed),
             epoch_aborts: self.epoch_aborts.load(Ordering::Relaxed),
             gave_up: self.gave_up.load(Ordering::Relaxed),
+            snapshot_txns: self.snapshot_txns.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
             order_cache_hits: 0,
             order_cache_misses: 0,
             latency: self.latency.snapshot(),
@@ -208,6 +218,10 @@ pub struct MetricsSnapshot {
     pub epoch_aborts: u64,
     /// Transactions that exhausted their restart budget.
     pub gave_up: u64,
+    /// Read-only snapshot transactions served by the multiversion path.
+    pub snapshot_txns: u64,
+    /// Item reads served from version chains by snapshot transactions.
+    pub snapshot_reads: u64,
     /// Comparisons served by the protocol's write-once order cache
     /// (0 for protocols without one; sampled from the protocol, not a
     /// client-side counter).
@@ -234,6 +248,8 @@ impl Default for MetricsSnapshot {
             validation_aborts: 0,
             epoch_aborts: 0,
             gave_up: 0,
+            snapshot_txns: 0,
+            snapshot_reads: 0,
             order_cache_hits: 0,
             order_cache_misses: 0,
             latency: LatencySnapshot::default(),
@@ -267,6 +283,8 @@ impl MetricsSnapshot {
             .counter("validation_aborts", self.validation_aborts)
             .counter("epoch_aborts", self.epoch_aborts)
             .counter("gave_up", self.gave_up)
+            .counter("snapshot_txns", self.snapshot_txns)
+            .counter("snapshot_reads", self.snapshot_reads)
             .counter("order_cache_hits", self.order_cache_hits)
             .counter("order_cache_misses", self.order_cache_misses)
             .histogram(HistogramExport {

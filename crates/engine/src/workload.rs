@@ -30,8 +30,10 @@ pub struct BankConfig {
     pub initial_balance: i64,
     /// Zipf skew for account selection (0 = uniform; higher = hotter).
     pub zipf_theta: f64,
-    /// Fraction of transactions that are read-only audits of 4 accounts.
+    /// Fraction of transactions that are read-only audits.
     pub read_only_fraction: f64,
+    /// Accounts scanned by each read-only audit.
+    pub scan_len: usize,
     /// Spin-loop iterations between the read phase and the write phase —
     /// widens the window in which transactions genuinely overlap, so the
     /// protocols' contention behavior (blocking, validation aborts)
@@ -58,6 +60,7 @@ impl Default for BankConfig {
             initial_balance: 100,
             zipf_theta: 0.0,
             read_only_fraction: 0.2,
+            scan_len: 4,
             think: 0,
             think_sleep_us: 0,
             max_restarts: 64,
@@ -106,6 +109,40 @@ pub fn run_bank_mix_concurrent(cc: Box<dyn ConcurrentCc>, cfg: &BankConfig) -> B
     run_bank_mix_on(Database::with_store_concurrent(cc, store), cfg)
 }
 
+/// Runs the workload against a fresh database under sharded MT(k) with
+/// the multiversion serving path: read-only audits run as snapshot
+/// transactions ([`Database::run_read_only`]) and never abort or restart.
+pub fn run_bank_mix_multiversion(k: usize, cfg: &BankConfig) -> BankReport {
+    let store = Store::with_items(cfg.accounts, cfg.initial_balance);
+    run_bank_mix_on(
+        Database::with_store_multiversion_traced(
+            crate::cc::ShardedMtCc::new(k),
+            store,
+            mdts_trace::TraceSink::disabled(),
+        ),
+        cfg,
+    )
+}
+
+/// [`run_bank_mix_multiversion`] with the full mdts-trace journal
+/// attached, returning the auditor's verdict on the run's committed
+/// prefix alongside the report. Tracing every protocol event costs real
+/// throughput, so benchmarks use this for a scaled-down certification
+/// pass next to the untraced measurement runs.
+pub fn run_bank_mix_multiversion_audited(
+    k: usize,
+    cfg: &BankConfig,
+) -> (BankReport, mdts_trace::AuditReport) {
+    let buffer = mdts_trace::TraceBuffer::journal();
+    let mut cc = crate::cc::ShardedMtCc::new(k);
+    cc.attach_trace(mdts_trace::TraceSink::to(&buffer));
+    let store = Store::with_items(cfg.accounts, cfg.initial_balance);
+    let db =
+        Database::with_store_multiversion_traced(cc, store, mdts_trace::TraceSink::to(&buffer));
+    let report = run_bank_mix_on(db, cfg);
+    (report, mdts_trace::audit(&buffer.drain(), k))
+}
+
 fn run_bank_mix_on(db: Database<i64>, cfg: &BankConfig) -> BankReport {
     let protocol = db.protocol_name();
     let zipf = mdts_model::Zipf::new(cfg.accounts as usize, cfg.zipf_theta);
@@ -120,17 +157,29 @@ fn run_bank_mix_on(db: Database<i64>, cfg: &BankConfig) -> BankReport {
             handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e37));
                 let mut gave_up = 0u64;
+                let mut who: Vec<ItemId> = Vec::with_capacity(cfg.scan_len);
                 for _ in 0..cfg.txns_per_thread {
                     let result: Result<(), TxError> = if rng.gen_bool(cfg.read_only_fraction) {
-                        let who: Vec<ItemId> = (0..4).map(|_| zipf.sample(&mut rng)).collect();
-                        db.run(cfg.max_restarts, |tx| {
-                            let mut sum = 0i64;
-                            for &a in &who {
-                                sum += tx.read(a)?.unwrap_or(0);
-                            }
+                        who.clear();
+                        who.extend((0..cfg.scan_len).map(|_| zipf.sample(&mut rng)));
+                        if db.has_multiversion() {
+                            // Snapshot lane: served from version chains,
+                            // cannot abort or restart.
+                            let sum = db.run_read_only(|tx| {
+                                who.iter().map(|&a| tx.read(a).unwrap_or(0)).sum::<i64>()
+                            });
                             std::hint::black_box(sum);
                             Ok(())
-                        })
+                        } else {
+                            db.run(cfg.max_restarts, |tx| {
+                                let mut sum = 0i64;
+                                for &a in &who {
+                                    sum += tx.read(a)?.unwrap_or(0);
+                                }
+                                std::hint::black_box(sum);
+                                Ok(())
+                            })
+                        }
                     } else {
                         let src = zipf.sample(&mut rng);
                         let mut dst = zipf.sample(&mut rng);

@@ -30,7 +30,10 @@ pub mod store;
 pub mod twophase;
 pub mod undo;
 
-pub use mvstore::{MultiVersionStore, Version};
+pub use mvstore::{
+    ConcurrentMvStore, MultiVersionStore, MvVersion, SnapshotGuard, Version,
+    DEFAULT_PRUNE_THRESHOLD,
+};
 pub use sharded::{ShardGuard, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::Store;
 pub use twophase::WriteBuffer;

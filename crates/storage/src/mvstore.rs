@@ -97,6 +97,277 @@ impl<V: Clone> MultiVersionStore<V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Concurrent version-chain store (ISSUE 6)
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use mdts_vector::TsVec;
+
+/// One version in a concurrent chain. Unlike the sequential
+/// [`Version`], ordering is *positional*: chains append in the writers'
+/// grant order (which under MT(k) equals their vector order for the same
+/// item), and the full timestamp vector of the writer — frozen at commit
+/// stamp time — rides along so snapshot readers can slot themselves into
+/// the gap between two writers per the MV-MT(k) rule.
+#[derive(Clone, Debug)]
+pub struct MvVersion<V> {
+    /// Writer, or [`TxId::VIRTUAL`] for the floor version (the initial
+    /// value T₀ wrote, which makes reads total: III-D-6d's guarantee that
+    /// a reader can always fall back to an old-enough version).
+    pub writer: TxId,
+    /// Global install ticket: monotone within a chain, and comparable to
+    /// snapshot begin tickets for GC watermarking.
+    pub seq: u64,
+    /// The writer's timestamp vector, saturated (fully defined) at stamp
+    /// time. Unused for the floor version.
+    pub stamp: TsVec,
+    /// The value.
+    pub value: V,
+}
+
+struct MvShard<V> {
+    /// Dense per-shard chain table, indexed by `item >> shard_bits` —
+    /// same flat layout as the scheduler's shard tables, so steady-state
+    /// reads never touch a map.
+    chains: Vec<Vec<MvVersion<V>>>,
+}
+
+/// Shard count. Power of two; matches the scheduler / store default.
+pub const DEFAULT_MV_SHARDS: usize = 64;
+
+/// Fixed slots in the active-snapshot registry. A snapshot read is a few
+/// microseconds; 1024 concurrent ones is far beyond any thread count we
+/// run, and a fixed array keeps registration allocation-free.
+const SNAPSHOT_SLOTS: usize = 1024;
+
+/// Chains longer than this trigger an in-place prune at install time.
+pub const DEFAULT_PRUNE_THRESHOLD: usize = 12;
+
+/// A claimed slot in the snapshot registry. Dropping it deregisters the
+/// snapshot (allocation-free: the guard is two words on the stack).
+pub struct SnapshotGuard<'a> {
+    slot: &'a AtomicU64,
+    begin_seq: u64,
+}
+
+impl SnapshotGuard<'_> {
+    /// The install ticket captured at registration: every version with
+    /// `seq <= begin_seq` was fully published before this snapshot began.
+    pub fn begin_seq(&self) -> u64 {
+        self.begin_seq
+    }
+}
+
+impl Drop for SnapshotGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.store(0, Ordering::SeqCst);
+    }
+}
+
+/// A sharded, concurrently readable version-chain store.
+///
+/// * Writers install under the item's chain-shard **write** lock, inside
+///   the engine's commit critical section, so chain append order equals
+///   write-grant order equals (per item) the writers' vector order.
+/// * Snapshot readers walk chains under the **read** lock only — they
+///   never touch the single-version scheduler state and never block or
+///   abort writers.
+/// * GC is driven by a watermark over the active-snapshot registry: a
+///   prune keeps the newest version with `seq <= watermark` (still
+///   needed by the oldest live snapshot) plus everything newer.
+///
+/// Memory ordering: `install_seq`, the registry slots and the engine's
+/// per-column maxima are all `SeqCst`. The GC soundness argument leans on
+/// the single total order over those operations — see DESIGN.md §8.
+pub struct ConcurrentMvStore<V> {
+    shards: Box<[RwLock<MvShard<V>>]>,
+    shard_bits: u32,
+    mask: u32,
+    /// Monotone install ticket source. Incremented under the chain-shard
+    /// write lock, so tickets are monotone along every chain.
+    install_seq: AtomicU64,
+    /// Active snapshot registry: `0` = free, else `begin_seq + 1`.
+    snapshots: Box<[AtomicU64]>,
+    prune_threshold: usize,
+    /// Versions reclaimed by pruning (stat).
+    pruned: AtomicU64,
+}
+
+impl<V: Clone> ConcurrentMvStore<V> {
+    /// Store with the default shard count and prune threshold.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_MV_SHARDS)
+    }
+
+    /// Store with `shards` chain shards (power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards.is_power_of_two(), "shard count must be a power of two");
+        let table = (0..shards)
+            .map(|_| RwLock::new(MvShard { chains: Vec::new() }))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ConcurrentMvStore {
+            shards: table,
+            shard_bits: shards.trailing_zeros(),
+            mask: (shards - 1) as u32,
+            install_seq: AtomicU64::new(0),
+            snapshots: (0..SNAPSHOT_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            prune_threshold: DEFAULT_PRUNE_THRESHOLD,
+            pruned: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the prune trigger (tests use tiny thresholds).
+    pub fn set_prune_threshold(&mut self, threshold: usize) {
+        self.prune_threshold = threshold.max(1);
+    }
+
+    #[inline]
+    fn locate(&self, item: ItemId) -> (usize, usize) {
+        ((item.0 & self.mask) as usize, (item.0 >> self.shard_bits) as usize)
+    }
+
+    /// Registers a snapshot reader. Must be called before the reader's
+    /// first chain walk (and before its first timestamp element is
+    /// defined): the captured ticket is what keeps GC from reclaiming
+    /// versions the reader may still descend to.
+    pub fn begin_snapshot(&self) -> SnapshotGuard<'_> {
+        // Capture the ticket BEFORE claiming the slot: the GC watermark
+        // is also bounded by install_seq-at-scan, so a pruner that misses
+        // this registration (slot CAS after its scan) still keeps every
+        // version published before the scan — which covers this ticket.
+        let begin_seq = self.install_seq.load(Ordering::SeqCst);
+        loop {
+            for slot in self.snapshots.iter() {
+                if slot
+                    .compare_exchange(0, begin_seq + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return SnapshotGuard { slot, begin_seq };
+                }
+            }
+            // All slots busy (absurdly many concurrent snapshots): yield
+            // and retry rather than growing the registry.
+            std::thread::yield_now();
+        }
+    }
+
+    /// GC watermark: versions with `seq <= watermark` are only needed as
+    /// the fall-back pivot (the newest such version per chain); anything
+    /// older is unreachable by every live and future snapshot.
+    fn watermark(&self) -> u64 {
+        // install_seq first, then the registry scan — see begin_snapshot.
+        let mut w = self.install_seq.load(Ordering::SeqCst);
+        for slot in self.snapshots.iter() {
+            let v = slot.load(Ordering::SeqCst);
+            if v != 0 {
+                w = w.min(v - 1);
+            }
+        }
+        w
+    }
+
+    /// Runs `f` on the version chain of `item` under the shard read lock
+    /// (empty slice if the item has no chain yet). Readers select a
+    /// version inside `f` and clone the value out while the guard pins
+    /// the chain.
+    pub fn with_chain<R>(&self, item: ItemId, f: impl FnOnce(&[MvVersion<V>]) -> R) -> R {
+        let (shard, idx) = self.locate(item);
+        let guard = self.shards[shard].read().unwrap_or_else(|e| e.into_inner());
+        let chain: &[MvVersion<V>] = match guard.chains.get(idx) {
+            Some(c) => c,
+            None => &[],
+        };
+        f(chain)
+    }
+
+    /// Installs a committed version at the tail of `item`'s chain. Must
+    /// be called inside the engine's commit critical section for `item`
+    /// so tail order equals write-grant order. On the first install the
+    /// chain is seeded with a floor version carrying `floor_value` (the
+    /// pre-write base-store value, attributed to T₀) so snapshot reads
+    /// are total. Prunes the chain in place when it outgrows the
+    /// threshold. Returns the install ticket.
+    pub fn install(
+        &self,
+        item: ItemId,
+        writer: TxId,
+        stamp: TsVec,
+        value: V,
+        floor_value: impl FnOnce() -> V,
+    ) -> u64 {
+        self.install_with(item, writer, stamp, value, floor_value, |_| {})
+    }
+
+    /// [`Self::install`], plus an `installed` hook run with the ticket
+    /// while the chain-shard write lock is still held. The engine emits
+    /// its `version_install` trace event from the hook: no reader can
+    /// observe the version before the event is sequenced, so trace order
+    /// equals chain order.
+    pub fn install_with(
+        &self,
+        item: ItemId,
+        writer: TxId,
+        stamp: TsVec,
+        value: V,
+        floor_value: impl FnOnce() -> V,
+        installed: impl FnOnce(u64),
+    ) -> u64 {
+        let (shard, idx) = self.locate(item);
+        let mut guard = self.shards[shard].write().unwrap_or_else(|e| e.into_inner());
+        if guard.chains.len() <= idx {
+            guard.chains.resize_with(idx + 1, Vec::new);
+        }
+        let k = stamp.k();
+        let chain = &mut guard.chains[idx];
+        if chain.is_empty() {
+            let seq = self.install_seq.fetch_add(1, Ordering::SeqCst) + 1;
+            chain.push(MvVersion {
+                writer: TxId::VIRTUAL,
+                seq,
+                stamp: TsVec::origin(k),
+                value: floor_value(),
+            });
+        }
+        let seq = self.install_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        chain.push(MvVersion { writer, seq, stamp, value });
+        installed(seq);
+        if chain.len() > self.prune_threshold {
+            let w = self.watermark();
+            let keep_from = chain.partition_point(|v| v.seq <= w).saturating_sub(1);
+            if keep_from > 0 {
+                chain.drain(..keep_from);
+                self.pruned.fetch_add(keep_from as u64, Ordering::Relaxed);
+            }
+        }
+        seq
+    }
+
+    /// Number of versions currently kept for `item`.
+    pub fn version_count(&self, item: ItemId) -> usize {
+        self.with_chain(item, <[MvVersion<V>]>::len)
+    }
+
+    /// Total versions reclaimed by pruning so far.
+    pub fn pruned(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    /// Live registered snapshots (test hook).
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.iter().filter(|s| s.load(Ordering::SeqCst) != 0).count()
+    }
+}
+
+impl<V: Clone> Default for ConcurrentMvStore<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +421,55 @@ mod tests {
     fn duplicate_stamp_rejected() {
         let mut s = store();
         s.install(X, 20, TxId(9), 999);
+    }
+
+    fn stamp(k: usize, vals: &[i64]) -> TsVec {
+        let mut v = TsVec::undefined(k);
+        for (i, &x) in vals.iter().enumerate() {
+            v.define(i, x);
+        }
+        v
+    }
+
+    #[test]
+    fn concurrent_install_seeds_floor_and_appends_in_order() {
+        let s: ConcurrentMvStore<i64> = ConcurrentMvStore::new();
+        s.install(X, TxId(1), stamp(2, &[1, 1]), 100, || 0);
+        s.install(X, TxId(2), stamp(2, &[2, 1]), 200, || panic!("floor already seeded"));
+        s.with_chain(X, |chain| {
+            assert_eq!(chain.len(), 3);
+            assert_eq!(chain[0].writer, TxId::VIRTUAL);
+            assert_eq!(chain[0].value, 0);
+            assert_eq!(chain[1].writer, TxId(1));
+            assert_eq!(chain[2].writer, TxId(2));
+            assert!(chain.windows(2).all(|w| w[0].seq < w[1].seq), "tickets monotone");
+        });
+        assert_eq!(s.version_count(ItemId(7)), 0, "untouched item has no chain");
+    }
+
+    #[test]
+    fn prune_respects_live_snapshot_watermark() {
+        let mut s: ConcurrentMvStore<i64> = ConcurrentMvStore::new();
+        s.set_prune_threshold(2);
+        s.install(X, TxId(1), stamp(1, &[1]), 100, || 0);
+        let snap = s.begin_snapshot();
+        assert_eq!(s.active_snapshots(), 1);
+        // Installs past the threshold: the pivot for the live snapshot
+        // (newest version with seq <= its ticket) must survive.
+        for n in 2..10u32 {
+            s.install(X, TxId(n), stamp(1, &[n as i64]), 100 * n as i64, || unreachable!());
+        }
+        s.with_chain(X, |chain| {
+            assert!(
+                chain.iter().any(|v| v.seq <= snap.begin_seq()),
+                "pivot for the live snapshot was reclaimed"
+            );
+        });
+        drop(snap);
+        assert_eq!(s.active_snapshots(), 0);
+        // With no readers the next install prunes down to the tail.
+        s.install(X, TxId(99), stamp(1, &[99]), 1, || unreachable!());
+        assert!(s.version_count(X) <= 3, "chain stays bounded once snapshots end");
+        assert!(s.pruned() > 0);
     }
 }

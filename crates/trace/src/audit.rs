@@ -59,6 +59,9 @@ pub struct AuditReport {
     pub committed: usize,
     /// Conflicting committed pairs checked for a decided order.
     pub conflict_pairs: usize,
+    /// Snapshot version selections re-derived from the replayed vectors
+    /// and chain append order (MV path).
+    pub version_reads: usize,
     /// Every discrepancy found, human-readable.
     pub violations: Vec<String>,
 }
@@ -74,12 +77,13 @@ impl AuditReport {
     pub fn summary(&self) -> String {
         let mut s = format!(
             "audited {} decisions, {} assignments, {} comparisons, {} committed, \
-             {} conflict pairs: {} violation(s)",
+             {} conflict pairs, {} version reads: {} violation(s)",
             self.decisions,
             self.assignments,
             self.comparisons,
             self.committed,
             self.conflict_pairs,
+            self.version_reads,
             self.violations.len()
         );
         for v in self.violations.iter().take(8) {
@@ -98,8 +102,13 @@ struct Auditor {
     vectors: HashMap<u32, TsVec>,
     committed: HashSet<u32>,
     /// Per item: committed-or-pending visible accesses `(tx, kind)`;
-    /// invisible readers are excluded by construction.
+    /// invisible readers are excluded by construction. Snapshot readers
+    /// are excluded too: like line 9–10 readers, they are deliberately
+    /// unordered against writers that never crossed their walk.
     accesses: HashMap<ItemId, Vec<(TxId, OpKind)>>,
+    /// Per item: the version chain's writers in append order, replayed
+    /// from `VersionInstall` events (the floor T₀ version is implicit).
+    chains: HashMap<ItemId, Vec<TxId>>,
     report: AuditReport,
 }
 
@@ -110,6 +119,7 @@ impl Auditor {
             vectors: HashMap::new(),
             committed: HashSet::new(),
             accesses: HashMap::new(),
+            chains: HashMap::new(),
             report: AuditReport::default(),
         }
     }
@@ -202,6 +212,102 @@ impl Auditor {
         }
     }
 
+    /// Commit-time stamp saturation (MV path): the writer's remaining
+    /// undefined elements were defined before its vector was frozen into a
+    /// version stamp. Replays the definitions write-once and demands the
+    /// vector really is saturated afterwards — a partially defined stamp
+    /// could still gain elements and flip a reader's version selection.
+    fn apply_stamp_fill(&mut self, tx: TxId, changes: &crate::event::EncodedChanges) {
+        for &(target, element, value) in changes.iter() {
+            self.report.assignments += 1;
+            if target != tx {
+                self.violation(format!(
+                    "StampFill(T{}): defines a different transaction T{}",
+                    tx.0, target.0
+                ));
+                continue;
+            }
+            if element >= self.k {
+                self.violation(format!(
+                    "StampFill(T{}): element {element} out of range for k = {}",
+                    tx.0, self.k
+                ));
+                continue;
+            }
+            self.vec_of(tx);
+            let v = self.vectors.get_mut(&tx.0).expect("just ensured");
+            if v.get(element).is_some() {
+                self.violation(format!(
+                    "StampFill(T{}): TS(T{},{}) redefined to {value} — write-once \
+                     discipline violated",
+                    tx.0,
+                    tx.0,
+                    element + 1
+                ));
+            } else {
+                v.define(element, value);
+            }
+        }
+        self.report.decisions += 1;
+        let k = self.k;
+        if self.vec_of(tx).defined_count() != k {
+            self.violation(format!(
+                "StampFill(T{}): vector still has undefined elements after saturation",
+                tx.0
+            ));
+        }
+    }
+
+    /// A snapshot read selected `writer`'s version of `item`. Re-derives
+    /// the MV-MT(k) gap rule from the replayed vectors and the chain
+    /// append order: the reader sits strictly *after* the selected writer
+    /// and strictly *before* every writer above it in the chain. Selecting
+    /// the floor (T₀) requires the reader to sit below the whole chain.
+    fn check_version_read(&mut self, tx: TxId, item: ItemId, writer: TxId) {
+        self.report.decisions += 1;
+        self.report.version_reads += 1;
+        let chain = self.chains.get(&item).cloned().unwrap_or_default();
+        let from = if writer.is_virtual() {
+            // Floor (or never-written base value): the reader descended
+            // past every version that was in the chain when it walked.
+            0
+        } else {
+            match chain.iter().position(|&w| w == writer) {
+                Some(p) => {
+                    if !matches!(self.compare(writer, tx), CmpResult::Less { .. }) {
+                        let c = self.compare(writer, tx);
+                        self.violation(format!(
+                            "R{}[{}] selected T{}'s version but the writer is not ordered \
+                             before the reader ({c:?})",
+                            tx.0, item.0, writer.0
+                        ));
+                    }
+                    p + 1
+                }
+                None => {
+                    self.violation(format!(
+                        "R{}[{}] selected T{}'s version but T{} never installed one",
+                        tx.0, item.0, writer.0, writer.0
+                    ));
+                    return;
+                }
+            }
+        };
+        for &succ in &chain[from.min(chain.len())..] {
+            if !matches!(self.compare(tx, succ), CmpResult::Less { .. }) {
+                let c = self.compare(tx, succ);
+                self.violation(format!(
+                    "R{}[{}] selected T{}'s version but the reader is not ordered before \
+                     the later chain writer T{} ({c:?})",
+                    tx.0,
+                    item.0,
+                    if writer.is_virtual() { 0 } else { writer.0 },
+                    succ.0
+                ));
+            }
+        }
+    }
+
     fn check_compare(
         &mut self,
         a: TxId,
@@ -288,6 +394,24 @@ impl Auditor {
                     self.violation(format!(
                         "R{}[{}] invisible but WT = T{} is not ordered before it ({c:?})",
                         tx.0, item.0, wt.0
+                    ));
+                }
+            }
+            AccessOutcome::GrantedStale => {
+                // MV-MT(k) stale read: the snapshot reader is served from
+                // an older version. The cut stays consistent only if some
+                // current holder is decided *after* the reader — holders
+                // advance monotonically, so every future writer of the
+                // item then orders above the reader transitively.
+                let below_rt = matches!(self.compare(rt, tx), CmpResult::Greater { .. });
+                let below_wt = matches!(self.compare(wt, tx), CmpResult::Greater { .. });
+                if !below_rt && !below_wt {
+                    let cr = self.compare(rt, tx);
+                    let cw = self.compare(wt, tx);
+                    self.violation(format!(
+                        "R{}[{}] served stale but neither holder is ordered after it \
+                         (RT = T{}: {cr:?}, WT = T{}: {cw:?})",
+                        tx.0, item.0, rt.0, wt.0
                     ));
                 }
             }
@@ -384,6 +508,13 @@ pub fn audit(trace: &Trace, k: usize) -> AuditReport {
                     v.define(0, *h);
                 }
                 a.vectors.insert(tx.0, v);
+            }
+            TraceEvent::StampFill { tx, changes } => a.apply_stamp_fill(*tx, changes),
+            TraceEvent::VersionInstall { writer, item } => {
+                a.chains.entry(*item).or_default().push(*writer);
+            }
+            TraceEvent::VersionRead { tx, item, writer } => {
+                a.check_version_read(*tx, *item, *writer);
             }
             // Merged engine+protocol traces legitimately record the same
             // commit at both layers — count each transaction once.
@@ -493,6 +624,72 @@ mod tests {
         let report = audit(&trace, 2);
         assert!(!report.is_clean());
         assert!(report.violations[0].contains("refused"));
+    }
+
+    #[test]
+    fn version_read_in_the_gap_audits_clean() {
+        // Chain on item 0: T1 (stamp [1,1]) then T2 (stamp [3,1]). A
+        // snapshot reader T5 slots into the gap: after T1, before T2.
+        let trace = Trace::from_records(vec![
+            encode(0, 0, 1, vec![(1, 0, 1), (1, 1, 1)]),
+            rec(1, TraceEvent::VersionInstall { writer: TxId(1), item: ItemId(0) }),
+            encode(2, 1, 2, vec![(2, 0, 3), (2, 1, 1)]),
+            rec(3, TraceEvent::VersionInstall { writer: TxId(2), item: ItemId(0) }),
+            encode(4, 1, 5, vec![(5, 0, 2)]),
+            rec(5, TraceEvent::VersionRead { tx: TxId(5), item: ItemId(0), writer: TxId(1) }),
+        ]);
+        let report = audit(&trace, 2);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(report.version_reads, 1);
+    }
+
+    #[test]
+    fn version_read_outside_the_gap_is_flagged() {
+        // Reader T5 is ordered after BOTH writers but claims T1's version:
+        // it is not below the later chain writer T2.
+        let trace = Trace::from_records(vec![
+            encode(0, 0, 1, vec![(1, 0, 1), (1, 1, 1)]),
+            rec(1, TraceEvent::VersionInstall { writer: TxId(1), item: ItemId(0) }),
+            encode(2, 1, 2, vec![(2, 0, 3), (2, 1, 1)]),
+            rec(3, TraceEvent::VersionInstall { writer: TxId(2), item: ItemId(0) }),
+            encode(4, 2, 5, vec![(5, 0, 4)]),
+            rec(5, TraceEvent::VersionRead { tx: TxId(5), item: ItemId(0), writer: TxId(1) }),
+        ]);
+        let report = audit(&trace, 2);
+        assert!(!report.is_clean());
+        assert!(report.violations[0].contains("not ordered before"), "{}", report.summary());
+    }
+
+    #[test]
+    fn stamp_fill_must_saturate_and_respect_write_once() {
+        use crate::event::EncodedChanges;
+        // T1 has element 0 defined; the fill defines element 1 → clean.
+        let ok = Trace::from_records(vec![
+            encode(0, 0, 1, vec![(1, 0, 1)]),
+            rec(
+                1,
+                TraceEvent::StampFill {
+                    tx: TxId(1),
+                    changes: EncodedChanges::one((TxId(1), 1, 7)),
+                },
+            ),
+        ]);
+        assert!(audit(&ok, 2).is_clean());
+        // Redefining element 0 is a write-once violation, and the vector
+        // is still unsaturated.
+        let bad = Trace::from_records(vec![
+            encode(0, 0, 1, vec![(1, 0, 1)]),
+            rec(
+                1,
+                TraceEvent::StampFill {
+                    tx: TxId(1),
+                    changes: EncodedChanges::one((TxId(1), 0, 9)),
+                },
+            ),
+        ]);
+        let report = audit(&bad, 2);
+        assert!(report.violations.iter().any(|v| v.contains("write-once")));
+        assert!(report.violations.iter().any(|v| v.contains("undefined elements")));
     }
 
     #[test]

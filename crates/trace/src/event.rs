@@ -175,6 +175,10 @@ pub enum AccessOutcome {
     /// Accepted with the write discarded by the Thomas write rule
     /// (Section III-D-6c).
     GrantedIgnored,
+    /// A snapshot read served from an *older* version (MV-MT(k) serving
+    /// path): the reader is decided below one of the current holders, so
+    /// it walks the version chain instead of reading the current value.
+    GrantedStale,
     /// Rejected: the holder `against` is already ordered after the
     /// requester, decided at `column`.
     Rejected {
@@ -360,6 +364,39 @@ pub enum TraceEvent {
         /// Messages spent on the broadcast (`2 · (n_sites − 1)`).
         messages: u64,
     },
+    /// Commit-time stamp saturation on the MV path: every still-undefined
+    /// element of the committing writer's vector was defined (non-last
+    /// columns to the origin value, the k-th column to a fresh upper
+    /// counter draw) before the vector was frozen into a version stamp.
+    /// Emitted inside the writer's row critical section, so the auditor's
+    /// replayed vector agrees with every later comparison against it.
+    StampFill {
+        /// The committing writer.
+        tx: TxId,
+        /// The element definitions performed, in order.
+        changes: EncodedChanges,
+    },
+    /// A committed version was appended to an item's chain. Emitted inside
+    /// the chain-shard critical section, so chain order in the trace equals
+    /// chain order in the store.
+    VersionInstall {
+        /// The writer whose version was installed.
+        writer: TxId,
+        /// The item whose chain grew.
+        item: ItemId,
+    },
+    /// A snapshot read selected a version: reader `tx` was slotted into the
+    /// gap above `writer`'s version of `item` (below every later chain
+    /// writer). `writer` is [`TxId::VIRTUAL`] when the floor version (or the
+    /// never-written base value) was read.
+    VersionRead {
+        /// The snapshot reader.
+        tx: TxId,
+        /// The item read.
+        item: ItemId,
+        /// Writer of the selected version.
+        writer: TxId,
+    },
 }
 
 impl TraceEvent {
@@ -381,6 +418,9 @@ impl TraceEvent {
             TraceEvent::DmtLock { .. } => "dmt_lock",
             TraceEvent::DmtWriteBack { .. } => "dmt_write_back",
             TraceEvent::DmtSync { .. } => "dmt_sync",
+            TraceEvent::StampFill { .. } => "stamp_fill",
+            TraceEvent::VersionInstall { .. } => "version_install",
+            TraceEvent::VersionRead { .. } => "version_read",
         }
     }
 
@@ -396,7 +436,10 @@ impl TraceEvent {
             | TraceEvent::EngineAbort { tx, .. }
             | TraceEvent::GaveUp { tx, .. }
             | TraceEvent::Blocked { tx, .. }
-            | TraceEvent::DmtOp { tx, .. } => Some(tx),
+            | TraceEvent::DmtOp { tx, .. }
+            | TraceEvent::StampFill { tx, .. }
+            | TraceEvent::VersionRead { tx, .. } => Some(tx),
+            TraceEvent::VersionInstall { writer, .. } => Some(writer),
             TraceEvent::SetEdge { to, .. } => Some(to),
             TraceEvent::Compare { b, .. } => Some(b),
             TraceEvent::Wake { .. }

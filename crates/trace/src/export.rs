@@ -95,6 +95,9 @@ fn event_fields(event: &TraceEvent) -> Vec<(&'static str, Json)> {
                 AccessOutcome::GrantedIgnored => {
                     pairs.push(("outcome", Json::str("granted_ignored")));
                 }
+                AccessOutcome::GrantedStale => {
+                    pairs.push(("outcome", Json::str("granted_stale")));
+                }
                 AccessOutcome::Rejected { against, column, rule } => {
                     pairs.push(("outcome", Json::str("rejected")));
                     pairs.push(("against", Json::U64(u64::from(against.0))));
@@ -138,6 +141,32 @@ fn event_fields(event: &TraceEvent) -> Vec<(&'static str, Json)> {
         TraceEvent::DmtSync { site, messages } => {
             vec![("site", Json::U64(u64::from(*site))), ("messages", Json::U64(*messages))]
         }
+        TraceEvent::StampFill { tx, changes } => vec![
+            ("tx", Json::U64(u64::from(tx.0))),
+            (
+                "changes",
+                Json::Arr(
+                    changes
+                        .iter()
+                        .map(|&(tx, element, value)| {
+                            Json::obj(vec![
+                                ("tx", Json::U64(u64::from(tx.0))),
+                                ("element", Json::U64(element as u64)),
+                                ("value", Json::I64(value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ],
+        TraceEvent::VersionInstall { writer, item } => {
+            vec![("writer", Json::U64(u64::from(writer.0))), ("item", Json::U64(u64::from(item.0)))]
+        }
+        TraceEvent::VersionRead { tx, item, writer } => vec![
+            ("tx", Json::U64(u64::from(tx.0))),
+            ("item", Json::U64(u64::from(item.0))),
+            ("writer", Json::U64(u64::from(writer.0))),
+        ],
     }
 }
 

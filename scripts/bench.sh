@@ -5,21 +5,27 @@
 #                              (sharded vs serialized vs cache-off) and the
 #                              vector-compare groups (Figs. 6–7 plus the
 #                              small-k inline/spilled/boxed sweep), then the
-#                              full exp19 sweep under --json, written to
-#                              BENCH_pr5.json (schema mdts-metrics/v1).
-#   scripts/bench.sh --smoke   CI-sized: exp19 --quick --json, validated for
-#                              the schema stamp and a sane run count, plus
-#                              criterion build checks. No files written.
+#                              full exp19 sweep (including the read-heavy
+#                              MV serving-path lane) under --json, written
+#                              to BENCH_pr6.json, and the exp18 acceptance
+#                              grid to BENCH_pr6_exp18.json (both schema
+#                              mdts-metrics/v1).
+#   scripts/bench.sh --smoke   CI-sized: exp19 --quick --json validated for
+#                              the schema stamp, the read-heavy MV lane
+#                              (snapshot transactions actually served), and
+#                              exp18 --json, plus criterion build checks.
+#                              No files written.
 #
 # Run from the repo root (or anywhere — the script cd's home first).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCHEMA='mdts-metrics/v1'
-OUT=BENCH_pr5.json
+OUT=BENCH_pr6.json
+OUT18=BENCH_pr6_exp18.json
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    echo "== bench smoke: exp19 --quick --json =="
+    echo "== bench smoke: exp19 --quick --json (scaling + read-heavy MV lane) =="
     doc=$(cargo run --release -q -p mdts-bench --bin exp19_scaling -- --quick --json)
     if [[ "$doc" != *"\"schema\":\"$SCHEMA\""* ]]; then
         echo "bench smoke: document is missing the $SCHEMA stamp" >&2
@@ -27,6 +33,22 @@ if [[ "${1:-}" == "--smoke" ]]; then
     fi
     if [[ "$doc" != *'"experiment":"exp19"'* ]]; then
         echo "bench smoke: document is not an exp19 run" >&2
+        exit 1
+    fi
+    if [[ "$doc" != *'"sweep":"read-heavy'* ]]; then
+        echo "bench smoke: exp19 document is missing the read-heavy sweep" >&2
+        exit 1
+    fi
+    # The MV lane must be present; exp19 itself asserts the lane served
+    # snapshot transactions (snapshot_txns > 0) before emitting the run.
+    if [[ "$doc" != *'"protocol":"MV-MT(k)"'* ]]; then
+        echo "bench smoke: read-heavy sweep is missing the MV snapshot lane" >&2
+        exit 1
+    fi
+    echo "== bench smoke: exp18 --json =="
+    doc18=$(cargo run --release -q -p mdts-bench --bin exp18_multiversion -- --json)
+    if [[ "$doc18" != *'"experiment":"exp18"'* || "$doc18" != *'"protocol":"MV-MT(2q-1)"'* ]]; then
+        echo "bench smoke: exp18 --json document is malformed" >&2
         exit 1
     fi
     echo "== bench smoke: criterion targets compile =="
@@ -42,7 +64,12 @@ cargo bench -p mdts-bench --bench bench_scaling
 echo "== criterion: vector compare (Figs. 6-7 + small-k representation sweep) =="
 cargo bench -p mdts-bench --bench bench_compare
 
-echo "== exp19 (full sweep) --json -> $OUT =="
+echo "== exp19 (full sweep incl. read-heavy MV lane) --json -> $OUT =="
 cargo run --release -q -p mdts-bench --bin exp19_scaling -- --json > "$OUT"
 grep -q "$SCHEMA" "$OUT"
 echo "bench: wrote $OUT"
+
+echo "== exp18 (MV acceptance grid) --json -> $OUT18 =="
+cargo run --release -q -p mdts-bench --bin exp18_multiversion -- --json > "$OUT18"
+grep -q "$SCHEMA" "$OUT18"
+echo "bench: wrote $OUT18"

@@ -129,6 +129,34 @@ fn steady_state_scheduler_path_is_allocation_free_for_inline_k() {
         "steady-state begin/read/write/commit/abort/restart must not allocate for k = {INLINE_K}"
     );
 
+    // The MV-MT(k) snapshot serving path (ISSUE 6): a read-only
+    // transaction's row is allocated by `begin`, after which
+    // `snapshot_read` (boosted reader defines + RT registration) and the
+    // chain-walk comparator `snapshot_order_after` work entirely in
+    // already-materialized storage. Build a frozen commit stamp in
+    // warmup, then measure whole read-only rounds.
+    let stamp_writer = TxId(id);
+    s.begin(stamp_writer);
+    assert!(s.write(stamp_writer, item(3)).is_accept());
+    let stamp = s.stamp_commit(stamp_writer);
+    s.commit(stamp_writer);
+    id += 1;
+    let snapshot = allocations(|| {
+        while id < 1015 {
+            let reader = TxId(id);
+            s.begin(reader);
+            for n in 0..8usize {
+                let _ = s.snapshot_read(reader, item(n * 67));
+            }
+            // Chain-walk comparison against a frozen version stamp (the
+            // `Older` serving path's per-version test).
+            let _ = s.snapshot_order_after(reader, &stamp, stamp_writer);
+            s.commit(reader);
+            id += 1;
+        }
+    });
+    assert_eq!(snapshot, 0, "steady-state snapshot reads must not allocate for k = {INLINE_K}");
+
     // Sanity check that the counter actually observes the scheduler: one
     // dimension past the inline capacity spills to boxed storage, so the
     // same path must allocate.
