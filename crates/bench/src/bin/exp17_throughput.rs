@@ -4,12 +4,19 @@
 //!
 //! `--json` replaces the human tables with one `mdts-metrics/v1` document
 //! on stdout: full counters, abort-reason and shard breakdowns, and the
-//! complete latency histogram per run.
+//! complete latency histogram per run. `--telemetry out.jsonl` adds one
+//! sampler-instrumented MT(3) run at the medium-contention point and
+//! writes its `mdts-timeseries/v1` window stream (see DESIGN.md §6).
 
-use mdts_bench::{json_mode, metrics_document, print_table, Table};
+use std::time::Duration;
+
+use mdts_bench::{
+    json_mode, metrics_document, print_table, run_instrumented, write_timeseries, Table,
+    TelemetryOpts,
+};
 use mdts_engine::{
-    run_bank_mix, BankConfig, BasicToCc, CompositeCc, ConcurrencyControl, IntervalCc, MtCc, OccCc,
-    TwoPlCc,
+    bank_database, run_bank_mix, BankConfig, BasicToCc, CompositeCc, ConcurrencyControl,
+    IntervalCc, MtCc, OccCc, TwoPlCc,
 };
 
 fn protocols() -> Vec<Box<dyn ConcurrencyControl>> {
@@ -91,6 +98,55 @@ fn main() {
         if !json {
             print_table(&t);
             println!();
+        }
+    }
+    // Telemetry lane (`--telemetry out.jsonl`): one more MT(3) run at the
+    // medium-contention point with the windowed sampler attached; its
+    // cumulative counters join the `mdts-metrics/v1` document and the
+    // window stream goes to the file. The sampler asserts the
+    // recomposition invariant before anything is written.
+    let telemetry = TelemetryOpts::from_args();
+    if telemetry.requested() {
+        let tl_cfg = BankConfig {
+            accounts: 64,
+            threads: 8,
+            txns_per_thread: 400,
+            zipf_theta: 0.8,
+            read_only_fraction: 0.25,
+            think: 2_000,
+            max_restarts: 2000,
+            ..Default::default()
+        };
+        let db = bank_database(Box::new(MtCc::new(3)), &tl_cfg);
+        let (r, ts) = run_instrumented(
+            &db,
+            &tl_cfg,
+            "exp17",
+            "MT(3) medium-contention telemetry",
+            Duration::from_millis(10),
+        );
+        assert!(r.invariant_holds(), "telemetry lane violated conservation");
+        runs.push(
+            r.metrics
+                .registry()
+                .label("protocol", r.protocol)
+                .label("contention", "medium contention telemetry (sampled)")
+                .label("threads", tl_cfg.threads.to_string())
+                .counter("telemetry_windows", ts.windows.len() as u64)
+                .counter("telemetry_alerts", ts.alerts.len() as u64),
+        );
+        if let Some(path) = &telemetry.out {
+            write_timeseries(path, &ts);
+            if !json {
+                println!(
+                    "telemetry: wrote {path} ({} windows, {} alerts)\n",
+                    ts.windows.len(),
+                    ts.alerts.len()
+                );
+            }
+        }
+        if telemetry.strict {
+            mdts_bench::enforce_strict(&ts);
         }
     }
     if json {

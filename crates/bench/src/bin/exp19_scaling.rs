@@ -30,10 +30,19 @@
 //! on stdout (full counters, breakdowns, and latency histograms per run).
 //! `--quick` shrinks the budget and the thread sweep to a CI-sized smoke
 //! run: same code paths and invariant checks, no statistical weight.
+//! `--telemetry out.jsonl` adds a sampler-instrumented read-heavy run and
+//! writes its `mdts-timeseries/v1` window stream (see DESIGN.md §6);
+//! `--telemetry-strict` additionally fails the process when the online
+//! stall detector fired during that run.
 
-use mdts_bench::{json_mode, metrics_document, print_table, Table};
+use std::time::Duration;
+
+use mdts_bench::{
+    arg_value, enforce_strict, json_mode, metrics_document, print_table, run_instrumented,
+    write_timeseries, Table, TelemetryOpts,
+};
 use mdts_engine::{
-    run_bank_mix, run_bank_mix_concurrent, run_bank_mix_multiversion,
+    bank_database_multiversion, run_bank_mix, run_bank_mix_concurrent, run_bank_mix_multiversion,
     run_bank_mix_multiversion_audited, BankConfig, BankReport, BasicToCc, MtCc, MvToCc,
     ShardedMtCc, TwoPlCc,
 };
@@ -76,20 +85,10 @@ impl Protocol {
     }
 }
 
-/// Value of a `--flag value` argument, if present.
-fn arg_value(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == flag {
-            return args.next();
-        }
-    }
-    None
-}
-
 fn main() {
     let json = json_mode();
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry = TelemetryOpts::from_args();
     let read_only_fraction: f64 = arg_value("--read-only-fraction")
         .map(|v| v.parse().expect("--read-only-fraction expects a float in [0,1]"))
         .unwrap_or(0.95);
@@ -225,6 +224,53 @@ fn main() {
             .counter("audited_version_reads", verdict.version_reads as u64)
             .counter("audit_violations", verdict.violations.len() as u64),
     );
+    // Telemetry lane (`--telemetry out.jsonl` / `--telemetry-strict`):
+    // one more read-heavy MV run with the windowed sampler attached,
+    // phase timing on, and the stall detector live. The sampler asserts
+    // the recomposition invariant (Σ window deltas == final counters)
+    // before the JSONL is written, the run's cumulative counters join the
+    // `mdts-metrics/v1` document like any other, and under strict mode
+    // any stall-detector firing fails the process.
+    if telemetry.requested() {
+        let tl_cfg = BankConfig {
+            accounts: 256,
+            threads: 8,
+            txns_per_thread: read_heavy_txns / 8,
+            zipf_theta: 0.9,
+            read_only_fraction,
+            scan_len,
+            think_sleep_us: THINK_SLEEP_US,
+            max_restarts: 2_000,
+            ..Default::default()
+        };
+        let db = bank_database_multiversion(K, &tl_cfg);
+        let interval = Duration::from_millis(if quick { 10 } else { 50 });
+        let (r, ts) =
+            run_instrumented(&db, &tl_cfg, "exp19", "MV-MT(k) read-heavy telemetry", interval);
+        assert!(r.invariant_holds(), "telemetry lane violated conservation");
+        runs.push(
+            r.metrics
+                .registry()
+                .label("protocol", r.protocol)
+                .label("sweep", "read-heavy telemetry (sampled)")
+                .label("threads", tl_cfg.threads.to_string())
+                .counter("telemetry_windows", ts.windows.len() as u64)
+                .counter("telemetry_alerts", ts.alerts.len() as u64),
+        );
+        if let Some(path) = &telemetry.out {
+            write_timeseries(path, &ts);
+            if !json {
+                println!(
+                    "telemetry: wrote {path} ({} windows, {} alerts)\n",
+                    ts.windows.len(),
+                    ts.alerts.len()
+                );
+            }
+        }
+        if telemetry.strict {
+            enforce_strict(&ts);
+        }
+    }
     if json {
         println!("{}", metrics_document("exp19", &runs).render());
         return;

@@ -1,0 +1,198 @@
+//! timeseries_check — schema validator for `mdts-timeseries/v1` JSONL
+//! documents, plus the stall-detector regression fixtures.
+//!
+//! `timeseries_check FILE` parses every line and enforces the document
+//! contract the CI bench-smoke step relies on:
+//!
+//! * line 1 is a `header` carrying the exact schema id;
+//! * `window` lines have dense, monotone indices starting at 0, strictly
+//!   increasing edges, and every counter key present as a non-negative
+//!   integer (deltas are unsigned by construction — a negative delta
+//!   parses as a signed value and fails here);
+//! * rates, gauges, both histograms, and the per-phase totals are present
+//!   on every window;
+//! * the `trailer` agrees with the body: window/alert counts match, and
+//!   for every counter key baseline + Σ window deltas == final.
+//!
+//! `timeseries_check --stall-fixture` runs the detector over the PR 6
+//! writer-starvation regression fixture (must fire both the starvation
+//! and collapse rules, only after the healthy prefix) and over the
+//! healthy fixture (must stay silent), exiting nonzero otherwise.
+
+use mdts_telemetry::{
+    healthy_fixture, writer_starvation_fixture, StallConfig, StallDetector, StallRule,
+    TIMESERIES_SCHEMA,
+};
+use mdts_trace::Json;
+
+/// Counter keys every window and trailer line must carry — kept in sync
+/// with `mdts_telemetry::window::counters_json`.
+const COUNTER_KEYS: [&str; 15] = [
+    "commits",
+    "aborts",
+    "restarts",
+    "reads",
+    "writes",
+    "ignored_writes",
+    "blocked_waits",
+    "access_aborts",
+    "validation_aborts",
+    "epoch_aborts",
+    "gave_up",
+    "snapshot_txns",
+    "snapshot_reads",
+    "order_cache_hits",
+    "order_cache_misses",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("timeseries_check: {msg}");
+    std::process::exit(1);
+}
+
+/// Extracts the value of every counter key from a `counters` object,
+/// failing on a missing key or a non-u64 (i.e. negative) value.
+fn counters(line: usize, obj: &Json) -> Vec<u64> {
+    let c = obj
+        .get("counters")
+        .unwrap_or_else(|| fail(&format!("line {line}: missing counters object")));
+    COUNTER_KEYS
+        .iter()
+        .map(|key| {
+            c.get(key)
+                .unwrap_or_else(|| fail(&format!("line {line}: missing counter {key}")))
+                .as_u64()
+                .unwrap_or_else(|| {
+                    fail(&format!("line {line}: counter {key} is not a non-negative integer"))
+                })
+        })
+        .collect()
+}
+
+fn validate(doc: &str) -> (u64, u64) {
+    let mut lines = doc.lines().enumerate();
+    let (_, first) = lines.next().unwrap_or_else(|| fail("document is empty"));
+    let header = Json::parse(first).unwrap_or_else(|e| fail(&format!("line 1: {e}")));
+    if header.get("schema").and_then(Json::as_str) != Some(TIMESERIES_SCHEMA) {
+        fail(&format!("header does not carry schema {TIMESERIES_SCHEMA:?}"));
+    }
+    if header.get("kind").and_then(Json::as_str) != Some("header") {
+        fail("first line is not the header");
+    }
+    let mut windows = 0u64;
+    let mut alerts = 0u64;
+    let mut sums = vec![0u64; COUNTER_KEYS.len()];
+    let mut prev_end = 0u64;
+    for (i, line) in lines {
+        let n = i + 1;
+        let obj = Json::parse(line).unwrap_or_else(|e| fail(&format!("line {n}: {e}")));
+        match obj.get("kind").and_then(Json::as_str) {
+            Some("window") => {
+                if alerts > 0 {
+                    fail(&format!("line {n}: window after the alert block"));
+                }
+                let index = obj
+                    .get("window")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| fail(&format!("line {n}: missing window index")));
+                if index != windows {
+                    fail(&format!(
+                        "line {n}: window index {index} is not dense (expected {windows})"
+                    ));
+                }
+                let start = obj.get("t_start_ms").and_then(Json::as_u64);
+                let end = obj.get("t_end_ms").and_then(Json::as_u64);
+                match (start, end) {
+                    (Some(s), Some(e)) if e > s && s >= prev_end => prev_end = e,
+                    _ => fail(&format!("line {n}: window edges are not monotone")),
+                }
+                for (sum, v) in sums.iter_mut().zip(counters(n, &obj)) {
+                    *sum += v;
+                }
+                for section in ["rates", "gauges", "histograms", "phase_total_ns"] {
+                    if obj.get(section).is_none() {
+                        fail(&format!("line {n}: window is missing {section}"));
+                    }
+                }
+                for hist in ["commit_latency_ticks", "block_wait_ticks"] {
+                    let h = obj.get("histograms").and_then(|hs| hs.get(hist));
+                    if h.and_then(|h| h.get("count")).and_then(Json::as_u64).is_none() {
+                        fail(&format!("line {n}: window is missing histogram {hist}"));
+                    }
+                }
+                windows += 1;
+            }
+            Some("alert") => {
+                for key in ["window", "rule", "value", "baseline"] {
+                    if obj.get(key).is_none() {
+                        fail(&format!("line {n}: alert is missing {key}"));
+                    }
+                }
+                alerts += 1;
+            }
+            Some("trailer") => {
+                if obj.get("windows").and_then(Json::as_u64) != Some(windows) {
+                    fail(&format!("trailer window count disagrees with {windows} window lines"));
+                }
+                if obj.get("alerts").and_then(Json::as_u64) != Some(alerts) {
+                    fail(&format!("trailer alert count disagrees with {alerts} alert lines"));
+                }
+                let base = obj
+                    .get("baseline")
+                    .map(|b| {
+                        COUNTER_KEYS
+                            .iter()
+                            .map(|key| b.get(key).and_then(Json::as_u64).unwrap_or(0))
+                            .collect::<Vec<u64>>()
+                    })
+                    .unwrap_or_else(|| fail("trailer is missing the baseline counters"));
+                let fin = counters(n, &obj);
+                for (((key, &sum), b), f) in COUNTER_KEYS.iter().zip(&sums).zip(base).zip(fin) {
+                    if b + sum != f {
+                        fail(&format!(
+                            "counter {key}: baseline {b} + window deltas {sum} != final {f}"
+                        ));
+                    }
+                }
+                return (windows, alerts);
+            }
+            other => fail(&format!("line {n}: unknown line kind {other:?}")),
+        }
+    }
+    fail("document has no trailer line");
+}
+
+/// Certifies the stall-detector regression fixtures: the PR 6
+/// writer-starvation collapse must fire both rules (never inside the
+/// healthy prefix), and the healthy series must stay silent.
+fn check_fixtures() {
+    let fired = StallDetector::scan(StallConfig::default(), &writer_starvation_fixture());
+    if !fired.iter().any(|a| a.rule == StallRule::WriterStarvation) {
+        fail("writer-starvation fixture: starvation rule did not fire");
+    }
+    if !fired.iter().any(|a| a.rule == StallRule::ThroughputCollapse) {
+        fail("writer-starvation fixture: collapse rule did not fire");
+    }
+    if fired.iter().any(|a| a.window < 10) {
+        fail("writer-starvation fixture: a rule fired during the healthy prefix");
+    }
+    let quiet = StallDetector::scan(StallConfig::default(), &healthy_fixture());
+    if !quiet.is_empty() {
+        fail(&format!("healthy fixture raised {} spurious alerts", quiet.len()));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--stall-fixture") {
+        check_fixtures();
+        println!("timeseries_check: stall-detector fixtures OK");
+        return;
+    }
+    let path = args.first().unwrap_or_else(|| {
+        fail("usage: timeseries_check <FILE> | timeseries_check --stall-fixture")
+    });
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let (windows, alerts) = validate(&doc);
+    println!("timeseries_check: {path} OK ({windows} windows, {alerts} alerts)");
+}

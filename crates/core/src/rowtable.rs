@@ -241,6 +241,12 @@ impl RowTable {
     pub fn iter_slots(&self) -> impl Iterator<Item = (usize, &RowSlot)> {
         (0..self.high()).filter_map(|idx| self.slot(idx).map(|s| (idx, s)))
     }
+
+    /// Number of spine chunks currently materialized (telemetry gauge;
+    /// chunks are never freed before drop, so this only grows).
+    pub fn resident_chunks(&self) -> usize {
+        self.spine.iter().filter(|cell| !cell.load(Ordering::Acquire).is_null()).count()
+    }
 }
 
 impl Default for RowTable {

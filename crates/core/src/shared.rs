@@ -1235,6 +1235,12 @@ impl SharedMtScheduler {
         self.rows.iter_slots().filter(|(_, s)| s.read().is_some()).count()
     }
 
+    /// Number of row-table spine chunks currently materialized
+    /// (telemetry gauge for the scheduler's memory footprint).
+    pub fn resident_row_chunks(&self) -> usize {
+        self.rows.resident_chunks()
+    }
+
     /// A serial order consistent with the final vectors: the given
     /// transactions (all of which must have live rows) sorted by the total
     /// key `(defined < undefined, value)` per column — a linear extension

@@ -637,6 +637,23 @@ pub trait ConcurrentCc: Send + Sync {
     fn order_cache_stats(&self) -> Option<OrderCacheStats> {
         None
     }
+
+    /// Point-in-time scheduler gauges, for protocols backed by the
+    /// sharded scheduler. `None` means "no such scheduler"; the metrics
+    /// layer reports zeros.
+    fn scheduler_gauges(&self) -> Option<SchedulerGauges> {
+        None
+    }
+}
+
+/// Point-in-time occupancy gauges of a concurrent scheduler (see
+/// [`ConcurrentCc::scheduler_gauges`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SchedulerGauges {
+    /// Live timestamp-vector rows (including `T₀`).
+    pub live_rows: u64,
+    /// Row-table spine chunks materialized so far.
+    pub row_chunks: u64,
 }
 
 /// Adapter running any sequential [`ConcurrencyControl`] under one mutex
@@ -830,5 +847,12 @@ impl ConcurrentCc for ShardedMtCc {
 
     fn order_cache_stats(&self) -> Option<OrderCacheStats> {
         Some(self.sched.order_cache_stats())
+    }
+
+    fn scheduler_gauges(&self) -> Option<SchedulerGauges> {
+        Some(SchedulerGauges {
+            live_rows: self.sched.live_rows() as u64,
+            row_chunks: self.sched.resident_row_chunks() as u64,
+        })
     }
 }

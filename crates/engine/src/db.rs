@@ -32,12 +32,12 @@ use std::sync::Arc;
 use mdts_core::{SharedMtScheduler, SnapshotRead};
 use mdts_model::{ItemId, OpKind, TxId};
 use mdts_storage::{ConcurrentMvStore, ShardedStore, Store, DEFAULT_STORE_SHARDS};
-use mdts_trace::{AbortReason, TraceEvent, TraceSink};
+use mdts_trace::{AbortReason, StallRule, TraceEvent, TraceSink};
 
 use crate::cc::{
     CommitDecision, ConcurrencyControl, ConcurrentCc, SerializedCc, ShardedMtCc, Verdict,
 };
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot, Phase};
 
 /// Terminal failure of [`Database::run`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -237,16 +237,57 @@ impl<V: Clone + Send + 'static> Database<V> {
         self.shared.store.snapshot()
     }
 
-    /// Current counters. Order-cache hit/miss figures are sampled from
-    /// the protocol at call time (they live in the scheduler, not in the
-    /// engine's counter block).
+    /// Current counters. Order-cache hit/miss figures and the subsystem
+    /// gauges are sampled from the protocol and the MV store at call time
+    /// (they live in the scheduler and version store, not in the engine's
+    /// counter block).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.shared.metrics.snapshot();
         if let Some(stats) = self.shared.cc.order_cache_stats() {
             snap.order_cache_hits = stats.hits;
             snap.order_cache_misses = stats.misses;
         }
+        snap.gauges = self.gauges();
         snap
+    }
+
+    /// Point-in-time subsystem gauges: MV chains and GC, the scheduler's
+    /// row table, order-cache epoch flushes. Cheap relative to a window
+    /// interval (one registry scan + per-shard read locks), but not a
+    /// per-transaction call.
+    pub fn gauges(&self) -> EngineGauges {
+        let mut g = EngineGauges::default();
+        if let Some(mv) = &self.shared.mv {
+            g.apply_mv(&mv.store.stats());
+        }
+        if let Some(sched) = self.shared.cc.scheduler_gauges() {
+            g.sched_live_rows = sched.live_rows;
+            g.sched_row_chunks = sched.row_chunks;
+        }
+        if let Some(stats) = self.shared.cc.order_cache_stats() {
+            g.order_cache_epoch_flushes = stats.invalidations;
+        }
+        g
+    }
+
+    /// Turns wall-time phase-span timing on or off (off by default; when
+    /// off the spans cost one relaxed load each and never read the
+    /// clock).
+    pub fn set_phase_timing(&self, on: bool) {
+        self.shared.metrics.phases.set_enabled(on);
+    }
+
+    /// Whether phase-span timing is currently enabled.
+    pub fn phase_timing(&self) -> bool {
+        self.shared.metrics.phases.enabled()
+    }
+
+    /// Records a stall-detector alert in the engine's decision trace
+    /// (no-op when no sink is attached). The telemetry layer calls this
+    /// so alerts interleave, sequence-stamped, with the protocol events
+    /// they explain.
+    pub fn emit_telemetry_alert(&self, window: u64, rule: StallRule, value: f64, baseline: f64) {
+        self.shared.trace.emit(|| TraceEvent::TelemetryAlert { window, rule, value, baseline });
     }
 
     /// Runs `body` as a transaction, retrying on abort up to
@@ -267,14 +308,19 @@ impl<V: Clone + Send + 'static> Database<V> {
         for attempt in 0..=max_restarts {
             let id = TxId(shared.next_tx.fetch_add(1, Ordering::Relaxed) + 1);
             shared.trace.emit(|| TraceEvent::Begin { tx: id });
+            let span = shared.metrics.phases.start();
             match prev {
                 Some(p) => shared.cc.begin_restarted(id, p),
                 None => shared.cc.begin(id),
             }
+            shared.metrics.phases.record_since(Phase::Admission, span);
             let epoch = shared.cc.epoch();
             let mut tx = Tx { shared, id, epoch, scratch: std::mem::take(&mut scratch) };
             if let Ok(value) = body(&mut tx) {
-                if tx.commit() {
+                let span = shared.metrics.phases.start();
+                let committed = tx.commit();
+                shared.metrics.phases.record_since(Phase::Commit, span);
+                if committed {
                     Metrics::bump(&shared.metrics.commits);
                     let end_tick = shared.clock.load(Ordering::Relaxed);
                     shared.metrics.latency.record(end_tick.saturating_sub(start_tick));
@@ -287,7 +333,9 @@ impl<V: Clone + Send + 'static> Database<V> {
             prev = Some(id);
             if attempt < max_restarts {
                 Metrics::bump(&shared.metrics.restarts);
+                let span = shared.metrics.phases.start();
                 restart_backoff(attempt, id.0);
+                shared.metrics.phases.record_since(Phase::Backoff, span);
             }
         }
         Metrics::bump(&shared.metrics.gave_up);
@@ -323,7 +371,9 @@ impl<V: Clone + Send + 'static> Database<V> {
         shared.trace.emit(|| TraceEvent::Begin { tx: id });
         // Allocate the reader's row up front so the reads themselves
         // stay allocation-free.
+        let span = shared.metrics.phases.start();
         mv.sched.begin(id);
+        shared.metrics.phases.record_since(Phase::Admission, span);
         // Register with GC *before* the first read (and therefore before
         // the reader's first vector element is defined): the captured
         // ticket is what keeps pruning away from every version this
@@ -331,7 +381,9 @@ impl<V: Clone + Send + 'static> Database<V> {
         let guard = mv.store.begin_snapshot();
         let mut tx = SnapshotTx { shared, mv, id, _guard: guard };
         let out = body(&mut tx);
+        let span = shared.metrics.phases.start();
         mv.sched.commit(id);
+        shared.metrics.phases.record_since(Phase::Commit, span);
         Metrics::bump(&shared.metrics.snapshot_txns);
         Metrics::bump(&shared.metrics.commits);
         let end_tick = shared.clock.load(Ordering::Relaxed);
@@ -410,6 +462,7 @@ impl<V: Clone + Send + Sync + 'static> SnapshotTx<'_, V> {
                 // the reader's first (boosted) element was defined, so
                 // the reader orders strictly after it (the T₀ floor,
                 // stamped ⟨0,*,…⟩, is the degenerate case).
+                let span = shared.metrics.phases.start();
                 let selected = self.mv.store.with_chain(item, |chain| {
                     for v in chain.iter().rev() {
                         if sched.snapshot_order_after(id, &v.stamp, v.writer) {
@@ -428,6 +481,7 @@ impl<V: Clone + Send + Sync + 'static> SnapshotTx<'_, V> {
                     shared.trace.emit(|| TraceEvent::VersionRead { tx: id, item, writer });
                     Some(oldest.value.clone())
                 });
+                shared.metrics.phases.record_since(Phase::ChainWalk, span);
                 selected.unwrap_or_else(|| {
                     // Empty chain: the item has never been written (the
                     // outranking holder is a reader, or a writer whose
@@ -505,6 +559,19 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
         self.shared.clock.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Parks on the wake sequence and charges the wait: its duration in
+    /// logical ticks goes to the always-on `block_wait_ticks` histogram
+    /// (two relaxed loads), its wall time to the `BlockWait` phase span
+    /// when timing is enabled.
+    fn blocked_wait(&self, seen: u64) {
+        let t0 = self.shared.clock.load(Ordering::Relaxed);
+        let span = self.shared.metrics.phases.start();
+        self.shared.wake.wait_past(seen);
+        self.shared.metrics.phases.record_since(Phase::BlockWait, span);
+        let t1 = self.shared.clock.load(Ordering::Relaxed);
+        self.shared.metrics.block_wait_ticks.record(t1.saturating_sub(t0));
+    }
+
     /// Abort bookkeeping for this incarnation, attributed to `reason`
     /// (the trace layer's abort taxonomy). The workspace is
     /// transaction-local, so dropping the handle discards it.
@@ -580,7 +647,7 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                         kind: OpKind::Read,
                         wake_seen: seen,
                     });
-                    self.shared.wake.wait_past(seen);
+                    self.blocked_wait(seen);
                 }
                 Verdict::Abort => {
                     self.cleanup(AbortReason::AccessRejected);
@@ -630,7 +697,7 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                         kind: OpKind::Write,
                         wake_seen: seen,
                     });
-                    self.shared.wake.wait_past(seen);
+                    self.blocked_wait(seen);
                 }
                 Verdict::Abort => {
                     self.cleanup(AbortReason::AccessRejected);

@@ -51,12 +51,16 @@ pub mod workload;
 
 pub use cc::{
     BasicToCc, CommitDecision, CompositeCc, ConcurrencyControl, ConcurrentCc, IntervalCc, MtCc,
-    MvToCc, OccCc, SerializedCc, ShardedMtCc, TwoPlCc, Verdict,
+    MvToCc, OccCc, SchedulerGauges, SerializedCc, ShardedMtCc, TwoPlCc, Verdict,
 };
 pub use db::{Database, SnapshotTx, Tx, TxError};
-pub use metrics::{LatencySnapshot, MetricsSnapshot};
+pub use metrics::{
+    EngineGauges, LatencySnapshot, MetricsSnapshot, Phase, PhaseSnapshot, PhaseTimers,
+    LATENCY_BUCKETS, PHASE_COUNT,
+};
 pub use workload::{
-    run_bank_mix, run_bank_mix_concurrent, run_bank_mix_multiversion,
+    bank_database, bank_database_concurrent, bank_database_multiversion, run_bank_mix,
+    run_bank_mix_concurrent, run_bank_mix_db, run_bank_mix_multiversion,
     run_bank_mix_multiversion_audited, BankConfig, BankReport,
 };
 

@@ -1,10 +1,15 @@
-//! Engine metrics: lock-free counters, a commit-latency histogram, and a
-//! per-store-shard access breakdown, sampled into snapshots and
+//! Engine metrics: lock-free counters, commit-latency and blocked-wait
+//! histograms, per-phase wall-time spans, point-in-time subsystem gauges,
+//! and a per-store-shard access breakdown — sampled into snapshots,
+//! subtractable into per-window deltas for the telemetry layer, and
 //! exportable as an `mdts-trace` [`MetricsRegistry`] (the experiment
 //! binaries' `--json` document).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
+use mdts_storage::{MvStoreStats, MV_CHAIN_LEN_BUCKETS};
 use mdts_trace::{HistogramExport, Json, MetricsRegistry};
 
 /// Number of per-shard access counters (accesses are striped by store
@@ -35,8 +40,13 @@ pub(crate) struct Metrics {
     /// Item reads served from version chains by snapshot transactions.
     pub snapshot_reads: AtomicU64,
     pub latency: LatencyHistogram,
+    /// Blocked-wait *durations* in logical ticks (one sample per
+    /// `blocked_waits` event), not just the event count.
+    pub block_wait_ticks: LatencyHistogram,
     /// Granted accesses per store shard (reads at fetch, writes at apply).
     pub shard_accesses: [AtomicU64; SHARD_SLOTS],
+    /// Wall-time phase spans (zero-cost until enabled).
+    pub phases: PhaseTimers,
 }
 
 impl Default for Metrics {
@@ -56,7 +66,9 @@ impl Default for Metrics {
             snapshot_txns: AtomicU64::new(0),
             snapshot_reads: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
+            block_wait_ticks: LatencyHistogram::default(),
             shard_accesses: [0u64; SHARD_SLOTS].map(AtomicU64::new),
+            phases: PhaseTimers::default(),
         }
     }
 }
@@ -92,8 +104,223 @@ impl Metrics {
             order_cache_hits: 0,
             order_cache_misses: 0,
             latency: self.latency.snapshot(),
+            block_wait: self.block_wait_ticks.snapshot(),
             shard_accesses,
+            phases: self.phases.snapshot(),
+            gauges: EngineGauges::default(),
         }
+    }
+}
+
+/// Number of phases in the span taxonomy.
+pub const PHASE_COUNT: usize = 5;
+
+/// Where a transaction's wall time goes (DESIGN.md §6). Each phase has
+/// its own nanosecond histogram and striped running total.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Scheduler admission: `begin`/`begin_at_least` through grant.
+    Admission = 0,
+    /// Blocked in `WakeSeq::wait_past` behind an uncommitted writer.
+    BlockWait = 1,
+    /// Version-chain walk in the snapshot read path.
+    ChainWalk = 2,
+    /// Restart backoff sleep between incarnations.
+    Backoff = 3,
+    /// Commit critical section (validation, apply, stamp, wake).
+    Commit = 4,
+}
+
+impl Phase {
+    /// All phases, in index order.
+    pub const ALL: [Phase; PHASE_COUNT] =
+        [Phase::Admission, Phase::BlockWait, Phase::ChainWalk, Phase::Backoff, Phase::Commit];
+
+    /// Stable schema name (`phase_<name>_ns` in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Admission => "admission",
+            Phase::BlockWait => "block_wait",
+            Phase::ChainWalk => "chain_walk",
+            Phase::Backoff => "backoff",
+            Phase::Commit => "commit",
+        }
+    }
+}
+
+/// Stripes for the per-phase running totals; threads hash onto stripes so
+/// concurrent `record` calls don't share a cache line (same idiom as
+/// `shard_accesses`).
+const PHASE_STRIPES: usize = 16;
+
+thread_local! {
+    /// This thread's stripe index, assigned round-robin on first use.
+    /// Const-initialized: reading it never allocates or locks.
+    static PHASE_STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Round-robin stripe assignment source.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+fn phase_stripe() -> usize {
+    PHASE_STRIPE.with(|cell| {
+        let mut s = cell.get();
+        if s == usize::MAX {
+            s = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % PHASE_STRIPES;
+            cell.set(s);
+        }
+        s
+    })
+}
+
+/// Lock-free wall-time phase spans. Always compiled in; when disabled
+/// (the default) [`PhaseTimers::start`] returns `None` without reading
+/// the clock, so the hot path pays one relaxed load per span. Recording
+/// is a handful of relaxed `fetch_add`s into striped cells and a
+/// fixed-size histogram — no locks, no allocation.
+#[derive(Debug)]
+pub struct PhaseTimers {
+    enabled: AtomicBool,
+    /// Running total nanoseconds per phase, striped by thread.
+    total_ns: [[AtomicU64; PHASE_STRIPES]; PHASE_COUNT],
+    /// Span-duration histograms, in nanoseconds.
+    spans: [LatencyHistogram; PHASE_COUNT],
+}
+
+impl Default for PhaseTimers {
+    fn default() -> Self {
+        PhaseTimers {
+            enabled: AtomicBool::new(false),
+            total_ns: std::array::from_fn(|_| [0u64; PHASE_STRIPES].map(AtomicU64::new)),
+            spans: std::array::from_fn(|_| LatencyHistogram::default()),
+        }
+    }
+}
+
+impl PhaseTimers {
+    /// Turns span timing on or off (off by default).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opens a span: the clock is read only when timing is enabled.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span opened by [`Self::start`]; a `None` start (timing
+    /// disabled) is a no-op.
+    #[inline]
+    pub fn record_since(&self, phase: Phase, start: Option<Instant>) {
+        if let Some(t0) = start {
+            self.record_ns(phase, u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Records a span duration directly (testing and replay).
+    pub fn record_ns(&self, phase: Phase, ns: u64) {
+        let p = phase as usize;
+        self.total_ns[p][phase_stripe()].fetch_add(ns, Ordering::Relaxed);
+        self.spans[p].record(ns);
+    }
+
+    /// Point-in-time view: per-phase totals and span histograms.
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        let mut out = PhaseSnapshot { enabled: self.enabled(), ..PhaseSnapshot::default() };
+        for p in 0..PHASE_COUNT {
+            out.total_ns[p] = self.total_ns[p].iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            out.spans[p] = self.spans[p].snapshot();
+        }
+        out
+    }
+}
+
+/// A point-in-time (or, via [`MetricsSnapshot::delta`], per-window) view
+/// of the phase timers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PhaseSnapshot {
+    /// Whether timing was enabled when sampled.
+    pub enabled: bool,
+    /// Total nanoseconds per phase (index = `Phase as usize`).
+    pub total_ns: [u64; PHASE_COUNT],
+    /// Span-duration histograms per phase, in nanoseconds.
+    pub spans: [LatencySnapshot; PHASE_COUNT],
+}
+
+impl Default for PhaseSnapshot {
+    fn default() -> Self {
+        PhaseSnapshot {
+            enabled: false,
+            total_ns: [0; PHASE_COUNT],
+            spans: [LatencySnapshot::default(); PHASE_COUNT],
+        }
+    }
+}
+
+impl PhaseSnapshot {
+    /// The spans recorded since `prev` (totals and buckets subtract;
+    /// `enabled` reflects the newer snapshot).
+    pub fn delta(&self, prev: &PhaseSnapshot) -> PhaseSnapshot {
+        let mut out = PhaseSnapshot { enabled: self.enabled, ..PhaseSnapshot::default() };
+        for p in 0..PHASE_COUNT {
+            out.total_ns[p] = self.total_ns[p].saturating_sub(prev.total_ns[p]);
+            out.spans[p] = self.spans[p].diff(&prev.spans[p]);
+        }
+        out
+    }
+}
+
+/// Point-in-time gauges for the subsystems behind the counters: the MV
+/// store's chains and GC, the scheduler's row table, and the order
+/// cache's epoch flushes. Gauges are *levels*, not totals — a windowed
+/// sampler reports them as-is rather than subtracting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineGauges {
+    /// Non-empty MV version chains.
+    pub mv_chains: u64,
+    /// Total MV versions currently kept.
+    pub mv_versions: u64,
+    /// Longest MV chain.
+    pub mv_max_chain: u64,
+    /// MV chain counts by power-of-two length bucket.
+    pub mv_chain_len_buckets: [u64; MV_CHAIN_LEN_BUCKETS],
+    /// MV install ticket frontier.
+    pub mv_install_seq: u64,
+    /// How far the GC watermark trails the install frontier.
+    pub mv_watermark_lag: u64,
+    /// Occupied MV snapshot-registry slots.
+    pub mv_active_snapshots: u64,
+    /// Cumulative MV versions reclaimed by pruning.
+    pub mv_pruned: u64,
+    /// Live timestamp-vector rows in the scheduler (including `T₀`).
+    pub sched_live_rows: u64,
+    /// Row-table spine chunks materialized by the scheduler.
+    pub sched_row_chunks: u64,
+    /// Order-cache epoch flushes (cumulative invalidation count).
+    pub order_cache_epoch_flushes: u64,
+}
+
+impl EngineGauges {
+    /// Folds an MV-store stats sample into the MV gauge fields.
+    pub fn apply_mv(&mut self, stats: &MvStoreStats) {
+        self.mv_chains = stats.chains;
+        self.mv_versions = stats.versions;
+        self.mv_max_chain = stats.max_chain;
+        self.mv_chain_len_buckets = stats.chain_len_buckets;
+        self.mv_install_seq = stats.install_seq;
+        self.mv_watermark_lag = stats.watermark_lag();
+        self.mv_active_snapshots = stats.active_snapshots;
+        self.mv_pruned = stats.pruned;
     }
 }
 
@@ -162,14 +389,42 @@ impl Default for LatencySnapshot {
 
 impl LatencySnapshot {
     /// Builds a snapshot (count and headline quantiles) from raw bucket
-    /// counts.
+    /// counts. An all-zero input yields `LatencySnapshot::default()` —
+    /// every quantile 0 — by an explicit guard, not by falling through
+    /// the quantile scan.
     pub fn from_buckets(buckets: [u64; LATENCY_BUCKETS]) -> Self {
-        let mut s =
-            LatencySnapshot { count: buckets.iter().sum(), p50: 0, p95: 0, p99: 0, buckets };
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return LatencySnapshot::default();
+        }
+        let mut s = LatencySnapshot { count, p50: 0, p95: 0, p99: 0, buckets };
         s.p50 = s.quantile(0.50);
         s.p95 = s.quantile(0.95);
         s.p99 = s.quantile(0.99);
         s
+    }
+
+    /// The samples recorded since `prev`: bucket-wise subtraction, with
+    /// quantiles recomputed over the difference. Saturating, so a stale
+    /// `prev` (racy reads across buckets) clamps at zero instead of
+    /// wrapping.
+    pub fn diff(&self, prev: &LatencySnapshot) -> LatencySnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (out, (&a, &b)) in buckets.iter_mut().zip(self.buckets.iter().zip(&prev.buckets)) {
+            *out = a.saturating_sub(b);
+        }
+        LatencySnapshot::from_buckets(buckets)
+    }
+
+    /// The union of two sample sets: bucket-wise addition, with quantiles
+    /// recomputed over the merge. Merging with an empty snapshot is the
+    /// identity.
+    pub fn merge(&self, other: &LatencySnapshot) -> LatencySnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (out, (&a, &b)) in buckets.iter_mut().zip(self.buckets.iter().zip(&other.buckets)) {
+            *out = a.saturating_add(b);
+        }
+        LatencySnapshot::from_buckets(buckets)
     }
 
     /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) as its bucket's upper bound: the
@@ -230,8 +485,15 @@ pub struct MetricsSnapshot {
     pub order_cache_misses: u64,
     /// Commit latency, in logical ticks.
     pub latency: LatencySnapshot,
+    /// Blocked-wait durations, in logical ticks.
+    pub block_wait: LatencySnapshot,
     /// Granted accesses per store shard (index modulo [`SHARD_SLOTS`]).
     pub shard_accesses: [u64; SHARD_SLOTS],
+    /// Wall-time phase spans (all-zero unless phase timing was enabled).
+    pub phases: PhaseSnapshot,
+    /// Subsystem gauges (levels at sample time, not cumulative totals;
+    /// [`MetricsSnapshot::delta`] carries them through unchanged).
+    pub gauges: EngineGauges,
 }
 
 impl Default for MetricsSnapshot {
@@ -253,7 +515,10 @@ impl Default for MetricsSnapshot {
             order_cache_hits: 0,
             order_cache_misses: 0,
             latency: LatencySnapshot::default(),
+            block_wait: LatencySnapshot::default(),
             shard_accesses: [0; SHARD_SLOTS],
+            phases: PhaseSnapshot::default(),
+            gauges: EngineGauges::default(),
         }
     }
 }
@@ -265,6 +530,43 @@ impl MetricsSnapshot {
             return 0.0;
         }
         self.aborts as f64 / self.commits as f64
+    }
+
+    /// The activity between `prev` and `self`: every counter and
+    /// histogram bucket subtracts (saturating); gauges, being levels,
+    /// come through from `self` unchanged. This is the windowed-sampler
+    /// primitive — summing consecutive deltas from a zero baseline
+    /// reproduces the cumulative snapshot exactly (counters and buckets;
+    /// quantiles are recomputed per window).
+    pub fn delta(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut shard_accesses = [0u64; SHARD_SLOTS];
+        for (out, (&a, &b)) in
+            shard_accesses.iter_mut().zip(self.shard_accesses.iter().zip(&prev.shard_accesses))
+        {
+            *out = a.saturating_sub(b);
+        }
+        MetricsSnapshot {
+            commits: self.commits.saturating_sub(prev.commits),
+            aborts: self.aborts.saturating_sub(prev.aborts),
+            restarts: self.restarts.saturating_sub(prev.restarts),
+            reads: self.reads.saturating_sub(prev.reads),
+            writes: self.writes.saturating_sub(prev.writes),
+            ignored_writes: self.ignored_writes.saturating_sub(prev.ignored_writes),
+            blocked_waits: self.blocked_waits.saturating_sub(prev.blocked_waits),
+            access_aborts: self.access_aborts.saturating_sub(prev.access_aborts),
+            validation_aborts: self.validation_aborts.saturating_sub(prev.validation_aborts),
+            epoch_aborts: self.epoch_aborts.saturating_sub(prev.epoch_aborts),
+            gave_up: self.gave_up.saturating_sub(prev.gave_up),
+            snapshot_txns: self.snapshot_txns.saturating_sub(prev.snapshot_txns),
+            snapshot_reads: self.snapshot_reads.saturating_sub(prev.snapshot_reads),
+            order_cache_hits: self.order_cache_hits.saturating_sub(prev.order_cache_hits),
+            order_cache_misses: self.order_cache_misses.saturating_sub(prev.order_cache_misses),
+            latency: self.latency.diff(&prev.latency),
+            block_wait: self.block_wait.diff(&prev.block_wait),
+            shard_accesses,
+            phases: self.phases.delta(&prev.phases),
+            gauges: self.gauges,
+        }
     }
 
     /// Converts the snapshot into the serializable registry behind the
@@ -296,13 +598,72 @@ impl MetricsSnapshot {
                     ("p99".to_string(), self.latency.p99),
                 ],
                 buckets: self.latency.buckets.to_vec(),
+            })
+            .histogram(HistogramExport {
+                name: "block_wait_ticks".to_string(),
+                count: self.block_wait.count,
+                quantiles: vec![
+                    ("p50".to_string(), self.block_wait.p50),
+                    ("p95".to_string(), self.block_wait.p95),
+                    ("p99".to_string(), self.block_wait.p99),
+                ],
+                buckets: self.block_wait.buckets.to_vec(),
             });
+        for (p, span) in Phase::ALL.iter().zip(&self.phases.spans) {
+            reg = reg.histogram(HistogramExport {
+                name: format!("phase_{}_ns", p.name()),
+                count: span.count,
+                quantiles: vec![
+                    ("p50".to_string(), span.p50),
+                    ("p95".to_string(), span.p95),
+                    ("p99".to_string(), span.p99),
+                ],
+                buckets: span.buckets.to_vec(),
+            });
+        }
         reg = reg.breakdown(
             "abort_reasons",
             vec![
                 ("access_rejected".to_string(), self.access_aborts),
                 ("validation_rejected".to_string(), self.validation_aborts),
                 ("epoch".to_string(), self.epoch_aborts),
+            ],
+        );
+        reg = reg.breakdown(
+            "phase_total_ns",
+            Phase::ALL
+                .iter()
+                .zip(&self.phases.total_ns)
+                .map(|(p, &ns)| (p.name().to_string(), ns))
+                .collect(),
+        );
+        let g = &self.gauges;
+        reg = reg.breakdown(
+            "mv_store",
+            vec![
+                ("chains".to_string(), g.mv_chains),
+                ("versions".to_string(), g.mv_versions),
+                ("max_chain".to_string(), g.mv_max_chain),
+                ("install_seq".to_string(), g.mv_install_seq),
+                ("watermark_lag".to_string(), g.mv_watermark_lag),
+                ("active_snapshots".to_string(), g.mv_active_snapshots),
+                ("pruned".to_string(), g.mv_pruned),
+            ],
+        );
+        reg = reg.breakdown(
+            "mv_chain_lengths",
+            g.mv_chain_len_buckets
+                .iter()
+                .enumerate()
+                .map(|(b, &n)| (format!("le_{}", 1u64 << b), n))
+                .collect(),
+        );
+        reg = reg.breakdown(
+            "scheduler",
+            vec![
+                ("live_rows".to_string(), g.sched_live_rows),
+                ("row_chunks".to_string(), g.sched_row_chunks),
+                ("order_cache_epoch_flushes".to_string(), g.order_cache_epoch_flushes),
             ],
         );
         let entries: Vec<(String, u64)> = self
@@ -399,13 +760,117 @@ mod tests {
     fn registry_carries_all_counters_and_buckets() {
         let mut snap = MetricsSnapshot { commits: 3, aborts: 1, ..MetricsSnapshot::default() };
         snap.shard_accesses[5] = 9;
+        snap.gauges.mv_versions = 17;
         let reg = snap.registry();
         assert_eq!(reg.counter_value("commits"), Some(3));
         assert_eq!(reg.counter_value("aborts"), Some(1));
         assert_eq!(reg.counter_value("gave_up"), Some(0));
         let rendered = reg.to_json().render();
         assert!(rendered.contains("\"commit_latency_ticks\""), "{rendered}");
+        assert!(rendered.contains("\"block_wait_ticks\""), "{rendered}");
+        assert!(rendered.contains("\"phase_block_wait_ns\""), "{rendered}");
+        assert!(rendered.contains("\"mv_store\""), "{rendered}");
+        assert!(rendered.contains("\"versions\":17"), "{rendered}");
         assert!(rendered.contains("\"shard5\":9"), "{rendered}");
+    }
+
+    #[test]
+    fn from_buckets_guards_empty_input_explicitly() {
+        let s = LatencySnapshot::from_buckets([0; LATENCY_BUCKETS]);
+        assert_eq!(s, LatencySnapshot::default());
+        assert_eq!((s.count, s.p50, s.p95, s.p99), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn empty_window_diff_is_default() {
+        let h = LatencyHistogram::default();
+        h.record(5);
+        h.record(500);
+        let s = h.snapshot();
+        // A window in which nothing happened: diff with itself is the
+        // explicit empty snapshot, and merging it back is the identity.
+        assert_eq!(s.diff(&s), LatencySnapshot::default());
+        assert_eq!(s.merge(&LatencySnapshot::default()), s);
+        assert_eq!(LatencySnapshot::default().merge(&s), s);
+    }
+
+    #[test]
+    fn single_bucket_window_diff_and_merge() {
+        let h = LatencyHistogram::default();
+        h.record(5); // bucket 3
+        let before = h.snapshot();
+        h.record(6); // same bucket
+        let after = h.snapshot();
+        let window = after.diff(&before);
+        assert_eq!(window.count, 1);
+        assert_eq!(window.buckets[3], 1);
+        assert_eq!((window.p50, window.p99), (7, 7));
+        assert_eq!(before.merge(&window), after);
+    }
+
+    #[test]
+    fn phase_timers_are_inert_until_enabled() {
+        let t = PhaseTimers::default();
+        assert_eq!(t.start(), None, "disabled timers never read the clock");
+        t.record_since(Phase::Commit, None);
+        assert_eq!(t.snapshot(), PhaseSnapshot::default());
+
+        t.set_enabled(true);
+        let span = t.start();
+        assert!(span.is_some());
+        t.record_since(Phase::Commit, span);
+        t.record_ns(Phase::Backoff, 1_000);
+        let s = t.snapshot();
+        assert!(s.enabled);
+        assert_eq!(s.spans[Phase::Commit as usize].count, 1);
+        assert_eq!(s.total_ns[Phase::Backoff as usize], 1_000);
+        assert_eq!(s.spans[Phase::Admission as usize].count, 0);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_keeps_gauges() {
+        let m = Metrics::default();
+        Metrics::bump(&m.commits);
+        Metrics::bump(&m.commits);
+        m.latency.record(3);
+        m.block_wait_ticks.record(9);
+        let prev = m.snapshot();
+        Metrics::bump(&m.commits);
+        Metrics::bump(&m.aborts);
+        m.latency.record(700);
+        let mut cur = m.snapshot();
+        cur.gauges.mv_versions = 5;
+        let d = cur.delta(&prev);
+        assert_eq!((d.commits, d.aborts), (1, 1));
+        assert_eq!(d.latency.count, 1);
+        assert_eq!(d.block_wait.count, 0, "no waits in the window");
+        assert_eq!(d.gauges.mv_versions, 5, "gauges are levels, not deltas");
+    }
+
+    proptest! {
+        /// Window deltas recompose: for any split of a sample stream into
+        /// two windows, diff-then-merge reproduces the cumulative
+        /// histogram exactly (buckets, count, and quantiles).
+        #[test]
+        fn window_diff_merge_recomposes(
+            first in proptest::collection::vec(0u64..100_000, 0..100),
+            second in proptest::collection::vec(0u64..100_000, 0..100),
+        ) {
+            let h = LatencyHistogram::default();
+            for &x in &first {
+                h.record(x);
+            }
+            let w1 = h.snapshot();
+            for &x in &second {
+                h.record(x);
+            }
+            let cumulative = h.snapshot();
+            let w2 = cumulative.diff(&w1);
+            prop_assert_eq!(w2.count, second.len() as u64);
+            prop_assert_eq!(w1.merge(&w2), cumulative);
+            // Summing from a zero baseline is the same recomposition.
+            prop_assert_eq!(LatencySnapshot::default().merge(&w1).merge(&w2), cumulative);
+        }
     }
 
     proptest! {

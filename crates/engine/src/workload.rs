@@ -143,6 +143,36 @@ pub fn run_bank_mix_multiversion_audited(
     (report, mdts_trace::audit(&buffer.drain(), k))
 }
 
+/// Builds the workload's database (accounts pre-funded) under a
+/// sequential protocol, without running anything — callers that need a
+/// handle before the run (e.g. to attach a telemetry sampler) build
+/// here, then drive [`run_bank_mix_db`].
+pub fn bank_database(cc: Box<dyn ConcurrencyControl>, cfg: &BankConfig) -> Database<i64> {
+    Database::with_store(cc, Store::with_items(cfg.accounts, cfg.initial_balance))
+}
+
+/// [`bank_database`] under a natively concurrent protocol.
+pub fn bank_database_concurrent(cc: Box<dyn ConcurrentCc>, cfg: &BankConfig) -> Database<i64> {
+    Database::with_store_concurrent(cc, Store::with_items(cfg.accounts, cfg.initial_balance))
+}
+
+/// [`bank_database`] under sharded MT(k) with the multiversion serving
+/// path enabled.
+pub fn bank_database_multiversion(k: usize, cfg: &BankConfig) -> Database<i64> {
+    Database::with_store_multiversion_traced(
+        crate::cc::ShardedMtCc::new(k),
+        Store::with_items(cfg.accounts, cfg.initial_balance),
+        mdts_trace::TraceSink::disabled(),
+    )
+}
+
+/// Runs the workload against a caller-built database (see
+/// [`bank_database`] and friends). The expected-total invariant assumes
+/// the store was seeded with `cfg.accounts × cfg.initial_balance`.
+pub fn run_bank_mix_db(db: &Database<i64>, cfg: &BankConfig) -> BankReport {
+    run_bank_mix_on(db.clone(), cfg)
+}
+
 fn run_bank_mix_on(db: Database<i64>, cfg: &BankConfig) -> BankReport {
     let protocol = db.protocol_name();
     let zipf = mdts_model::Zipf::new(cfg.accounts as usize, cfg.zipf_theta);

@@ -31,8 +31,8 @@ pub mod twophase;
 pub mod undo;
 
 pub use mvstore::{
-    ConcurrentMvStore, MultiVersionStore, MvVersion, SnapshotGuard, Version,
-    DEFAULT_PRUNE_THRESHOLD,
+    ConcurrentMvStore, MultiVersionStore, MvStoreStats, MvVersion, SnapshotGuard, Version,
+    DEFAULT_PRUNE_THRESHOLD, MV_CHAIN_LEN_BUCKETS,
 };
 pub use sharded::{ShardGuard, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::Store;

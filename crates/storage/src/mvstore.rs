@@ -360,6 +360,74 @@ impl<V: Clone> ConcurrentMvStore<V> {
     pub fn active_snapshots(&self) -> usize {
         self.snapshots.iter().filter(|s| s.load(Ordering::SeqCst) != 0).count()
     }
+
+    /// Point-in-time internals for telemetry: chain-length distribution,
+    /// GC watermark lag, registry occupancy. The walk takes each shard's
+    /// read lock in turn, so the numbers are per-shard consistent but the
+    /// cross-shard view is a racy (monotone-safe) composite — fine for
+    /// gauges, not for invariants.
+    pub fn stats(&self) -> MvStoreStats {
+        let mut stats = MvStoreStats {
+            install_seq: self.install_seq.load(Ordering::SeqCst),
+            watermark: self.watermark(),
+            active_snapshots: self.active_snapshots() as u64,
+            pruned: self.pruned(),
+            ..MvStoreStats::default()
+        };
+        for shard in self.shards.iter() {
+            let guard = shard.read().unwrap_or_else(|e| e.into_inner());
+            for chain in guard.chains.iter().filter(|c| !c.is_empty()) {
+                let len = chain.len();
+                stats.chains += 1;
+                stats.versions += len as u64;
+                stats.max_chain = stats.max_chain.max(len as u64);
+                // Power-of-two length buckets, same scheme as
+                // `LatencyHistogram`: bucket b holds lengths in
+                // [2^(b-1)+1 … 2^b] — i.e. bucket 0 is empty chains,
+                // bucket 1 is length 1, bucket 2 is 2, bucket 3 is 3-4 …
+                let bucket =
+                    (usize::BITS - len.leading_zeros()) as usize & (MV_CHAIN_LEN_BUCKETS - 1);
+                stats.chain_len_buckets[bucket] += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Bucket count for [`MvStoreStats::chain_len_buckets`]. Chains are
+/// pruned at `DEFAULT_PRUNE_THRESHOLD`, so 16 power-of-two buckets
+/// (lengths up to 2^15) cover every reachable configuration.
+pub const MV_CHAIN_LEN_BUCKETS: usize = 16;
+
+/// A point-in-time snapshot of [`ConcurrentMvStore`] internals, produced
+/// by [`ConcurrentMvStore::stats`] and exported as telemetry gauges.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MvStoreStats {
+    /// Non-empty version chains.
+    pub chains: u64,
+    /// Total versions across all chains (including floor versions).
+    pub versions: u64,
+    /// Length of the longest chain.
+    pub max_chain: u64,
+    /// Chain counts by power-of-two length bucket (bucket `b` covers
+    /// lengths `2^(b-1)+1 ..= 2^b`).
+    pub chain_len_buckets: [u64; MV_CHAIN_LEN_BUCKETS],
+    /// Current global install ticket.
+    pub install_seq: u64,
+    /// Current GC watermark (`install_seq` when no snapshot is live).
+    pub watermark: u64,
+    /// Occupied slots in the snapshot registry.
+    pub active_snapshots: u64,
+    /// Cumulative versions reclaimed by pruning.
+    pub pruned: u64,
+}
+
+impl MvStoreStats {
+    /// How far the GC watermark trails the install frontier — the
+    /// "visibility lag" a long-lived snapshot imposes on reclamation.
+    pub fn watermark_lag(&self) -> u64 {
+        self.install_seq.saturating_sub(self.watermark)
+    }
 }
 
 impl<V: Clone> Default for ConcurrentMvStore<V> {

@@ -1,0 +1,303 @@
+//! Online stall detection over the window stream.
+//!
+//! Three rules, evaluated per window against a trailing-mean baseline of
+//! the preceding windows (after a warmup period):
+//!
+//! * **throughput collapse** — window commits fall below a fraction of
+//!   the trailing mean: the metastable-regime signature (the order-cache
+//!   restart storm of PR 3, the bimodal MV hotspot of PR 6);
+//! * **abort spike** — window aborts exceed a multiple of the trailing
+//!   mean: a restart storm building before throughput visibly dips;
+//! * **writer starvation** — the PR 6 pre-fix signature: the snapshot
+//!   lane keeps serving reads (`snapshot_reads` holds up) while *update*
+//!   commits (commits − snapshot transactions) flatline — read-only
+//!   traffic healthy, writers starved.
+//!
+//! The detector is deliberately cheap and deterministic: a handful of
+//! ring-buffered sums per window, no clock, no allocation after
+//! construction beyond the returned alerts.
+
+pub use mdts_trace::StallRule;
+
+use crate::window::Window;
+
+/// One stall-detector firing.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Alert {
+    /// Window index the rule fired on.
+    pub window: u64,
+    /// Which rule fired.
+    pub rule: StallRule,
+    /// The window's observed value (rule-specific unit).
+    pub value: f64,
+    /// The trailing-mean baseline it was judged against.
+    pub baseline: f64,
+}
+
+/// Detector thresholds. The defaults are tuned to fire on the PR 6
+/// collapse fixture (70k → 2k txn/s) while staying silent through the
+/// ordinary window-to-window noise of a healthy saturated run.
+#[derive(Clone, Copy, Debug)]
+pub struct StallConfig {
+    /// Windows to observe before any rule may fire.
+    pub warmup_windows: usize,
+    /// Trailing windows in the baseline mean.
+    pub trailing_windows: usize,
+    /// Collapse fires when window commits < `collapse_factor` × mean.
+    pub collapse_factor: f64,
+    /// Minimum mean commits per window for collapse to be meaningful
+    /// (an idle engine is not a stalled one).
+    pub min_mean_commits: f64,
+    /// Abort spike fires when window aborts > `abort_spike_factor` ×
+    /// max(mean aborts, 1).
+    pub abort_spike_factor: f64,
+    /// Minimum window aborts for a spike to fire.
+    pub min_spike_aborts: u64,
+    /// Starvation fires when update commits < `starvation_factor` ×
+    /// their mean while snapshot reads hold above half their mean.
+    pub starvation_factor: f64,
+    /// Minimum mean update commits for starvation to be meaningful.
+    pub min_mean_updates: f64,
+}
+
+impl Default for StallConfig {
+    fn default() -> Self {
+        StallConfig {
+            warmup_windows: 4,
+            trailing_windows: 8,
+            collapse_factor: 0.35,
+            min_mean_commits: 50.0,
+            abort_spike_factor: 4.0,
+            min_spike_aborts: 50,
+            starvation_factor: 0.25,
+            min_mean_updates: 50.0,
+        }
+    }
+}
+
+/// The per-window figures the rules consume — extracted from a live
+/// [`Window`], or synthesized directly for fixtures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WindowStats {
+    /// Committed transactions (update + snapshot) in the window.
+    pub commits: u64,
+    /// Aborted incarnations in the window.
+    pub aborts: u64,
+    /// Read-only snapshot transactions in the window.
+    pub snapshot_txns: u64,
+    /// Version-chain reads served in the window.
+    pub snapshot_reads: u64,
+}
+
+impl WindowStats {
+    /// Update (writer) commits: total commits minus the snapshot lane.
+    pub fn update_commits(&self) -> u64 {
+        self.commits.saturating_sub(self.snapshot_txns)
+    }
+}
+
+impl From<&Window> for WindowStats {
+    fn from(w: &Window) -> Self {
+        WindowStats {
+            commits: w.delta.commits,
+            aborts: w.delta.aborts,
+            snapshot_txns: w.delta.snapshot_txns,
+            snapshot_reads: w.delta.snapshot_reads,
+        }
+    }
+}
+
+/// Online rule engine; feed windows in order with [`StallDetector::observe`].
+#[derive(Clone, Debug)]
+pub struct StallDetector {
+    cfg: StallConfig,
+    /// Trailing window ring, newest last.
+    history: Vec<WindowStats>,
+    seen: usize,
+}
+
+impl StallDetector {
+    /// Detector with the given thresholds.
+    pub fn new(cfg: StallConfig) -> Self {
+        StallDetector { cfg, history: Vec::with_capacity(cfg.trailing_windows), seen: 0 }
+    }
+
+    fn mean(&self, f: impl Fn(&WindowStats) -> u64) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().map(|w| f(w) as f64).sum::<f64>() / self.history.len() as f64
+    }
+
+    /// Evaluates one window against the trailing baseline and rolls the
+    /// baseline forward. Returns every rule that fired (possibly none).
+    pub fn observe(&mut self, index: u64, stats: WindowStats) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        if self.seen >= self.cfg.warmup_windows {
+            let mean_commits = self.mean(|w| w.commits);
+            let mean_aborts = self.mean(|w| w.aborts);
+            let mean_updates = self.mean(WindowStats::update_commits);
+            let mean_snap_reads = self.mean(|w| w.snapshot_reads);
+
+            if mean_commits >= self.cfg.min_mean_commits
+                && (stats.commits as f64) < self.cfg.collapse_factor * mean_commits
+            {
+                alerts.push(Alert {
+                    window: index,
+                    rule: StallRule::ThroughputCollapse,
+                    value: stats.commits as f64,
+                    baseline: mean_commits,
+                });
+            }
+            if stats.aborts >= self.cfg.min_spike_aborts
+                && stats.aborts as f64 > self.cfg.abort_spike_factor * mean_aborts.max(1.0)
+            {
+                alerts.push(Alert {
+                    window: index,
+                    rule: StallRule::AbortSpike,
+                    value: stats.aborts as f64,
+                    baseline: mean_aborts,
+                });
+            }
+            if mean_updates >= self.cfg.min_mean_updates
+                && (stats.update_commits() as f64) < self.cfg.starvation_factor * mean_updates
+                && stats.snapshot_reads as f64 >= 0.5 * mean_snap_reads
+                && stats.snapshot_reads > 0
+            {
+                alerts.push(Alert {
+                    window: index,
+                    rule: StallRule::WriterStarvation,
+                    value: stats.update_commits() as f64,
+                    baseline: mean_updates,
+                });
+            }
+        }
+        self.seen += 1;
+        if self.history.len() == self.cfg.trailing_windows {
+            self.history.remove(0);
+        }
+        self.history.push(stats);
+        alerts
+    }
+
+    /// Runs a whole fixture through a fresh detector, collecting every
+    /// firing.
+    pub fn scan(cfg: StallConfig, series: &[WindowStats]) -> Vec<Alert> {
+        let mut det = StallDetector::new(cfg);
+        series.iter().enumerate().flat_map(|(i, &s)| det.observe(i as u64, s)).collect()
+    }
+}
+
+/// The PR 6 pre-fix writer-starvation collapse, reduced to per-window
+/// figures (250 ms windows at the 16-thread read-heavy hotspot): ~70k
+/// txn/s while healthy, then update commits collapse to the 2–30k txn/s
+/// bimodal floor while the snapshot lane keeps streaming reads. The
+/// detector must fire [`StallRule::ThroughputCollapse`] *and*
+/// [`StallRule::WriterStarvation`] on this series.
+pub fn writer_starvation_fixture() -> Vec<WindowStats> {
+    let healthy = |i: u64| WindowStats {
+        commits: 17_500 + (i % 3) * 400,
+        aborts: 210 + (i % 5) * 22,
+        snapshot_txns: 8_600 + (i % 4) * 120,
+        snapshot_reads: 34_400 + (i % 4) * 480,
+    };
+    // Starvation onset: the snapshot lane still streams at full rate
+    // while the update lane flatlines.
+    let starved = |i: u64| WindowStats {
+        commits: 9_000 + (i % 3) * 90,
+        aborts: 260 + (i % 4) * 18,
+        snapshot_txns: 8_700 + (i % 4) * 110,
+        snapshot_reads: 34_800 + (i % 3) * 390,
+    };
+    // Full bimodal floor: the whole system drops to the 2–30k txn/s
+    // band (≈1.5k per 250 ms window at the bottom).
+    let collapsed = |i: u64| WindowStats {
+        commits: 1_400 + (i % 3) * 60,
+        aborts: 240 + (i % 4) * 16,
+        snapshot_txns: 1_100 + (i % 3) * 40,
+        snapshot_reads: 4_400 + (i % 3) * 160,
+    };
+    (0..10).map(healthy).chain((10..13).map(starved)).chain((13..16).map(collapsed)).collect()
+}
+
+/// Four consecutive healthy 16-thread read-heavy runs' worth of windows:
+/// saturated throughput with ordinary noise. The detector must stay
+/// silent on this series.
+pub fn healthy_fixture() -> Vec<WindowStats> {
+    (0..64u64)
+        .map(|i| WindowStats {
+            commits: 17_000 + (i * 467 % 1_900),
+            aborts: 180 + (i * 83 % 120),
+            snapshot_txns: 8_400 + (i * 211 % 700),
+            snapshot_reads: 33_600 + (i * 661 % 2_600),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_the_pr6_collapse_fixture() {
+        let alerts = StallDetector::scan(StallConfig::default(), &writer_starvation_fixture());
+        assert!(
+            alerts.iter().any(|a| a.rule == StallRule::WriterStarvation),
+            "starvation rule must fire on the PR 6 signature: {alerts:?}"
+        );
+        assert!(
+            alerts.iter().any(|a| a.rule == StallRule::ThroughputCollapse),
+            "collapse rule must fire on the bimodal floor: {alerts:?}"
+        );
+        assert!(
+            alerts.iter().all(|a| a.window >= 10),
+            "no rule may fire during the healthy prefix: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn silent_on_healthy_runs() {
+        let alerts = StallDetector::scan(StallConfig::default(), &healthy_fixture());
+        assert!(alerts.is_empty(), "healthy noise must not alert: {alerts:?}");
+    }
+
+    #[test]
+    fn collapse_fires_on_throughput_cliff() {
+        let mut series: Vec<WindowStats> =
+            (0..8).map(|_| WindowStats { commits: 10_000, ..WindowStats::default() }).collect();
+        series.push(WindowStats { commits: 800, ..WindowStats::default() });
+        let alerts = StallDetector::scan(StallConfig::default(), &series);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, StallRule::ThroughputCollapse);
+        assert_eq!(alerts[0].window, 8);
+        assert_eq!(alerts[0].value, 800.0);
+        assert_eq!(alerts[0].baseline, 10_000.0);
+    }
+
+    #[test]
+    fn abort_spike_fires_before_throughput_dips() {
+        let mut series: Vec<WindowStats> = (0..8)
+            .map(|_| WindowStats { commits: 10_000, aborts: 40, ..WindowStats::default() })
+            .collect();
+        series.push(WindowStats { commits: 9_500, aborts: 2_000, ..WindowStats::default() });
+        let alerts = StallDetector::scan(StallConfig::default(), &series);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, StallRule::AbortSpike);
+    }
+
+    #[test]
+    fn idle_engine_never_alerts() {
+        let series = vec![WindowStats::default(); 32];
+        assert!(StallDetector::scan(StallConfig::default(), &series).is_empty());
+    }
+
+    #[test]
+    fn warmup_suppresses_early_windows() {
+        // A cliff inside the warmup period is not judged.
+        let series = vec![
+            WindowStats { commits: 10_000, ..WindowStats::default() },
+            WindowStats { commits: 100, ..WindowStats::default() },
+        ];
+        assert!(StallDetector::scan(StallConfig::default(), &series).is_empty());
+    }
+}

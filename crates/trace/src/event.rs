@@ -58,6 +58,31 @@ impl AbortReason {
     }
 }
 
+/// Which telemetry rule raised an alert (the stall detector's taxonomy;
+/// the detector itself lives in `mdts-telemetry`, but the rule names are
+/// part of the trace vocabulary so alerts can ride the event stream).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StallRule {
+    /// Per-window commit throughput collapsed versus its trailing mean.
+    ThroughputCollapse,
+    /// Per-window aborts spiked versus their trailing mean.
+    AbortSpike,
+    /// The PR 6 starved-writer signature: snapshot reads keep rising while
+    /// update-lane commits flatline.
+    WriterStarvation,
+}
+
+impl StallRule {
+    /// Stable snake_case name used by the JSON exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallRule::ThroughputCollapse => "throughput_collapse",
+            StallRule::AbortSpike => "abort_spike",
+            StallRule::WriterStarvation => "writer_starvation",
+        }
+    }
+}
+
 /// One timestamp-element assignment: `(transaction, 0-based element,
 /// value)` — the paper's "(transaction, dimension, value)" triple.
 pub type Change = (TxId, usize, i64);
@@ -397,6 +422,19 @@ pub enum TraceEvent {
         /// Writer of the selected version.
         writer: TxId,
     },
+    /// The online stall detector fired on a telemetry window: `value` is
+    /// the offending per-window figure, `baseline` the trailing mean it
+    /// was judged against.
+    TelemetryAlert {
+        /// Index of the telemetry window the rule fired on.
+        window: u64,
+        /// Which rule fired.
+        rule: StallRule,
+        /// The per-window figure that tripped the rule.
+        value: f64,
+        /// The trailing baseline the figure was compared to.
+        baseline: f64,
+    },
 }
 
 impl TraceEvent {
@@ -421,6 +459,7 @@ impl TraceEvent {
             TraceEvent::StampFill { .. } => "stamp_fill",
             TraceEvent::VersionInstall { .. } => "version_install",
             TraceEvent::VersionRead { .. } => "version_read",
+            TraceEvent::TelemetryAlert { .. } => "telemetry_alert",
         }
     }
 
@@ -445,7 +484,8 @@ impl TraceEvent {
             TraceEvent::Wake { .. }
             | TraceEvent::DmtLock { .. }
             | TraceEvent::DmtWriteBack { .. }
-            | TraceEvent::DmtSync { .. } => None,
+            | TraceEvent::DmtSync { .. }
+            | TraceEvent::TelemetryAlert { .. } => None,
         }
     }
 }

@@ -167,6 +167,12 @@ fn event_fields(event: &TraceEvent) -> Vec<(&'static str, Json)> {
             ("item", Json::U64(u64::from(item.0))),
             ("writer", Json::U64(u64::from(writer.0))),
         ],
+        TraceEvent::TelemetryAlert { window, rule, value, baseline } => vec![
+            ("window", Json::U64(*window)),
+            ("rule", Json::str(rule.name())),
+            ("value", Json::F64(*value)),
+            ("baseline", Json::F64(*baseline)),
+        ],
     }
 }
 

@@ -31,7 +31,7 @@ pub mod table;
 pub use audit::{audit, AuditReport};
 pub use event::{
     scalar_cost, tree_cost, AbortReason, AccessOutcome, DmtObj, DmtSource, RejectRule,
-    SetEdgeOutcome, TraceEvent, TraceRecord,
+    SetEdgeOutcome, StallRule, TraceEvent, TraceRecord,
 };
 pub use export::{to_chrome_trace, to_jsonl};
 pub use json::Json;

@@ -14,7 +14,18 @@
 #                              the schema stamp, the read-heavy MV lane
 #                              (snapshot transactions actually served), and
 #                              exp18 --json, plus criterion build checks.
-#                              No files written.
+#                              The telemetry lane always runs: exp19 emits
+#                              an mdts-timeseries/v1 file under
+#                              --telemetry-strict, timeseries_check
+#                              validates it (schema, dense window indices,
+#                              counter recomposition) and certifies the
+#                              stall-detector regression fixtures. Only a
+#                              temp file is written.
+#   scripts/bench.sh --telemetry
+#                              full run as above, additionally passing
+#                              --telemetry to exp19 so the window stream
+#                              lands in BENCH_pr6_timeseries.jsonl
+#                              (validated before the script exits).
 #
 # Run from the repo root (or anywhere — the script cd's home first).
 set -euo pipefail
@@ -23,6 +34,7 @@ cd "$(dirname "$0")/.."
 SCHEMA='mdts-metrics/v1'
 OUT=BENCH_pr6.json
 OUT18=BENCH_pr6_exp18.json
+OUT_TS=BENCH_pr6_timeseries.jsonl
 
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== bench smoke: exp19 --quick --json (scaling + read-heavy MV lane) =="
@@ -51,11 +63,25 @@ if [[ "${1:-}" == "--smoke" ]]; then
         echo "bench smoke: exp18 --json document is malformed" >&2
         exit 1
     fi
+    echo "== bench smoke: exp19 --telemetry (windowed sampler, strict stall gate) =="
+    ts_file=$(mktemp /tmp/mdts_timeseries.XXXXXX.jsonl)
+    trap 'rm -f "$ts_file"' EXIT
+    cargo run --release -q -p mdts-bench --bin exp19_scaling -- \
+        --quick --telemetry "$ts_file" --telemetry-strict > /dev/null
+    echo "== bench smoke: timeseries_check (schema + recomposition) =="
+    cargo run --release -q -p mdts-bench --bin timeseries_check -- "$ts_file"
+    echo "== bench smoke: stall-detector regression fixtures =="
+    cargo run --release -q -p mdts-bench --bin timeseries_check -- --stall-fixture
     echo "== bench smoke: criterion targets compile =="
     cargo bench -p mdts-bench --bench bench_scaling --no-run
     cargo bench -p mdts-bench --bench bench_compare --no-run
     echo "bench smoke: OK"
     exit 0
+fi
+
+TELEMETRY_ARGS=()
+if [[ "${1:-}" == "--telemetry" ]]; then
+    TELEMETRY_ARGS=(--telemetry "$OUT_TS")
 fi
 
 echo "== criterion: engine_scaling (sharded / sharded-nocache / serialized) =="
@@ -65,9 +91,13 @@ echo "== criterion: vector compare (Figs. 6-7 + small-k representation sweep) ==
 cargo bench -p mdts-bench --bench bench_compare
 
 echo "== exp19 (full sweep incl. read-heavy MV lane) --json -> $OUT =="
-cargo run --release -q -p mdts-bench --bin exp19_scaling -- --json > "$OUT"
+cargo run --release -q -p mdts-bench --bin exp19_scaling -- --json "${TELEMETRY_ARGS[@]}" > "$OUT"
 grep -q "$SCHEMA" "$OUT"
 echo "bench: wrote $OUT"
+if [[ ${#TELEMETRY_ARGS[@]} -gt 0 ]]; then
+    cargo run --release -q -p mdts-bench --bin timeseries_check -- "$OUT_TS"
+    echo "bench: wrote $OUT_TS"
+fi
 
 echo "== exp18 (MV acceptance grid) --json -> $OUT18 =="
 cargo run --release -q -p mdts-bench --bin exp18_multiversion -- --json > "$OUT18"

@@ -7,5 +7,6 @@ pub use mdts_graph as graph;
 pub use mdts_model as model;
 pub use mdts_nested as nested;
 pub use mdts_storage as storage;
+pub use mdts_telemetry as telemetry;
 pub use mdts_trace as trace;
 pub use mdts_vector as vector;

@@ -13,6 +13,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mdts::core::{MtOptions, SharedMtScheduler};
+use mdts::engine::{Phase, PhaseTimers};
 use mdts::model::{ItemId, TxId};
 use mdts::vector::{TsVec, INLINE_K};
 
@@ -156,6 +157,34 @@ fn steady_state_scheduler_path_is_allocation_free_for_inline_k() {
         }
     });
     assert_eq!(snapshot, 0, "steady-state snapshot reads must not allocate for k = {INLINE_K}");
+
+    // The phase-timing cells (ISSUE 7). Disabled — the compiled-in
+    // default — a span start is one relaxed load and recording is a
+    // no-op; enabled, recording is striped atomic adds into fixed
+    // arrays. Neither side may touch the heap: the thread's stripe
+    // assignment is a const-initialized thread local, warmed here by
+    // the first enabled record before the window opens.
+    let timers = PhaseTimers::default();
+    let disabled = allocations(|| {
+        for _ in 0..256 {
+            let span = timers.start();
+            assert!(span.is_none(), "disabled timers must not produce spans");
+            timers.record_since(Phase::Commit, span);
+        }
+    });
+    assert_eq!(disabled, 0, "disabled phase timers must not allocate");
+    timers.set_enabled(true);
+    timers.record_since(Phase::Commit, timers.start());
+    let enabled = allocations(|| {
+        for _ in 0..256 {
+            let span = timers.start();
+            assert!(span.is_some());
+            timers.record_since(Phase::ChainWalk, span);
+            timers.record_ns(Phase::BlockWait, 17);
+        }
+    });
+    assert_eq!(enabled, 0, "enabled phase-timing records must not allocate");
+    assert!(timers.snapshot().spans[Phase::ChainWalk as usize].count >= 256);
 
     // Sanity check that the counter actually observes the scheduler: one
     // dimension past the inline capacity spills to boxed storage, so the
