@@ -76,7 +76,14 @@ impl Protocol {
     fn run(self, cfg: &BankConfig) -> BankReport {
         match self {
             Protocol::MvMtSnapshot => run_bank_mix_multiversion(K, cfg),
-            Protocol::MtSharded => run_bank_mix_concurrent(Box::new(ShardedMtCc::new(K)), cfg),
+            Protocol::MtSharded => {
+                let opts = mdts_core::MtOptions {
+                    starvation_flush: true,
+                    order_cache: cfg.order_cache,
+                    ..mdts_core::MtOptions::new(K)
+                };
+                run_bank_mix_concurrent(Box::new(ShardedMtCc::with_options(opts)), cfg)
+            }
             Protocol::MtSerialized => run_bank_mix(Box::new(MtCc::new(K)), cfg),
             Protocol::Mvto => run_bank_mix(Box::new(MvToCc::new()), cfg),
             Protocol::TwoPl => run_bank_mix(Box::new(TwoPlCc::new()), cfg),
@@ -88,6 +95,11 @@ impl Protocol {
 fn main() {
     let json = json_mode();
     let quick = std::env::args().any(|a| a == "--quick");
+    // `--nocache` switches the sharded lanes' write-once order cache off:
+    // every admission walks the vectors, so the batched SIMD probe path
+    // (ISSUE 8) carries the whole comparison load — the configuration the
+    // bench.sh smoke step pins down.
+    let nocache = std::env::args().any(|a| a == "--nocache");
     let telemetry = TelemetryOpts::from_args();
     let read_only_fraction: f64 = arg_value("--read-only-fraction")
         .map(|v| v.parse().expect("--read-only-fraction expects a float in [0,1]"))
@@ -143,6 +155,7 @@ fn main() {
                     scan_len: scan,
                     think_sleep_us: THINK_SLEEP_US,
                     max_restarts: 2_000,
+                    order_cache: !nocache,
                     ..Default::default()
                 };
                 let r = protocol.run(&cfg);
@@ -170,6 +183,17 @@ fn main() {
                         "multiversion lane never served a snapshot transaction"
                     );
                 }
+                if matches!(protocol, Protocol::MvMtSnapshot | Protocol::MtSharded) {
+                    // The sharded scheduler's admissions go through the
+                    // batched SIMD probe whether or not the order cache
+                    // memoizes the verdicts — `--nocache` must not
+                    // silently fall back to scalar one-at-a-time compares.
+                    assert!(
+                        r.metrics.batched_compares > 0,
+                        "{} issued no batched SIMD compares",
+                        r.protocol
+                    );
+                }
                 runs.push(
                     r.metrics
                         .registry()
@@ -180,6 +204,7 @@ fn main() {
                         .label("zipf_theta", format!("{theta}"))
                         .label("read_only_fraction", format!("{ro_fraction}"))
                         .label("scan_len", scan.to_string())
+                        .label("order_cache", if nocache { "off" } else { "on" })
                         .counter("throughput_txn_per_s", r.throughput as u64),
                 );
             }

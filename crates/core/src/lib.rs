@@ -55,7 +55,7 @@ pub use mtk::{Decision, HotEncoding, MtOptions, MtScheduler, Reject, SetEvent};
 pub use mvmt::MvMtScheduler;
 pub use recognize::{recognize, to_k, to_k_star, LogScheduler, Recognition};
 pub use rowtable::{RowSlot, RowTable};
-pub use shared::{SharedMtScheduler, SnapshotRead};
+pub use shared::{BatchedCompareStats, SharedMtScheduler, SnapshotRead, BATCH_SIZE_BUCKETS};
 pub use table::TimestampTable;
 
 #[cfg(test)]

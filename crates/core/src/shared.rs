@@ -85,7 +85,8 @@
 //!
 //! [`OrderCache`]: mdts_vector::OrderCache
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 // The row-slot guards come from the cfg(loom)-switched layer so this
@@ -100,7 +101,7 @@ use mdts_trace::event::{
 };
 use mdts_trace::{TraceEvent, TraceSink};
 use mdts_vector::{
-    AtomicKthCounters, CmpResult, OrderCache, OrderCacheStats, ScalarComparator, TsVec,
+    AtomicKthCounters, BatchScratch, CmpResult, OrderCache, OrderCacheStats, SimdComparator, TsVec,
 };
 
 use crate::mtk::{Decision, MtOptions, Reject};
@@ -174,6 +175,45 @@ pub enum SnapshotRead {
     Older,
 }
 
+/// Number of power-of-two buckets in the batched-compare size
+/// distribution: bucket `i` counts batches of `2^i ..= 2^(i+1) - 1`
+/// candidates, the last bucket absorbing everything from 64 up.
+pub const BATCH_SIZE_BUCKETS: usize = 7;
+
+/// Counters for the batched SIMD compare paths (ISSUE 8): the admission
+/// probe on an order-cache miss and the MV chain-walk scan. Bulk
+/// cache-fill traffic is counted by the order cache itself
+/// ([`OrderCacheStats::bulk_inserts`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchedCompareStats {
+    /// One-vs-many probes against an item's holder set on admission.
+    pub probe_batches: u64,
+    /// Newest-below-reader scans over MV chain segments.
+    pub chain_batches: u64,
+    /// Total candidates compared across both batched paths.
+    pub candidates: u64,
+    /// Batch-size distribution (see [`BATCH_SIZE_BUCKETS`]).
+    pub size_buckets: [u64; BATCH_SIZE_BUCKETS],
+}
+
+/// Atomic backing of [`BatchedCompareStats`].
+#[derive(Debug, Default)]
+struct BatchedCounters {
+    probe_batches: AtomicU64,
+    chain_batches: AtomicU64,
+    candidates: AtomicU64,
+    size_buckets: [AtomicU64; BATCH_SIZE_BUCKETS],
+}
+
+std::thread_local! {
+    /// Reusable scratch for the batched comparator: per thread,
+    /// warmed by the first batch, allocation-free afterwards (the
+    /// zero-alloc gate in tests/alloc_zero.rs covers both batched
+    /// paths). `const`-initialized so first touch performs no lazy
+    /// registration either.
+    static BATCH_SCRATCH: RefCell<BatchScratch> = const { RefCell::new(BatchScratch::new()) };
+}
+
 /// The concurrent MT(k) scheduler. All methods take `&self`; the type is
 /// `Send + Sync` and meant to be shared across worker threads (e.g. behind
 /// an `Arc`).
@@ -199,6 +239,8 @@ pub struct SharedMtScheduler {
     /// version GC sound (DESIGN.md §8). `SeqCst`, matching the MV store's
     /// install/registry counters the soundness argument chains through.
     col_max: Box<[AtomicI64]>,
+    /// Batched-compare counters (ISSUE 8).
+    batched: BatchedCounters,
     /// Decision-trace sink (disabled by default; see `mdts-trace`).
     trace: TraceSink,
 }
@@ -259,6 +301,7 @@ impl SharedMtScheduler {
             cache: OrderCache::new(),
             counters: AtomicKthCounters::new(),
             col_max: (0..k).map(|_| AtomicI64::new(0)).collect(),
+            batched: BatchedCounters::default(),
             trace: TraceSink::disabled(),
         }
     }
@@ -294,6 +337,32 @@ impl SharedMtScheduler {
     /// cache.
     pub fn order_cache_stats(&self) -> OrderCacheStats {
         self.cache.stats()
+    }
+
+    /// Counters of the batched SIMD compare paths (ISSUE 8).
+    pub fn batched_compare_stats(&self) -> BatchedCompareStats {
+        let b = &self.batched;
+        BatchedCompareStats {
+            probe_batches: b.probe_batches.load(Ordering::Relaxed),
+            chain_batches: b.chain_batches.load(Ordering::Relaxed),
+            candidates: b.candidates.load(Ordering::Relaxed),
+            size_buckets: std::array::from_fn(|i| b.size_buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Ticks the batched-compare counters for one batch of `n` candidates.
+    #[inline]
+    fn note_batch(&self, chain: bool, n: usize) {
+        debug_assert!(n >= 1);
+        let b = &self.batched;
+        if chain {
+            b.chain_batches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            b.probe_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        b.candidates.fetch_add(n as u64, Ordering::Relaxed);
+        let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        b.size_buckets[bucket.min(BATCH_SIZE_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// The shard owning `item` and the item's dense index within it.
@@ -584,7 +653,7 @@ impl SharedMtScheduler {
         // never be touched while protocol locks are held.
         let decided = {
             let (gj, gi) = self.read_pair(j, i);
-            let cmp = ScalarComparator::compare(vec_of(&gj, j), vec_of(&gi, i));
+            let cmp = SimdComparator::compare(vec_of(&gj, j), vec_of(&gi, i));
             match cmp {
                 CmpResult::Less { .. } => {
                     self.emit_compare(j, i, cmp, false);
@@ -608,7 +677,7 @@ impl SharedMtScheduler {
         let k = self.opts.k;
         let (memo, outcome) = {
             let (mut gj, mut gi) = self.write_pair(j, i);
-            let cmp = ScalarComparator::compare(vec_of(&gj, j), vec_of(&gi, i));
+            let cmp = SimdComparator::compare(vec_of(&gj, j), vec_of(&gi, i));
             self.emit_compare(j, i, cmp, false);
             match cmp {
                 CmpResult::Less { .. } => {
@@ -702,7 +771,7 @@ impl SharedMtScheduler {
         let epoch = self.cache.epoch();
         let cmp = {
             let (ga, gb) = self.read_pair(a, b);
-            ScalarComparator::compare(vec_of(&ga, a), vec_of(&gb, b))
+            SimdComparator::compare(vec_of(&ga, a), vec_of(&gb, b))
         };
         // After the row locks are released: a memo insert must never
         // stall a thread that holds protocol state.
@@ -753,6 +822,65 @@ impl SharedMtScheduler {
         }
     }
 
+    /// ISSUE 8: the order-cache-miss batch. Compares the probe
+    /// transaction `tx` against the full holder set of an item in one
+    /// batched SIMD call and bulk-fills the decided verdicts into the
+    /// order cache, so the `Set` calls that follow are answered lock-free
+    /// from the memo table instead of taking one row-pair lock per
+    /// holder. Holders whose order is already memoized are skipped; with
+    /// the cache disabled every holder is probed (that is what the
+    /// `--nocache` bench lanes exercise) but nothing is stored.
+    ///
+    /// Runs under the item's shard lock. Row *read* locks are taken in
+    /// ascending slot order — the established lock order — and the cache
+    /// is only touched after they are released. Compare events are
+    /// emitted under the locks, before the bulk insert, preserving the
+    /// cache soundness argument (an entry exists only after the events
+    /// justifying it).
+    fn batched_order_probe(&self, tx: TxId, HolderPair { rt, wt }: HolderPair) {
+        // Candidate set: the distinct holders other than the probe whose
+        // order against it is not already memoized.
+        let mut cands = [tx; 2];
+        let mut n = 0;
+        for h in [rt, wt] {
+            if h != tx && !(n == 1 && cands[0] == h) && self.cache_get(tx, h).is_none() {
+                cands[n] = h;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return;
+        }
+        let epoch = self.cache.epoch();
+        let mut decided = [(TxId::VIRTUAL, CmpResult::Identical); 2];
+        {
+            // All row read guards in one ascending acquisition.
+            let mut ids = [tx, cands[0], cands[1]];
+            let ids = &mut ids[..1 + n];
+            ids.sort_unstable_by_key(|t| t.index());
+            let mut guards: [Option<RwLockReadGuard<'_, Option<TsVec>>>; 3] = [None, None, None];
+            for (g, &id) in guards.iter_mut().zip(ids.iter()) {
+                *g = Some(self.slot_expect(id).read());
+            }
+            let vec_for = |id: TxId| -> &TsVec {
+                let i = ids.iter().position(|&x| x == id).expect("id was locked");
+                vec_of(guards[i].as_ref().expect("guard taken above"), id)
+            };
+            BATCH_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                let decisions = scratch.compare_one_vs_many(vec_for(tx), n, |i| vec_for(cands[i]));
+                for (i, &d) in decisions.iter().enumerate() {
+                    self.emit_compare(tx, cands[i], d, false);
+                    decided[i] = (cands[i], d);
+                }
+            });
+        }
+        self.note_batch(false, n);
+        if self.opts.order_cache {
+            self.cache.insert_bulk(epoch, tx.0, decided[..n].iter().map(|&(c, d)| (c.0, d)));
+        }
+    }
+
     /// Orders `tx` after both current holders of `item`, larger first.
     /// Returns `Ok` when fully ordered; `Refused` carries which holder
     /// blocked. The holders cannot change underneath us — the caller holds
@@ -799,6 +927,7 @@ impl SharedMtScheduler {
         let pair = s.pair(local);
         let HolderPair { rt, wt } = pair;
         let (larger, smaller) = self.pick(pair);
+        self.batched_order_probe(tx, pair);
         match self.order_after_holders(tx, larger, smaller) {
             Ok(()) => {
                 self.emit_access(tx, item, OpKind::Read, rt, wt, AccessOutcome::Granted);
@@ -862,6 +991,7 @@ impl SharedMtScheduler {
         let pair = s.pair(local);
         let HolderPair { rt, wt } = pair;
         let (larger, smaller) = self.pick(pair);
+        self.batched_order_probe(tx, pair);
         match self.order_after_holders(tx, larger, smaller) {
             Ok(()) => {
                 self.emit_access(tx, item, OpKind::Write, rt, wt, AccessOutcome::Granted);
@@ -1096,7 +1226,7 @@ impl SharedMtScheduler {
         let k = self.opts.k;
         let (memo, slipped) = {
             let (mut gtx, gh) = self.write_pair(tx, holder);
-            let cmp = ScalarComparator::compare(vec_of(&gtx, tx), vec_of(&gh, holder));
+            let cmp = SimdComparator::compare(vec_of(&gtx, tx), vec_of(&gh, holder));
             match cmp {
                 CmpResult::Less { .. } => (Some(cmp), true),
                 CmpResult::Greater { .. } => (Some(cmp), false),
@@ -1148,7 +1278,7 @@ impl SharedMtScheduler {
         // decide the order, needing only the row's read lock.
         {
             let row = slot.read();
-            match ScalarComparator::compare(stamp, vec_of(&row, reader)) {
+            match SimdComparator::compare(stamp, vec_of(&row, reader)) {
                 CmpResult::Less { .. } => return true,
                 CmpResult::Greater { .. } => return false,
                 _ => {}
@@ -1156,7 +1286,7 @@ impl SharedMtScheduler {
         }
         let mut row = slot.write();
         loop {
-            match ScalarComparator::compare(stamp, vec_of(&row, reader)) {
+            match SimdComparator::compare(stamp, vec_of(&row, reader)) {
                 CmpResult::Less { .. } => return true,
                 CmpResult::Greater { .. } => return false,
                 CmpResult::RightUndefined { at } => {
@@ -1181,6 +1311,67 @@ impl SharedMtScheduler {
                 }
             }
         }
+    }
+
+    /// ISSUE 8: the batched newest-below-reader scan over an MV chain
+    /// segment. `stamp_of(i)` yields version `i`'s saturated commit
+    /// stamp, oldest first; returns the index of the newest version the
+    /// reader sits after, or `None` when even the oldest is newer.
+    ///
+    /// One batched SIMD compare of the reader's vector against the whole
+    /// segment replaces the per-version lock/compare round-trips of
+    /// [`snapshot_order_after`](Self::snapshot_order_after): the reader's
+    /// row read lock is taken once, every decision comes back in one
+    /// scratch pass, and only a version whose order is still *open*
+    /// (its stamp column is undefined on the reader's side) falls back
+    /// to the per-version define loop — after the batch guard is
+    /// released, so the fallback's write lock nests as before.
+    ///
+    /// The batched decisions stay valid after the guard drops for the
+    /// same reason the order cache is sound: decided orders are
+    /// write-once, and the stamps are saturated (immutable).
+    pub fn snapshot_newest_visible<'a>(
+        &self,
+        reader: TxId,
+        n: usize,
+        stamp_of: impl Fn(usize) -> &'a TsVec,
+        writer_of: impl Fn(usize) -> TxId,
+    ) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        let slot = self.slot_expect(reader);
+        let mut open = None;
+        let found = BATCH_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let decisions = {
+                let row = slot.read();
+                scratch.compare_one_vs_many(vec_of(&row, reader), n, &stamp_of)
+            };
+            // Newest (highest index) first: the first version the reader
+            // is ordered after is the visible one.
+            for i in (0..n).rev() {
+                match decisions[i] {
+                    CmpResult::Greater { .. } => return Some(i),
+                    CmpResult::Less { .. } => {}
+                    _ => {
+                        // Open order: resolve below via the define loop
+                        // (needs the write lock, so outside this borrow).
+                        open = Some(i);
+                        return None;
+                    }
+                }
+            }
+            None
+        });
+        self.note_batch(true, n);
+        if let Some(i) = found {
+            return Some(i);
+        }
+        // Continue the walk from the first open version downward with the
+        // per-version gap test; versions above it already compared Less.
+        let start = open?;
+        (0..=start).rev().find(|&i| self.snapshot_order_after(reader, stamp_of(i), writer_of(i)))
     }
 
     // ---- inspection ------------------------------------------------------

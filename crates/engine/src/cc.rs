@@ -13,7 +13,9 @@ use mdts_baselines::{
     BasicTimestampOrdering, IntervalScheduler, LockManager, LockMode, LockOutcome,
     MvTimestampOrdering, Occ,
 };
-use mdts_core::{Decision, MtOptions, MtScheduler, NaiveComposite, SharedMtScheduler};
+use mdts_core::{
+    BatchedCompareStats, Decision, MtOptions, MtScheduler, NaiveComposite, SharedMtScheduler,
+};
 use mdts_model::{ItemId, TxId};
 use mdts_vector::OrderCacheStats;
 
@@ -644,6 +646,13 @@ pub trait ConcurrentCc: Send + Sync {
     fn scheduler_gauges(&self) -> Option<SchedulerGauges> {
         None
     }
+
+    /// Batched SIMD compare counters (ISSUE 8), for protocols backed by
+    /// the sharded scheduler. `None` means "no batched path"; the
+    /// metrics layer reports zeros.
+    fn batched_compare_stats(&self) -> Option<BatchedCompareStats> {
+        None
+    }
 }
 
 /// Point-in-time occupancy gauges of a concurrent scheduler (see
@@ -854,5 +863,9 @@ impl ConcurrentCc for ShardedMtCc {
             live_rows: self.sched.live_rows() as u64,
             row_chunks: self.sched.resident_row_chunks() as u64,
         })
+    }
+
+    fn batched_compare_stats(&self) -> Option<BatchedCompareStats> {
+        Some(self.sched.batched_compare_stats())
     }
 }

@@ -246,6 +246,10 @@ impl<V: Clone + Send + 'static> Database<V> {
         if let Some(stats) = self.shared.cc.order_cache_stats() {
             snap.order_cache_hits = stats.hits;
             snap.order_cache_misses = stats.misses;
+            snap.order_cache_bulk_fills = stats.bulk_inserts;
+        }
+        if let Some(stats) = self.shared.cc.batched_compare_stats() {
+            snap.batched_compares = stats.candidates;
         }
         snap.gauges = self.gauges();
         snap
@@ -266,6 +270,11 @@ impl<V: Clone + Send + 'static> Database<V> {
         }
         if let Some(stats) = self.shared.cc.order_cache_stats() {
             g.order_cache_epoch_flushes = stats.invalidations;
+        }
+        if let Some(stats) = self.shared.cc.batched_compare_stats() {
+            g.batched_probe_batches = stats.probe_batches;
+            g.batched_chain_batches = stats.chain_batches;
+            g.batched_size_buckets = stats.size_buckets;
         }
         g
     }
@@ -464,12 +473,19 @@ impl<V: Clone + Send + Sync + 'static> SnapshotTx<'_, V> {
                 // stamped ⟨0,*,…⟩, is the degenerate case).
                 let span = shared.metrics.phases.start();
                 let selected = self.mv.store.with_chain(item, |chain| {
-                    for v in chain.iter().rev() {
-                        if sched.snapshot_order_after(id, &v.stamp, v.writer) {
-                            let writer = v.writer;
-                            shared.trace.emit(|| TraceEvent::VersionRead { tx: id, item, writer });
-                            return Some(v.value.clone());
-                        }
+                    // ISSUE 8: one batched SIMD compare of the reader
+                    // against the whole segment replaces per-version
+                    // lock/compare round-trips; only a version whose
+                    // order is still open falls back to the define loop.
+                    if let Some(i) = sched.snapshot_newest_visible(
+                        id,
+                        chain.len(),
+                        |i| &chain[i].stamp,
+                        |i| chain[i].writer,
+                    ) {
+                        let writer = chain[i].writer;
+                        shared.trace.emit(|| TraceEvent::VersionRead { tx: id, item, writer });
+                        return Some(chain[i].value.clone());
                     }
                     let oldest = chain.first()?;
                     // Unreachable per the GC contract; serve the oldest

@@ -9,6 +9,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use mdts_core::BATCH_SIZE_BUCKETS;
 use mdts_storage::{MvStoreStats, MV_CHAIN_LEN_BUCKETS};
 use mdts_trace::{HistogramExport, Json, MetricsRegistry};
 
@@ -103,6 +104,8 @@ impl Metrics {
             snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
             order_cache_hits: 0,
             order_cache_misses: 0,
+            batched_compares: 0,
+            order_cache_bulk_fills: 0,
             latency: self.latency.snapshot(),
             block_wait: self.block_wait_ticks.snapshot(),
             shard_accesses,
@@ -308,6 +311,14 @@ pub struct EngineGauges {
     pub sched_row_chunks: u64,
     /// Order-cache epoch flushes (cumulative invalidation count).
     pub order_cache_epoch_flushes: u64,
+    /// Batched SIMD compares issued on the order-cache-miss probe path
+    /// (cumulative batch count, sampled from the scheduler).
+    pub batched_probe_batches: u64,
+    /// Batched SIMD compares issued on the MV chain-walk path.
+    pub batched_chain_batches: u64,
+    /// Batch-size distribution by power-of-two bucket (`le_1`, `le_2`,
+    /// `le_4`, …; the last bucket absorbs everything larger).
+    pub batched_size_buckets: [u64; BATCH_SIZE_BUCKETS],
 }
 
 impl EngineGauges {
@@ -483,6 +494,13 @@ pub struct MetricsSnapshot {
     pub order_cache_hits: u64,
     /// Comparisons that missed the order cache and walked the vectors.
     pub order_cache_misses: u64,
+    /// Candidate vectors compared through the batched SIMD one-vs-many
+    /// path (order-cache-miss probes plus MV chain scans; sampled from
+    /// the protocol like the order-cache figures).
+    pub batched_compares: u64,
+    /// Decided verdicts bulk-filled into the order cache by batched
+    /// probes.
+    pub order_cache_bulk_fills: u64,
     /// Commit latency, in logical ticks.
     pub latency: LatencySnapshot,
     /// Blocked-wait durations, in logical ticks.
@@ -514,6 +532,8 @@ impl Default for MetricsSnapshot {
             snapshot_reads: 0,
             order_cache_hits: 0,
             order_cache_misses: 0,
+            batched_compares: 0,
+            order_cache_bulk_fills: 0,
             latency: LatencySnapshot::default(),
             block_wait: LatencySnapshot::default(),
             shard_accesses: [0; SHARD_SLOTS],
@@ -561,6 +581,10 @@ impl MetricsSnapshot {
             snapshot_reads: self.snapshot_reads.saturating_sub(prev.snapshot_reads),
             order_cache_hits: self.order_cache_hits.saturating_sub(prev.order_cache_hits),
             order_cache_misses: self.order_cache_misses.saturating_sub(prev.order_cache_misses),
+            batched_compares: self.batched_compares.saturating_sub(prev.batched_compares),
+            order_cache_bulk_fills: self
+                .order_cache_bulk_fills
+                .saturating_sub(prev.order_cache_bulk_fills),
             latency: self.latency.diff(&prev.latency),
             block_wait: self.block_wait.diff(&prev.block_wait),
             shard_accesses,
@@ -589,6 +613,8 @@ impl MetricsSnapshot {
             .counter("snapshot_reads", self.snapshot_reads)
             .counter("order_cache_hits", self.order_cache_hits)
             .counter("order_cache_misses", self.order_cache_misses)
+            .counter("batched_compares", self.batched_compares)
+            .counter("order_cache_bulk_fills", self.order_cache_bulk_fills)
             .histogram(HistogramExport {
                 name: "commit_latency_ticks".to_string(),
                 count: self.latency.count,
@@ -666,6 +692,17 @@ impl MetricsSnapshot {
                 ("order_cache_epoch_flushes".to_string(), g.order_cache_epoch_flushes),
             ],
         );
+        let mut batched = vec![
+            ("probe_batches".to_string(), g.batched_probe_batches),
+            ("chain_batches".to_string(), g.batched_chain_batches),
+        ];
+        batched.extend(
+            g.batched_size_buckets
+                .iter()
+                .enumerate()
+                .map(|(b, &n)| (format!("size_le_{}", 1u64 << b), n)),
+        );
+        reg = reg.breakdown("batched_compare", batched);
         let entries: Vec<(String, u64)> = self
             .shard_accesses
             .iter()

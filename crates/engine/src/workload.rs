@@ -49,6 +49,10 @@ pub struct BankConfig {
     pub max_restarts: usize,
     /// RNG seed (per-thread streams derived from it).
     pub seed: u64,
+    /// Whether the sharded scheduler's write-once order cache is enabled
+    /// (multiversion runs only). Off forces every admission to walk the
+    /// vectors — the configuration the batched-SIMD bench lanes measure.
+    pub order_cache: bool,
 }
 
 impl Default for BankConfig {
@@ -65,6 +69,7 @@ impl Default for BankConfig {
             think_sleep_us: 0,
             max_restarts: 64,
             seed: 42,
+            order_cache: true,
         }
     }
 }
@@ -116,12 +121,22 @@ pub fn run_bank_mix_multiversion(k: usize, cfg: &BankConfig) -> BankReport {
     let store = Store::with_items(cfg.accounts, cfg.initial_balance);
     run_bank_mix_on(
         Database::with_store_multiversion_traced(
-            crate::cc::ShardedMtCc::new(k),
+            sharded_cc(k, cfg),
             store,
             mdts_trace::TraceSink::disabled(),
         ),
         cfg,
     )
+}
+
+/// The workload's sharded MT(k) protocol: [`ShardedMtCc::new`] defaults
+/// with the order cache switched per `cfg.order_cache`.
+fn sharded_cc(k: usize, cfg: &BankConfig) -> crate::cc::ShardedMtCc {
+    crate::cc::ShardedMtCc::with_options(mdts_core::MtOptions {
+        starvation_flush: true,
+        order_cache: cfg.order_cache,
+        ..mdts_core::MtOptions::new(k)
+    })
 }
 
 /// [`run_bank_mix_multiversion`] with the full mdts-trace journal
@@ -134,7 +149,7 @@ pub fn run_bank_mix_multiversion_audited(
     cfg: &BankConfig,
 ) -> (BankReport, mdts_trace::AuditReport) {
     let buffer = mdts_trace::TraceBuffer::journal();
-    let mut cc = crate::cc::ShardedMtCc::new(k);
+    let mut cc = sharded_cc(k, cfg);
     cc.attach_trace(mdts_trace::TraceSink::to(&buffer));
     let store = Store::with_items(cfg.accounts, cfg.initial_balance);
     let db =
@@ -160,7 +175,7 @@ pub fn bank_database_concurrent(cc: Box<dyn ConcurrentCc>, cfg: &BankConfig) -> 
 /// path enabled.
 pub fn bank_database_multiversion(k: usize, cfg: &BankConfig) -> Database<i64> {
     Database::with_store_multiversion_traced(
-        crate::cc::ShardedMtCc::new(k),
+        sharded_cc(k, cfg),
         Store::with_items(cfg.accounts, cfg.initial_balance),
         mdts_trace::TraceSink::disabled(),
     )

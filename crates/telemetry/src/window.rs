@@ -92,6 +92,8 @@ fn counters_json(s: &MetricsSnapshot) -> Json {
         ("snapshot_reads", Json::U64(s.snapshot_reads)),
         ("order_cache_hits", Json::U64(s.order_cache_hits)),
         ("order_cache_misses", Json::U64(s.order_cache_misses)),
+        ("batched_compares", Json::U64(s.batched_compares)),
+        ("order_cache_bulk_fills", Json::U64(s.order_cache_bulk_fills)),
     ])
 }
 
@@ -163,6 +165,12 @@ impl TimeSeries {
                     ("sched_live_rows", Json::U64(g.sched_live_rows)),
                     ("sched_row_chunks", Json::U64(g.sched_row_chunks)),
                     ("order_cache_epoch_flushes", Json::U64(g.order_cache_epoch_flushes)),
+                    ("batched_probe_batches", Json::U64(g.batched_probe_batches)),
+                    ("batched_chain_batches", Json::U64(g.batched_chain_batches)),
+                    (
+                        "batched_size_buckets",
+                        Json::Arr(g.batched_size_buckets.iter().map(|&n| Json::U64(n)).collect()),
+                    ),
                 ]),
             ),
             (
@@ -250,6 +258,8 @@ impl TimeSeries {
             acc.snapshot_reads += d.snapshot_reads;
             acc.order_cache_hits += d.order_cache_hits;
             acc.order_cache_misses += d.order_cache_misses;
+            acc.batched_compares += d.batched_compares;
+            acc.order_cache_bulk_fills += d.order_cache_bulk_fills;
             acc.latency = acc.latency.merge(&d.latency);
             acc.block_wait = acc.block_wait.merge(&d.block_wait);
             for (a, &b) in acc.shard_accesses.iter_mut().zip(&d.shard_accesses) {

@@ -189,8 +189,8 @@ pub struct ParallelCost {
     pub processors: usize,
 }
 
-/// The five-phase vector-processor comparison of Fig. 6, simulated in
-/// software with explicit parallel-step accounting.
+/// The five-phase vector-processor comparison of Fig. 6, with explicit
+/// parallel-step accounting.
 ///
 /// Phases:
 /// 1. load both vectors into processor rows `a`, `b`;
@@ -202,6 +202,17 @@ pub struct ParallelCost {
 /// 4. the unique processor with `d_m = 1 ∧ d_{m−1} = 0` identifies the first
 ///    difference;
 /// 5. the order is read off `a_m` vs `b_m` at that position.
+///
+/// Since ISSUE 8 the decision itself comes from the real data-parallel
+/// kernel ([`SimdComparator`], bit-identical to the scalar scan), and the
+/// phases are *costed* arithmetically rather than simulated with
+/// heap-allocated processor rows: phase 3's Hillis–Steele doubling over k
+/// processors performs exactly ⌈log₂ k⌉ rounds (`shift` doubling from 1
+/// until it covers `k`), and phases 1/2/4/5 are one step each regardless
+/// of the outcome. The reported [`ParallelCost`] is unchanged for every
+/// input — exp09/exp10 depend on that.
+///
+/// [`SimdComparator`]: crate::simd::SimdComparator
 pub struct TreeComparator;
 
 impl TreeComparator {
@@ -214,43 +225,10 @@ impl TreeComparator {
     pub fn compare_counted(a: &TsVec, b: &TsVec) -> (CmpResult, ParallelCost) {
         assert_eq!(a.k(), b.k(), "vectors of different dimension are never compared");
         let k = a.k();
-
-        // Phase 2: difference bits (phase 1, the load, is implicit).
-        let c: Vec<bool> =
-            (0..k).map(|m| !matches!((a.get(m), b.get(m)), (Some(x), Some(y)) if x == y)).collect();
-
-        // Phase 3: prefix OR by a balanced tree, ⌈log₂ k⌉ doubling rounds
-        // (the Hillis–Steele form of the Fig. 7 tree; same step count).
-        let mut d = c.clone();
-        let mut shift = 1;
-        let mut tree_steps = 0;
-        while shift < k {
-            let prev = d.clone();
-            for m in shift..k {
-                d[m] = prev[m] || prev[m - shift];
-            }
-            shift <<= 1;
-            tree_steps += 1;
-        }
-
-        let cost = ParallelCost { steps: 4 + tree_steps, processors: k };
-
-        // Phase 4: the first difference is the unique m with d[m] && !d[m-1]
-        // (d[-1] treated as 0).
-        let first = (0..k).find(|&m| d[m] && (m == 0 || !d[m - 1]));
-
-        // Phase 5: classify at that position.
-        let result = match first {
-            None => CmpResult::Identical,
-            Some(m) => match (a.get(m), b.get(m)) {
-                (Some(x), Some(y)) if x < y => CmpResult::Less { at: m },
-                (Some(_), Some(_)) => CmpResult::Greater { at: m },
-                (None, None) => CmpResult::EqualUndefined { at: m },
-                (None, Some(_)) => CmpResult::LeftUndefined { at: m },
-                (Some(_), None) => CmpResult::RightUndefined { at: m },
-            },
-        };
-        (result, cost)
+        let result = crate::simd::SimdComparator::compare(a, b);
+        // ⌈log₂ k⌉ doubling rounds of the Fig. 7 tree (0 for k = 1).
+        let tree_steps = k.next_power_of_two().trailing_zeros() as usize;
+        (result, ParallelCost { steps: 4 + tree_steps, processors: k })
     }
 }
 

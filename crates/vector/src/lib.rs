@@ -22,6 +22,10 @@
 //! * [`ScalarComparator`] — the O(k) sequential comparison;
 //! * [`TreeComparator`] — the five-phase simulated vector-processor
 //!   comparison of Figs. 6–7, O(log k) parallel steps;
+//! * [`SimdComparator`] and [`BatchScratch`] — the data-parallel
+//!   Definition 6 kernels (AVX2/SSE2 with a bit-identical scalar
+//!   fallback) and the batched one-vs-many compare used on the
+//!   order-cache miss and MV chain-walk paths;
 //! * [`interval_view`] — the Section VI-A reading of a vector as a shrinking
 //!   timestamp interval;
 //! * [`OrderCache`] — a concurrent memo table for *decided* strict orders,
@@ -31,6 +35,7 @@ pub mod compare;
 pub mod counters;
 pub mod interval;
 pub mod ordercache;
+pub mod simd;
 pub(crate) mod sync;
 pub mod tsvec;
 
@@ -38,9 +43,12 @@ pub use compare::{CmpResult, ParallelCost, ScalarComparator, TreeComparator};
 pub use counters::{AtomicKthCounters, KthCounters};
 pub use interval::interval_view;
 pub use ordercache::{OrderCache, OrderCacheStats};
+pub use simd::{simd_tier, BatchScratch, SimdComparator, SimdTier};
 pub use tsvec::{TsVec, INLINE_K};
 
 #[cfg(test)]
 mod order_props;
+#[cfg(test)]
+mod simd_props;
 #[cfg(test)]
 mod tsvec_props;

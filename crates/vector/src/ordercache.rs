@@ -129,6 +129,9 @@ pub struct OrderCacheStats {
     pub inserts: u64,
     /// Epoch bumps ([`OrderCache::invalidate_all`]).
     pub invalidations: u64,
+    /// Decided verdicts offered through [`OrderCache::insert_bulk`] —
+    /// batched-compare results filled in one call (ISSUE 8).
+    pub bulk_inserts: u64,
 }
 
 impl OrderCacheStats {
@@ -154,6 +157,7 @@ pub struct OrderCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     invalidations: AtomicU64,
+    bulk_inserts: AtomicU64,
 }
 
 impl Default for OrderCache {
@@ -181,6 +185,7 @@ impl OrderCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            bulk_inserts: AtomicU64::new(0),
         }
     }
 
@@ -324,6 +329,30 @@ impl OrderCache {
         self.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bulk fill from one batched compare (ISSUE 8): stores every decided
+    /// verdict of probe `a` against the candidates in `pairs`, under the
+    /// single `observed_epoch` sampled before the batch read any vector.
+    /// Each verdict goes through the same seqlock [`insert`](Self::insert)
+    /// (undecided results skipped, stale epochs and contended slots
+    /// dropped); on top of the per-entry `inserts` count, the decided
+    /// verdicts offered here tick the `bulk_inserts` stat so the fill
+    /// traffic of the batched paths is visible separately.
+    pub fn insert_bulk<I>(&self, observed_epoch: u64, a: u32, pairs: I)
+    where
+        I: IntoIterator<Item = (u32, CmpResult)>,
+    {
+        let mut offered = 0u64;
+        for (b, result) in pairs {
+            if matches!(result, CmpResult::Less { .. } | CmpResult::Greater { .. }) {
+                offered += 1;
+                self.insert(observed_epoch, a, b, result);
+            }
+        }
+        if offered > 0 {
+            self.bulk_inserts.fetch_add(offered, Ordering::Relaxed);
+        }
+    }
+
     /// Invalidates every entry by bumping the epoch. Required after any
     /// vector *overwrite*: the III-D-4 starvation flush, or reuse of a
     /// reclaimed transaction id.
@@ -339,6 +368,7 @@ impl OrderCache {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            bulk_inserts: self.bulk_inserts.load(Ordering::Relaxed),
         }
     }
 

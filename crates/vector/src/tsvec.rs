@@ -74,11 +74,34 @@ union Data {
     spilled: ManuallyDrop<Spill>,
 }
 
-/// The boxed large-k storage (the pre-inline layout).
+/// One cache line of spilled values. Spilled storage is a boxed slice of
+/// these, so the value array always starts on (and is padded to) a
+/// 64-byte boundary: the SIMD comparator's 256- and 512-bit loads then
+/// never split a cache line, which is worth ~40% of the k = 64 scan cost
+/// on a `Box<[i64]>`'s 16-byte alignment. The padding tail (up to seven
+/// values) stays zero and is never part of `values_raw`.
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+struct ValChunk([i64; 8]);
+
+/// The boxed large-k storage (the pre-inline layout, values now
+/// line-aligned — see [`ValChunk`]).
 #[derive(Clone)]
 struct Spill {
-    values: Box<[i64]>,
+    values: Box<[ValChunk]>,
     defined: Box<[u64]>,
+}
+
+impl Spill {
+    /// The value array, length `k`.
+    #[inline]
+    fn values(&self, k: usize) -> &[i64] {
+        debug_assert!(k <= self.values.len() * 8);
+        // SAFETY: `ValChunk` is `repr(C, align(64))` with size 64, so the
+        // boxed chunks are `8 × len` contiguous `i64`s and `k` never
+        // exceeds that (the constructor rounds up).
+        unsafe { std::slice::from_raw_parts(self.values.as_ptr() as *const i64, k) }
+    }
 }
 
 #[cfg(target_pointer_width = "64")]
@@ -126,7 +149,7 @@ impl TsVec {
             defined0: 0,
             data: Data {
                 spilled: ManuallyDrop::new(Spill {
-                    values: vec![0; k].into_boxed_slice(),
+                    values: vec![ValChunk([0; 8]); k.div_ceil(8)].into_boxed_slice(),
                     defined: vec![0; words(k)].into_boxed_slice(),
                 }),
             },
@@ -226,11 +249,12 @@ impl TsVec {
     pub fn values_raw(&self) -> &[i64] {
         // SAFETY: the tag says which arm is initialised; the inline arm is
         // meaningful only up to k.
+        let k = self.k();
         unsafe {
             if self.is_spilled() {
-                &self.data.spilled.values
+                self.data.spilled.values(k)
             } else {
-                &self.data.inline[..self.k()]
+                &self.data.inline[..k]
             }
         }
     }
@@ -241,6 +265,23 @@ impl TsVec {
     #[cold]
     pub fn elems(&self) -> Vec<Option<i64>> {
         (0..self.k()).map(|m| self.get(m)).collect()
+    }
+
+    /// The boxed storage of a spilled vector — `(values, definedness
+    /// words)` — or `None` for the inline form. The batched comparator's
+    /// SoA transposition uses this to prefetch the *next* candidate's
+    /// heap lines while transposing the current one; the engine's hot
+    /// vectors (`k ≤ INLINE_K`) never take this path, so it stays out of
+    /// line like `elems`/`prefix`.
+    #[cold]
+    #[inline(never)]
+    pub fn spilled_parts(&self) -> Option<(&[i64], &[u64])> {
+        if self.is_spilled() {
+            // SAFETY: the tag says the spilled arm is initialised.
+            unsafe { Some((self.data.spilled.values(self.k()), &self.data.spilled.defined)) }
+        } else {
+            None
+        }
     }
 
     /// Defines element `m` (0-based).
@@ -262,7 +303,7 @@ impl TsVec {
             // SAFETY: tag-checked arm; defined[0] mirrors defined0.
             unsafe {
                 let spill = &mut self.data.spilled;
-                spill.values[m] = value;
+                spill.values[m / 8].0[m % 8] = value;
                 spill.defined[m / 64] |= 1 << (m % 64);
             }
         } else {
@@ -298,7 +339,7 @@ impl TsVec {
             // SAFETY: tag-checked arm.
             unsafe {
                 let spill = &mut self.data.spilled;
-                spill.values.fill(0);
+                spill.values.fill(ValChunk([0; 8]));
                 spill.defined.fill(0);
             }
         } else {
@@ -407,6 +448,25 @@ impl fmt::Display for TsVec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Runtime twin of the const layout asserts, so a layout regression
+    /// shows up as a named test failure and not just a compile error
+    /// (ISSUE 8: any touch to the spilled accessors must keep the niche).
+    #[test]
+    fn option_tsvec_stays_one_cache_line() {
+        assert_eq!(std::mem::size_of::<TsVec>(), 64);
+        assert_eq!(std::mem::size_of::<Option<TsVec>>(), 64);
+    }
+
+    #[test]
+    fn spilled_parts_only_for_spilled_form() {
+        assert!(TsVec::undefined(INLINE_K).spilled_parts().is_none());
+        let mut s = TsVec::undefined_spilled(3);
+        s.define(1, 7);
+        let (values, defined) = s.spilled_parts().expect("forced-spilled form");
+        assert_eq!(values, &[0, 7, 0]);
+        assert_eq!(defined, &[0b010]);
+    }
 
     #[test]
     fn origin_is_zero_then_undefined() {

@@ -7,13 +7,20 @@
 #                              small-k inline/spilled/boxed sweep), then the
 #                              full exp19 sweep (including the read-heavy
 #                              MV serving-path lane) under --json, written
-#                              to BENCH_pr6.json, and the exp18 acceptance
-#                              grid to BENCH_pr6_exp18.json (both schema
+#                              to BENCH_pr6.json, the exp18 acceptance
+#                              grid to BENCH_pr6_exp18.json, and the SIMD
+#                              comparator acceptance lanes (bench_compare
+#                              --json) to BENCH_pr8.json (all schema
 #                              mdts-metrics/v1).
 #   scripts/bench.sh --smoke   CI-sized: exp19 --quick --json validated for
 #                              the schema stamp, the read-heavy MV lane
-#                              (snapshot transactions actually served), and
-#                              exp18 --json, plus criterion build checks.
+#                              (snapshot transactions actually served), the
+#                              same sweep under --nocache (every admission
+#                              takes the batched-SIMD order probe; exp19
+#                              asserts batched_compares > 0 there), the
+#                              bench_compare --json SIMD lanes (schema +
+#                              lane presence), and exp18 --json, plus
+#                              criterion build checks.
 #                              The telemetry lane always runs: exp19 emits
 #                              an mdts-timeseries/v1 file under
 #                              --telemetry-strict, timeseries_check
@@ -35,6 +42,7 @@ SCHEMA='mdts-metrics/v1'
 OUT=BENCH_pr6.json
 OUT18=BENCH_pr6_exp18.json
 OUT_TS=BENCH_pr6_timeseries.jsonl
+OUT8=BENCH_pr8.json
 
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== bench smoke: exp19 --quick --json (scaling + read-heavy MV lane) =="
@@ -55,6 +63,22 @@ if [[ "${1:-}" == "--smoke" ]]; then
     # snapshot transactions (snapshot_txns > 0) before emitting the run.
     if [[ "$doc" != *'"protocol":"MV-MT(k)"'* ]]; then
         echo "bench smoke: read-heavy sweep is missing the MV snapshot lane" >&2
+        exit 1
+    fi
+    echo "== bench smoke: exp19 --quick --json --nocache (batched order probes on every admission) =="
+    doc_nc=$(cargo run --release -q -p mdts-bench --bin exp19_scaling -- --quick --json --nocache)
+    if [[ "$doc_nc" != *'"order_cache":"off"'* ]]; then
+        echo "bench smoke: --nocache document is missing the cache-off label" >&2
+        exit 1
+    fi
+    echo "== bench smoke: bench_compare --json (SIMD single + one-vs-many lanes) =="
+    doc_simd=$(cargo bench -q -p mdts-bench --bench bench_compare -- --json)
+    if [[ "$doc_simd" != *"\"schema\":\"$SCHEMA\""* ]]; then
+        echo "bench smoke: bench_compare document is missing the $SCHEMA stamp" >&2
+        exit 1
+    fi
+    if [[ "$doc_simd" != *'"lane":"single_wide_k"'* || "$doc_simd" != *'"lane":"one_vs_many"'* ]]; then
+        echo "bench smoke: bench_compare document is missing a SIMD lane" >&2
         exit 1
     fi
     echo "== bench smoke: exp18 --json =="
@@ -103,3 +127,8 @@ echo "== exp18 (MV acceptance grid) --json -> $OUT18 =="
 cargo run --release -q -p mdts-bench --bin exp18_multiversion -- --json > "$OUT18"
 grep -q "$SCHEMA" "$OUT18"
 echo "bench: wrote $OUT18"
+
+echo "== bench_compare --json (SIMD acceptance lanes) -> $OUT8 =="
+cargo bench -q -p mdts-bench --bench bench_compare -- --json > "$OUT8"
+grep -q "$SCHEMA" "$OUT8"
+echo "bench: wrote $OUT8"

@@ -136,12 +136,28 @@ fn steady_state_scheduler_path_is_allocation_free_for_inline_k() {
     // chain-walk comparator `snapshot_order_after` work entirely in
     // already-materialized storage. Build a frozen commit stamp in
     // warmup, then measure whole read-only rounds.
-    let stamp_writer = TxId(id);
-    s.begin(stamp_writer);
-    assert!(s.write(stamp_writer, item(3)).is_accept());
-    let stamp = s.stamp_commit(stamp_writer);
-    s.commit(stamp_writer);
-    id += 1;
+    let mut stamps = Vec::new();
+    let mut writers = Vec::new();
+    for _ in 0..3 {
+        let w = TxId(id);
+        s.begin(w);
+        assert!(s.write(w, item(3)).is_accept());
+        stamps.push(s.stamp_commit(w));
+        s.commit(w);
+        writers.push(w);
+        id += 1;
+    }
+    let (stamp, stamp_writer) = (stamps[0].clone(), writers[0]);
+    // Warm the thread-local batch scratch through the chain-walk path
+    // before the window opens (ISSUE 8: the batched newest-below-reader
+    // scan shares the admission path's scratch).
+    {
+        let reader = TxId(id);
+        s.begin(reader);
+        let _ = s.snapshot_newest_visible(reader, stamps.len(), |i| &stamps[i], |i| writers[i]);
+        s.commit(reader);
+        id += 1;
+    }
     let snapshot = allocations(|| {
         while id < 1015 {
             let reader = TxId(id);
@@ -152,6 +168,10 @@ fn steady_state_scheduler_path_is_allocation_free_for_inline_k() {
             // Chain-walk comparison against a frozen version stamp (the
             // `Older` serving path's per-version test).
             let _ = s.snapshot_order_after(reader, &stamp, stamp_writer);
+            // And the batched chain-segment scan over all three frozen
+            // stamps (ISSUE 8) — one scratch pass, no per-version heap
+            // traffic.
+            let _ = s.snapshot_newest_visible(reader, stamps.len(), |i| &stamps[i], |i| writers[i]);
             s.commit(reader);
             id += 1;
         }
