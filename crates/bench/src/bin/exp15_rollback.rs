@@ -77,13 +77,13 @@ fn main() {
     assert_eq!(wb.own_read(TxId(2), ItemId(0)), None);
     println!("  (a) T1's uncommitted write invisible to T2 and to the store  ✓");
     // (c) abort prunes the workspace only:
-    wb.discard(TxId(1));
+    assert!(wb.discard(TxId(1)), "T1 had a workspace to discard");
     assert_eq!(store.get(ItemId(0)), Some(&100));
     assert_eq!(wb.active(), 0);
     println!("  (c) aborting T1 prunes its workspace; nothing else changes   ✓");
     // (b) once applied (validated commit), never undone:
     wb.write(TxId(3), ItemId(1), 7);
-    wb.apply(TxId(3), &mut store);
+    assert!(wb.apply(TxId(3), &mut store), "T3's staged workspace must exist at commit");
     assert_eq!(store.get(ItemId(1)), Some(&7));
     println!("  (b) T3 validated and committed; its write is in the store    ✓");
     println!(

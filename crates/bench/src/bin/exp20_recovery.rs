@@ -1,0 +1,340 @@
+//! exp20 — crash-recovery matrix for the durable engine (ISSUE 9): every
+//! crash-injection site plus a real SIGKILL, each followed by recovery
+//! and auditor certification of the rebuilt state.
+//!
+//! Four lanes, one per way a durable engine can die:
+//!
+//! * **mid-record** — the writer tears the last record's bytes; recovery
+//!   must reject the tail by CRC, not by luck.
+//! * **mid-epoch** — commit records land but the seal never does; the
+//!   whole unsealed epoch is discarded (none of it was acknowledged).
+//! * **post-fsync-pre-ack** — the epoch is on disk but its waiters never
+//!   wake; recovery replays *more* than was acknowledged, which the
+//!   one-directional guarantee (acked ⊆ recovered) permits.
+//! * **sigkill** — a child process (`exp20_recovery --child DIR`) runs
+//!   the transfer mix with durability on and is SIGKILLed mid-flight;
+//!   the parent recovers its log cold.
+//!
+//! Every lane asserts the same contract: **zero acknowledged commits
+//! lost** (every transaction whose `run` returned `Ok` is in the
+//! recovered committed set), the recovered store conserves the bank
+//! total, and the persisted trace journal — fsynced *before* each WAL
+//! epoch — replays through `mdts_trace::audit` with no violations and
+//! covers every recovered commit, certifying the rebuilt store as a
+//! committed TO(k) prefix.
+//!
+//! `--smoke` shrinks the budgets to CI size; `--json` emits the matrix
+//! as one `mdts-metrics/v1` document.
+
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mdts_bench::{json_mode, metrics_document, print_table, Table};
+use mdts_engine::{Database, DurabilityConfig, ShardedMtCc, TxError, CHECKPOINT_TX};
+use mdts_model::{ItemId, TxId};
+use mdts_storage::{recover, CrashPoint, Recovered, Store};
+use mdts_trace::{audit, from_jsonl, MetricsRegistry, TraceBuffer, TraceEvent, TraceSink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const K: usize = 3;
+const ACCOUNTS: u32 = 64;
+const INITIAL: i64 = 1_000;
+const THREADS: usize = 4;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mdts-exp20-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("exp20 scratch dir");
+    dir
+}
+
+/// Opens the durable bank at `dir` with the full certification plumbing:
+/// scheduler decisions and engine events share one unbounded trace
+/// buffer, and the journal file persists it epoch by epoch.
+fn open_durable(dir: &Path) -> std::io::Result<(Database<i64>, Recovered<i64>)> {
+    let buffer = TraceBuffer::unbounded(4);
+    let mut cc = ShardedMtCc::new(K);
+    cc.attach_trace(TraceSink::to(&buffer));
+    let config = DurabilityConfig::new(dir.join("wal.log")).journal(dir.join("journal.jsonl"));
+    Database::with_store_multiversion_durable(
+        cc,
+        Store::with_items(ACCOUNTS, INITIAL),
+        TraceSink::to(&buffer),
+        &config,
+    )
+}
+
+/// One uniform transfer; returns the acknowledged transaction id, `None`
+/// on give-up, or the error.
+fn transfer(db: &Database<i64>, rng: &mut StdRng) -> Result<Option<u32>, TxError> {
+    // Distinct accounts: a self-transfer's second write would overwrite
+    // the first and mint money.
+    let from = rng.gen_range(0..ACCOUNTS);
+    let to = (from + 1 + rng.gen_range(0..ACCOUNTS - 1)) % ACCOUNTS;
+    let (from, to) = (ItemId(from), ItemId(to));
+    let id = std::cell::Cell::new(0u32);
+    match db.run(2_000, |tx| {
+        id.set(tx.id().0);
+        let x = tx.read(from)?.unwrap_or(0);
+        let y = tx.read(to)?.unwrap_or(0);
+        tx.write(from, x - 1)?;
+        tx.write(to, y + 1)?;
+        Ok(())
+    }) {
+        Ok(()) => Ok(Some(id.get())),
+        Err(TxError::RetriesExhausted) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Recovers `dir`'s log and certifies it: zero acknowledged commits
+/// lost, bank total conserved, and the journaled trace audits clean and
+/// covers every recovered commit. Returns the recovery plus the audit's
+/// violation count (always asserted zero) for the metrics document.
+fn recover_and_certify(dir: &Path, acked: &BTreeSet<u32>) -> (Recovered<i64>, usize) {
+    let recovered = recover::<i64>(&dir.join("wal.log")).expect("recovery scan");
+    for id in acked {
+        assert!(recovered.committed.contains(&TxId(*id)), "acknowledged T{id} lost by the crash");
+    }
+    // Sealed epochs hold whole commits and each transfer conserves the
+    // total, so any recovered prefix is a consistent bank.
+    let total: i64 = recovered.store.iter().map(|(_, v)| *v).sum();
+    assert_eq!(total, ACCOUNTS as i64 * INITIAL, "recovered store lost conservation");
+    let text = std::fs::read_to_string(dir.join("journal.jsonl")).expect("journal readable");
+    let (trace, _report) = from_jsonl(&text).expect("journal parses (torn tail tolerated)");
+    let verdict = audit(&trace, K);
+    assert!(
+        verdict.violations.is_empty(),
+        "auditor rejected the recovered run: {}",
+        verdict.summary()
+    );
+    let journaled: BTreeSet<TxId> = trace
+        .events()
+        .filter_map(|e| match e {
+            TraceEvent::Commit { tx } => Some(*tx),
+            _ => None,
+        })
+        .collect();
+    for tx in recovered.committed.iter().filter(|t| **t != CHECKPOINT_TX) {
+        assert!(
+            journaled.contains(tx),
+            "recovered {tx:?} has no journaled commit event — journal-before-WAL broken"
+        );
+    }
+    (recovered, verdict.violations.len())
+}
+
+/// The in-process injection matrix: acknowledged commits, then arm the
+/// crash point and drive commits into the wall.
+fn injection_lane(
+    site: CrashPoint,
+    label: &str,
+    pre_txns: usize,
+    table: &mut Table,
+    runs: &mut Vec<MetricsRegistry>,
+) {
+    let dir = scratch(label);
+    let acked = Mutex::new(BTreeSet::new());
+    let mut unknown = 0u64;
+    let metrics;
+    {
+        let (db, fresh) = open_durable(&dir).expect("open durable bank");
+        assert!(fresh.committed.is_empty(), "lane started on a stale log");
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (db, acked) = (db.clone(), &acked);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x20_20 + t as u64);
+                    for _ in 0..pre_txns {
+                        if let Some(id) = transfer(&db, &mut rng).expect("pre-crash commit") {
+                            acked.lock().unwrap().insert(id);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(db.sync(), "pre-crash epochs must be durable");
+        db.set_crash_point(site);
+        let mut rng = StdRng::seed_from_u64(0xdead);
+        for _ in 0..8 {
+            if let Err(TxError::DurabilityUnknown) = transfer(&db, &mut rng) {
+                unknown += 1;
+            }
+        }
+        assert!(unknown >= 1, "{label}: the armed crash never surfaced");
+        assert!(db.wal_crashed(), "{label}: daemon did not halt");
+        metrics = db.metrics();
+    }
+    let acked = acked.into_inner().unwrap();
+    let (recovered, violations) = recover_and_certify(&dir, &acked);
+    match site {
+        CrashPoint::MidRecord => {
+            assert!(recovered.report.scan.torn, "mid-record tear must be CRC-rejected")
+        }
+        CrashPoint::MidEpoch => {
+            assert!(recovered.report.unsealed_tail, "mid-epoch crash must drop the tail")
+        }
+        // Post-fsync-pre-ack epochs ARE durable: nothing torn, nothing
+        // dropped — the unacknowledged commits replay.
+        CrashPoint::PostFsyncPreAck => {
+            assert!(!recovered.report.scan.torn && !recovered.report.unsealed_tail)
+        }
+        CrashPoint::None => unreachable!(),
+    }
+    table.row(&[
+        label.into(),
+        acked.len().to_string(),
+        unknown.to_string(),
+        (recovered.committed.len() - 1).to_string(),
+        recovered.report.dropped_commits.to_string(),
+        violations.to_string(),
+        "certified".into(),
+    ]);
+    runs.push(
+        metrics
+            .registry()
+            .label("protocol", "MV-MT(k) durable")
+            .label("site", label)
+            .counter("acked_commits", acked.len() as u64)
+            .counter("durability_unknown", unknown)
+            .counter("recovered_commits", recovered.committed.len() as u64 - 1)
+            .counter("dropped_commits", recovered.report.dropped_commits)
+            .counter("audit_violations", violations as u64),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Child mode (`--child DIR`): run transfers with durability on until
+/// killed, appending each acknowledged transaction id to a per-thread
+/// ack file. `write_all` of a full line is in the page cache once it
+/// returns, so SIGKILL (unlike a machine crash) loses none of it — the
+/// parent reads back a sound (possibly short) view of what was promised.
+fn child(dir: &Path) -> ! {
+    let (db, _) = open_durable(dir).expect("child: open durable bank");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let db = db.clone();
+            let mut log =
+                std::fs::File::create(dir.join(format!("acked-{t}.log"))).expect("child: ack log");
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x51_6b + t as u64);
+                loop {
+                    match transfer(&db, &mut rng) {
+                        Ok(Some(id)) => {
+                            log.write_all(format!("{id}\n").as_bytes()).expect("child: ack write");
+                        }
+                        Ok(None) => {}
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+    });
+    std::process::exit(0);
+}
+
+/// The SIGKILL lane: spawn the child, let it commit for a while, kill
+/// it dead, recover its log.
+fn sigkill_lane(kill_after: Duration, table: &mut Table, runs: &mut Vec<MetricsRegistry>) {
+    let dir = scratch("sigkill");
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--child")
+        .arg(&dir)
+        .spawn()
+        .expect("spawn crash child");
+    // Wait until the child is actually committing (its checkpoint fsync
+    // and first acks have landed), then let it run the configured slice.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let acked_something = (0..THREADS).any(|t| {
+            std::fs::metadata(dir.join(format!("acked-{t}.log")))
+                .map(|m| m.len() > 0)
+                .unwrap_or(false)
+        });
+        if acked_something {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(kill_after);
+    child.kill().expect("SIGKILL the child");
+    let _ = child.wait();
+
+    let mut acked = BTreeSet::new();
+    for t in 0..THREADS {
+        let text = std::fs::read_to_string(dir.join(format!("acked-{t}.log"))).unwrap_or_default();
+        // A line the kill caught mid-write parses short — skip it; every
+        // complete line is a promise to check.
+        acked.extend(text.lines().filter_map(|l| l.parse::<u32>().ok()));
+    }
+    assert!(!acked.is_empty(), "sigkill lane: the child never acknowledged a commit");
+    let (recovered, violations) = recover_and_certify(&dir, &acked);
+    table.row(&[
+        "sigkill".into(),
+        acked.len().to_string(),
+        "-".into(),
+        (recovered.committed.len() - 1).to_string(),
+        recovered.report.dropped_commits.to_string(),
+        violations.to_string(),
+        "certified".into(),
+    ]);
+    runs.push(
+        MetricsRegistry::default()
+            .label("protocol", "MV-MT(k) durable")
+            .label("site", "sigkill")
+            .counter("acked_commits", acked.len() as u64)
+            .counter("recovered_commits", recovered.committed.len() as u64 - 1)
+            .counter("dropped_commits", recovered.report.dropped_commits)
+            .counter("audit_violations", violations as u64),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(at) = args.iter().position(|a| a == "--child") {
+        let dir = args.get(at + 1).expect("--child needs the scratch dir");
+        child(Path::new(dir));
+    }
+    let json = json_mode();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (pre_txns, kill_after) =
+        if smoke { (32, Duration::from_millis(250)) } else { (250, Duration::from_millis(800)) };
+    if !json {
+        println!("== exp20: crash-recovery matrix (WAL + group commit, ISSUE 9) ==\n");
+    }
+    let mut t = Table::new(&[
+        "crash site",
+        "acked",
+        "unknown",
+        "recovered",
+        "dropped",
+        "violations",
+        "auditor",
+    ]);
+    let mut runs = Vec::new();
+    injection_lane(CrashPoint::MidRecord, "mid-record", pre_txns, &mut t, &mut runs);
+    injection_lane(CrashPoint::MidEpoch, "mid-epoch", pre_txns, &mut t, &mut runs);
+    injection_lane(CrashPoint::PostFsyncPreAck, "post-fsync-pre-ack", pre_txns, &mut t, &mut runs);
+    sigkill_lane(kill_after, &mut t, &mut runs);
+    if json {
+        println!("{}", metrics_document("exp20", &runs).render());
+        return;
+    }
+    print_table(&t);
+    println!(
+        "\nreading the shape: every lane recovered a store containing 100% of the\n\
+         acknowledged commits (acked ⊆ recovered — the one-directional guarantee),\n\
+         conserved the bank total, and was certified by replaying the persisted\n\
+         trace journal through the Definition-6 auditor. The recovered column can\n\
+         exceed the acked column: a post-fsync-pre-ack epoch is durable even\n\
+         though its waiters never learned it, and recovering more than was\n\
+         promised is always safe. The dropped column counts tail commits that\n\
+         were never acknowledged — losing them breaks no promise."
+    );
+}

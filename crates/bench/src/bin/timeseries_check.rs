@@ -27,7 +27,7 @@ use mdts_trace::Json;
 
 /// Counter keys every window and trailer line must carry — kept in sync
 /// with `mdts_telemetry::window::counters_json`.
-const COUNTER_KEYS: [&str; 15] = [
+const COUNTER_KEYS: [&str; 19] = [
     "commits",
     "aborts",
     "restarts",
@@ -43,6 +43,10 @@ const COUNTER_KEYS: [&str; 15] = [
     "snapshot_reads",
     "order_cache_hits",
     "order_cache_misses",
+    "wal_commits",
+    "wal_fsyncs",
+    "wal_bytes",
+    "wal_unacked",
 ];
 
 fn fail(msg: &str) -> ! {

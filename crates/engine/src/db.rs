@@ -22,21 +22,30 @@
 //!   the sequence before asking for the lock and sleep only while it is
 //!   unchanged, so a release between decision and sleep is never lost.
 //! * **Ids, epochs and the logical clock** are plain atomics.
+//! * **Durability** (optional, see [`crate::DurabilityConfig`]) frames
+//!   every committed write set into a group-commit write-ahead log: the
+//!   commit applies in memory first, and `run` acknowledges only after
+//!   the commit's epoch is fsynced (`mdts-engine::durability`).
 //!
 //! Lock order: store shards (ascending) → protocol internals → wake
-//! sequence. Nothing sleeps while holding a store shard.
+//! sequence → WAL epoch buffer. Nothing sleeps while holding a store
+//! shard.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mdts_core::{SharedMtScheduler, SnapshotRead};
 use mdts_model::{ItemId, OpKind, TxId};
-use mdts_storage::{ConcurrentMvStore, ShardedStore, Store, DEFAULT_STORE_SHARDS};
+use mdts_storage::{
+    recover, ConcurrentMvStore, CrashPoint, Recovered, ShardedStore, Store, WalValue,
+    DEFAULT_STORE_SHARDS,
+};
 use mdts_trace::{AbortReason, StallRule, TraceEvent, TraceSink};
 
 use crate::cc::{
     CommitDecision, ConcurrencyControl, ConcurrentCc, SerializedCc, ShardedMtCc, Verdict,
 };
+use crate::durability::{Durability, DurabilityConfig};
 use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot, Phase};
 
 /// Terminal failure of [`Database::run`].
@@ -44,12 +53,22 @@ use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot, Phase};
 pub enum TxError {
     /// The transaction aborted more than `max_restarts` times.
     RetriesExhausted,
+    /// The transaction committed *in memory* but the write-ahead log
+    /// halted (crash injection or a real I/O failure) before its epoch
+    /// was fsynced, so its durability acknowledgement never arrived.
+    /// The commit is visible to later transactions in this process and
+    /// is **not** retried — a retry would apply it twice; after a
+    /// restart it may or may not be recovered.
+    DurabilityUnknown,
 }
 
 impl std::fmt::Display for TxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TxError::RetriesExhausted => write!(f, "transaction retries exhausted"),
+            TxError::DurabilityUnknown => {
+                write!(f, "committed in memory but the write-ahead log halted unacknowledged")
+            }
         }
     }
 }
@@ -91,6 +110,10 @@ struct Shared<V> {
     /// disabled by default. The protocol's own events go to whatever sink
     /// is attached to it — point both at one buffer for a merged trace.
     trace: TraceSink,
+    /// `Some` when commits are framed into a group-commit write-ahead
+    /// log and acknowledged only once fsynced (see
+    /// [`Database::with_store_concurrent_durable`]).
+    durability: Option<Durability<V>>,
 }
 
 impl<V> Shared<V> {
@@ -161,6 +184,7 @@ impl<V: Clone + Send + 'static> Database<V> {
                 metrics: Metrics::default(),
                 name,
                 trace,
+                durability: None,
             }),
         }
     }
@@ -204,13 +228,119 @@ impl<V: Clone + Send + 'static> Database<V> {
                 metrics: Metrics::default(),
                 name: "MV-MT(k)",
                 trace,
+                durability: None,
             }),
         }
+    }
+
+    /// Database with a pre-populated store, a natively concurrent
+    /// protocol, an engine trace sink, and a **write-ahead log**: any
+    /// existing log at `config.wal_path` is recovered first (its sealed
+    /// epochs replayed over `store`), then a fresh log is started with a
+    /// checkpoint of the merged state, and every subsequent commit is
+    /// acknowledged only after its group-commit epoch is fsynced.
+    ///
+    /// Returns the database plus the [`Recovered`] report (what the old
+    /// log contributed). When `config.journal_path` is set and `trace`
+    /// is enabled on an **unbounded** buffer, the daemon also persists
+    /// the decision trace epoch by epoch, fsynced before the epoch's WAL
+    /// write, so a post-crash auditor can certify the recovered state.
+    pub fn with_store_concurrent_durable(
+        cc: Box<dyn ConcurrentCc>,
+        store: Store<V>,
+        trace: TraceSink,
+        config: &DurabilityConfig,
+    ) -> std::io::Result<(Self, Recovered<V>)>
+    where
+        V: WalValue,
+    {
+        let (shared, recovered) = durable_parts(store, &trace, config)?;
+        let name = cc.name();
+        let db = Database {
+            shared: Arc::new(Shared {
+                store: shared.0,
+                cc,
+                mv: None,
+                next_tx: shared.1,
+                clock: shared.2,
+                wake: WakeSeq::default(),
+                metrics: Metrics::default(),
+                name,
+                trace,
+                durability: Some(shared.3),
+            }),
+        };
+        Ok((db, recovered))
+    }
+
+    /// The durable counterpart of
+    /// [`Database::with_store_multiversion_traced`]: sharded MT(k) with
+    /// the multiversion serving path *and* the write-ahead log.
+    pub fn with_store_multiversion_durable(
+        cc: ShardedMtCc,
+        store: Store<V>,
+        trace: TraceSink,
+        config: &DurabilityConfig,
+    ) -> std::io::Result<(Self, Recovered<V>)>
+    where
+        V: WalValue + Sync,
+    {
+        let (shared, recovered) = durable_parts(store, &trace, config)?;
+        let sched = cc.scheduler_arc();
+        let db = Database {
+            shared: Arc::new(Shared {
+                store: shared.0,
+                cc: Box::new(cc),
+                mv: Some(MvState { store: ConcurrentMvStore::new(), sched }),
+                next_tx: shared.1,
+                clock: shared.2,
+                wake: WakeSeq::default(),
+                metrics: Metrics::default(),
+                name: "MV-MT(k)",
+                trace,
+                durability: Some(shared.3),
+            }),
+        };
+        Ok((db, recovered))
     }
 
     /// Whether the multiversion serving path is enabled.
     pub fn has_multiversion(&self) -> bool {
         self.shared.mv.is_some()
+    }
+
+    /// Whether commits are framed into a write-ahead log.
+    pub fn has_durability(&self) -> bool {
+        self.shared.durability.is_some()
+    }
+
+    /// Flushes the open WAL epoch (if any) and waits for it: `true` when
+    /// everything committed so far is durable. Trivially `true` for a
+    /// database without durability.
+    pub fn sync(&self) -> bool {
+        self.shared.durability.as_ref().is_none_or(Durability::sync)
+    }
+
+    /// Highest fsynced WAL epoch (0 without durability or before the
+    /// first fsync).
+    pub fn durable_epoch(&self) -> u64 {
+        self.shared.durability.as_ref().map_or(0, Durability::durable_epoch)
+    }
+
+    /// Whether the write-ahead log halted on an append failure or an
+    /// injected crash (later commits get
+    /// [`TxError::DurabilityUnknown`]).
+    pub fn wal_crashed(&self) -> bool {
+        self.shared.durability.as_ref().is_some_and(Durability::crashed)
+    }
+
+    /// Arms a WAL crash-injection site (test hook; the group-commit
+    /// daemon applies it before its next append). No-op without
+    /// durability.
+    pub fn set_crash_point(&self, point: CrashPoint) {
+        if let Some(wal) = &self.shared.durability {
+            wal.set_crash_point(point);
+        }
     }
 
     /// Versions reclaimed by chain pruning so far (0 without the
@@ -251,6 +381,12 @@ impl<V: Clone + Send + 'static> Database<V> {
         if let Some(stats) = self.shared.cc.batched_compare_stats() {
             snap.batched_compares = stats.candidates;
         }
+        if let Some(wal) = &self.shared.durability {
+            let (commits, fsyncs, bytes) = wal.stats();
+            snap.wal_commits = commits;
+            snap.wal_fsyncs = fsyncs;
+            snap.wal_bytes = bytes;
+        }
         snap.gauges = self.gauges();
         snap
     }
@@ -275,6 +411,10 @@ impl<V: Clone + Send + 'static> Database<V> {
             g.batched_probe_batches = stats.probe_batches;
             g.batched_chain_batches = stats.chain_batches;
             g.batched_size_buckets = stats.size_buckets;
+        }
+        if let Some(wal) = &self.shared.durability {
+            g.wal_durable_epoch = wal.durable_epoch();
+            g.wal_pending_bytes = wal.pending_bytes();
         }
         g
     }
@@ -327,13 +467,31 @@ impl<V: Clone + Send + 'static> Database<V> {
             let mut tx = Tx { shared, id, epoch, scratch: std::mem::take(&mut scratch) };
             if let Ok(value) = body(&mut tx) {
                 let span = shared.metrics.phases.start();
-                let committed = tx.commit();
+                let outcome = tx.commit();
                 shared.metrics.phases.record_since(Phase::Commit, span);
-                if committed {
+                if let CommitOutcome::Committed { wal_epoch } = outcome {
                     Metrics::bump(&shared.metrics.commits);
                     let end_tick = shared.clock.load(Ordering::Relaxed);
                     shared.metrics.latency.record(end_tick.saturating_sub(start_tick));
-                    return Ok(value);
+                    let durable = match wal_epoch {
+                        None => true,
+                        Some(epoch) => {
+                            let wal =
+                                shared.durability.as_ref().expect("a WAL epoch implies durability");
+                            let span = shared.metrics.phases.start();
+                            let ok = wal.wait_durable(epoch);
+                            shared.metrics.phases.record_since(Phase::FsyncWait, span);
+                            ok
+                        }
+                    };
+                    if durable {
+                        return Ok(value);
+                    }
+                    // Applied in memory but never acknowledged: surface
+                    // the uncertainty instead of retrying — a retry
+                    // would apply the transaction twice.
+                    Metrics::bump(&shared.metrics.wal_unacked);
+                    return Err(TxError::DurabilityUnknown);
                 }
             }
             // The failing call already cleaned up this incarnation; take the
@@ -538,6 +696,46 @@ fn restart_backoff(attempt: usize, id_salt: u32) {
     std::thread::sleep(std::time::Duration::from_micros(base + jitter));
 }
 
+/// Recover + checkpoint + daemon start, shared by the durable
+/// constructors: replay any sealed epochs at `config.wal_path` over
+/// `store`, start a fresh log whose first epoch checkpoints the merged
+/// state under [`crate::durability::CHECKPOINT_TX`], and seed the id and
+/// clock counters so recovered history stays monotone.
+#[allow(clippy::type_complexity)]
+fn durable_parts<V: Clone + WalValue>(
+    mut store: Store<V>,
+    trace: &TraceSink,
+    config: &DurabilityConfig,
+) -> std::io::Result<((ShardedStore<V>, AtomicU32, AtomicU64, Durability<V>), Recovered<V>)> {
+    let recovered = recover::<V>(&config.wal_path)?;
+    for (item, value) in recovered.store.iter() {
+        store.set(item, value.clone());
+    }
+    let checkpoint: Vec<(ItemId, V)> =
+        store.iter().map(|(item, value)| (item, value.clone())).collect();
+    let durability =
+        Durability::start(config, &checkpoint, recovered.last_lsn + 1, trace.buffer().cloned())?;
+    Ok((
+        (
+            ShardedStore::from_store(store, DEFAULT_STORE_SHARDS),
+            AtomicU32::new(recovered.max_tx),
+            AtomicU64::new(recovered.last_lsn),
+            durability,
+        ),
+        recovered,
+    ))
+}
+
+/// What [`Tx::commit`] produced.
+enum CommitOutcome {
+    /// Committed in memory; on a durable database `wal_epoch` carries the
+    /// group-commit epoch whose fsync must be awaited before the commit
+    /// may be acknowledged.
+    Committed { wal_epoch: Option<u64> },
+    /// This incarnation aborted (cleanup already ran).
+    Aborted,
+}
+
 /// Reusable transaction-local buffers, recycled across restart attempts
 /// by [`Database::run`]: after the first incarnation grows them, retries
 /// of the same workload run allocation-free in the engine layer.
@@ -727,11 +925,12 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
         }
     }
 
-    /// Commit: validate deferred writes, apply, release. Returns whether
-    /// the transaction committed.
-    fn commit(&mut self) -> bool {
+    /// Commit: validate deferred writes, frame into the WAL epoch (when
+    /// durable), apply, release. The caller awaits the returned WAL
+    /// epoch *outside* the commit critical section.
+    fn commit(&mut self) -> CommitOutcome {
         if !self.epoch_ok() {
-            return false;
+            return CommitOutcome::Aborted;
         }
         // Deterministic order for validation and apply, and the ascending
         // shard order the deadlock-freedom argument needs. The item and
@@ -755,8 +954,21 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                 if self.shared.cc.epoch() != self.epoch {
                     drop(guards);
                     self.cleanup(AbortReason::Epoch);
-                    return false;
+                    return CommitOutcome::Aborted;
                 }
+                // Durable path: emit the commit event *before* framing
+                // the record — the daemon journals and fsyncs the trace
+                // slice ahead of the epoch's WAL fsync, so every
+                // WAL-durable transaction's commit event reaches the
+                // journal first. Then frame the still-undrained write
+                // set (minus the Thomas-skipped items) into the open
+                // epoch. Both happen under every write-set shard, so
+                // log order equals apply order on every item.
+                let wal_epoch = self.shared.durability.as_ref().map(|wal| {
+                    let tx = self.id;
+                    self.shared.trace.emit(|| TraceEvent::Commit { tx });
+                    wal.enqueue(tx, &self.scratch.writes, &skip)
+                });
                 // Multiversion path: saturate this writer's vector into a
                 // frozen stamp once, then install one version per applied
                 // write. Still under every write-set store shard, so chain
@@ -800,20 +1012,22 @@ impl<V: Clone + Send + 'static> Tx<'_, V> {
                 self.tick();
                 drop(guards);
                 self.shared.cc.committed(self.id);
-                let tx = self.id;
-                self.shared.trace.emit(|| TraceEvent::Commit { tx });
+                if wal_epoch.is_none() {
+                    let tx = self.id;
+                    self.shared.trace.emit(|| TraceEvent::Commit { tx });
+                }
                 self.shared.wake_all();
-                true
+                CommitOutcome::Committed { wal_epoch }
             }
             CommitDecision::Abort => {
                 drop(guards);
                 self.cleanup(AbortReason::ValidationRejected);
-                false
+                CommitOutcome::Aborted
             }
             CommitDecision::AbortAll => {
                 drop(guards);
                 self.cleanup(AbortReason::Epoch);
-                false
+                CommitOutcome::Aborted
             }
         }
     }

@@ -647,3 +647,204 @@ mod mv_props {
         }
     }
 }
+
+mod durability_tests {
+    use mdts_model::{ItemId, TxId};
+    use mdts_storage::{recover, CrashPoint, Store};
+    use mdts_trace::{audit, TraceBuffer, TraceSink};
+
+    use crate::cc::ShardedMtCc;
+    use crate::db::{Database, TxError};
+    use crate::durability::{DurabilityConfig, CHECKPOINT_TX};
+
+    /// A scratch directory unique to this test, wiped at entry.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdts-eng-dur-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_db(dir: &std::path::Path, trace: TraceSink) -> Database<i64> {
+        let store = Store::with_items(8, 100i64);
+        let config = DurabilityConfig::new(dir.join("wal.log")).journal(dir.join("journal.jsonl"));
+        let (db, _) = Database::with_store_concurrent_durable(
+            Box::new(ShardedMtCc::new(3)),
+            store,
+            trace,
+            &config,
+        )
+        .expect("durable open");
+        db
+    }
+
+    #[test]
+    fn acknowledged_commits_survive_a_restart() {
+        let dir = scratch("restart");
+        {
+            let db = durable_db(&dir, TraceSink::disabled());
+            for i in 0..8u32 {
+                db.run(16, |tx| {
+                    let src = ItemId(i % 8);
+                    let v = tx.read(src)?.unwrap_or(0);
+                    tx.write(src, v + 1)?;
+                    Ok(())
+                })
+                .expect("commit acknowledged");
+            }
+            assert!(db.sync(), "all acknowledged epochs must be durable");
+            assert!(db.has_durability());
+            let m = db.metrics();
+            assert_eq!(m.wal_commits, 8 + 1, "8 transactions plus the checkpoint");
+            assert!(m.wal_fsyncs >= 1);
+            assert_eq!(m.wal_unacked, 0);
+        }
+        // "Restart": recover the log directly and check the state.
+        let recovered = recover::<i64>(&dir.join("wal.log")).unwrap();
+        assert!(recovered.committed.contains(&CHECKPOINT_TX));
+        assert_eq!(recovered.committed.len(), 9);
+        let total: i64 = recovered.store.iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, 8 * 100 + 8, "each commit incremented one account");
+        assert_eq!(recovered.report.dropped_commits, 0);
+
+        // Re-open durable on the same path: the recovered state seeds the
+        // store and the checkpoint epoch re-persists it.
+        let config = DurabilityConfig::new(dir.join("wal.log"));
+        let (db2, rec2) = Database::<i64>::with_store_concurrent_durable(
+            Box::new(ShardedMtCc::new(3)),
+            Store::new(),
+            TraceSink::disabled(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(rec2.committed.len(), 9);
+        let total2: i64 = db2.snapshot().values().sum();
+        assert_eq!(total2, 8 * 100 + 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_crash_reports_durability_unknown_and_never_loses_acked() {
+        let dir = scratch("crash");
+        let mut acked: Vec<u32> = Vec::new();
+        {
+            let db = durable_db(&dir, TraceSink::disabled());
+            for i in 0..4u32 {
+                let id = std::cell::Cell::new(0u32);
+                db.run(16, |tx| {
+                    id.set(tx.id().0);
+                    let v = tx.read(ItemId(i))?.unwrap_or(0);
+                    tx.write(ItemId(i), v + 1)?;
+                    Ok(())
+                })
+                .expect("pre-crash commit acknowledged");
+                acked.push(id.get());
+            }
+            assert!(db.sync());
+            db.set_crash_point(CrashPoint::MidEpoch);
+            // The next commits hit the torn epoch: DurabilityUnknown, and
+            // the engine must not retry them.
+            let mut unknown = 0;
+            for i in 0..4u32 {
+                match db.run(16, |tx| {
+                    let v = tx.read(ItemId(i))?.unwrap_or(0);
+                    tx.write(ItemId(i), v + 10)?;
+                    Ok(())
+                }) {
+                    Err(TxError::DurabilityUnknown) => unknown += 1,
+                    Ok(()) => {}
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            assert!(unknown >= 1, "the crash must surface at least once");
+            assert!(db.wal_crashed());
+            assert!(!db.sync(), "sync must report the halt");
+            assert!(db.metrics().wal_unacked >= 1);
+        }
+        let recovered = recover::<i64>(&dir.join("wal.log")).unwrap();
+        for id in acked {
+            assert!(
+                recovered.committed.contains(&TxId(id)),
+                "acknowledged T{id} lost by the crash"
+            );
+        }
+        assert!(recovered.report.unsealed_tail, "the torn epoch is discarded as the tail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn post_fsync_pre_ack_crash_is_durable_but_unacknowledged() {
+        let dir = scratch("postfsync");
+        let tx_id = std::cell::Cell::new(0u32);
+        {
+            let db = durable_db(&dir, TraceSink::disabled());
+            db.set_crash_point(CrashPoint::PostFsyncPreAck);
+            let r = db.run(16, |tx| {
+                tx_id.set(tx.id().0);
+                let v = tx.read(ItemId(0))?.unwrap_or(0);
+                tx.write(ItemId(0), v + 7)?;
+                Ok(())
+            });
+            assert_eq!(r, Err(TxError::DurabilityUnknown), "fsynced but never acknowledged");
+        }
+        // One-directional guarantee: the unacknowledged epoch WAS fsynced,
+        // so recovery replays it (acked ⊆ recovered, never the reverse).
+        let recovered = recover::<i64>(&dir.join("wal.log")).unwrap();
+        assert!(recovered.committed.contains(&TxId(tx_id.get())));
+        assert_eq!(recovered.store.get(ItemId(0)), Some(&107));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_trace_certifies_the_recovered_committed_set() {
+        let dir = scratch("certify");
+        {
+            let buffer = TraceBuffer::unbounded(4);
+            let mut cc = ShardedMtCc::new(3);
+            cc.attach_trace(TraceSink::to(&buffer));
+            let store = Store::with_items(8, 100i64);
+            let config =
+                DurabilityConfig::new(dir.join("wal.log")).journal(dir.join("journal.jsonl"));
+            let (db, _) = Database::with_store_concurrent_durable(
+                Box::new(cc),
+                store,
+                TraceSink::to(&buffer),
+                &config,
+            )
+            .unwrap();
+            for i in 0..6u32 {
+                db.run(16, |tx| {
+                    let a = ItemId(i % 8);
+                    let b = ItemId((i + 1) % 8);
+                    let x = tx.read(a)?.unwrap_or(0);
+                    let y = tx.read(b)?.unwrap_or(0);
+                    tx.write(a, x - 1)?;
+                    tx.write(b, y + 1)?;
+                    Ok(())
+                })
+                .expect("commit acknowledged");
+            }
+            assert!(db.sync());
+        } // drop flushes the final journal slice and joins the daemon
+        let recovered = recover::<i64>(&dir.join("wal.log")).unwrap();
+        let text = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        let (trace, report) = mdts_trace::from_jsonl(&text).expect("journal parses");
+        assert!(!report.torn_tail, "clean shutdown leaves no torn tail");
+        let verdict = audit(&trace, 3);
+        assert!(verdict.violations.is_empty(), "auditor: {:?}", verdict.violations);
+        // Every WAL-recovered transaction (checkpoint aside) has its
+        // commit event in the journal: the journal fsync precedes the
+        // epoch fsync.
+        let journaled: std::collections::BTreeSet<TxId> = trace
+            .events()
+            .filter_map(|e| match e {
+                mdts_trace::TraceEvent::Commit { tx } => Some(*tx),
+                _ => None,
+            })
+            .collect();
+        for tx in recovered.committed.iter().filter(|t| **t != CHECKPOINT_TX) {
+            assert!(journaled.contains(tx), "recovered {tx:?} missing from the journaled trace");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -40,6 +40,10 @@ pub(crate) struct Metrics {
     pub snapshot_txns: AtomicU64,
     /// Item reads served from version chains by snapshot transactions.
     pub snapshot_reads: AtomicU64,
+    /// Transactions applied in memory whose durability acknowledgement
+    /// never arrived (the WAL halted mid-wait): reported as
+    /// `TxError::DurabilityUnknown`, never retried.
+    pub wal_unacked: AtomicU64,
     pub latency: LatencyHistogram,
     /// Blocked-wait *durations* in logical ticks (one sample per
     /// `blocked_waits` event), not just the event count.
@@ -66,6 +70,7 @@ impl Default for Metrics {
             gave_up: AtomicU64::new(0),
             snapshot_txns: AtomicU64::new(0),
             snapshot_reads: AtomicU64::new(0),
+            wal_unacked: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             block_wait_ticks: LatencyHistogram::default(),
             shard_accesses: [0u64; SHARD_SLOTS].map(AtomicU64::new),
@@ -106,6 +111,10 @@ impl Metrics {
             order_cache_misses: 0,
             batched_compares: 0,
             order_cache_bulk_fills: 0,
+            wal_commits: 0,
+            wal_fsyncs: 0,
+            wal_bytes: 0,
+            wal_unacked: self.wal_unacked.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             block_wait: self.block_wait_ticks.snapshot(),
             shard_accesses,
@@ -116,7 +125,7 @@ impl Metrics {
 }
 
 /// Number of phases in the span taxonomy.
-pub const PHASE_COUNT: usize = 5;
+pub const PHASE_COUNT: usize = 6;
 
 /// Where a transaction's wall time goes (DESIGN.md §6). Each phase has
 /// its own nanosecond histogram and striped running total.
@@ -132,12 +141,21 @@ pub enum Phase {
     Backoff = 3,
     /// Commit critical section (validation, apply, stamp, wake).
     Commit = 4,
+    /// Parked after the in-memory commit, waiting for the group-commit
+    /// daemon to fsync this transaction's epoch (durable databases only).
+    FsyncWait = 5,
 }
 
 impl Phase {
     /// All phases, in index order.
-    pub const ALL: [Phase; PHASE_COUNT] =
-        [Phase::Admission, Phase::BlockWait, Phase::ChainWalk, Phase::Backoff, Phase::Commit];
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Admission,
+        Phase::BlockWait,
+        Phase::ChainWalk,
+        Phase::Backoff,
+        Phase::Commit,
+        Phase::FsyncWait,
+    ];
 
     /// Stable schema name (`phase_<name>_ns` in exports).
     pub fn name(self) -> &'static str {
@@ -147,6 +165,7 @@ impl Phase {
             Phase::ChainWalk => "chain_walk",
             Phase::Backoff => "backoff",
             Phase::Commit => "commit",
+            Phase::FsyncWait => "fsync_wait",
         }
     }
 }
@@ -319,6 +338,10 @@ pub struct EngineGauges {
     /// Batch-size distribution by power-of-two bucket (`le_1`, `le_2`,
     /// `le_4`, …; the last bucket absorbs everything larger).
     pub batched_size_buckets: [u64; BATCH_SIZE_BUCKETS],
+    /// Highest WAL epoch fsynced so far (0 without durability).
+    pub wal_durable_epoch: u64,
+    /// Bytes framed into the open WAL epoch but not yet fsynced.
+    pub wal_pending_bytes: u64,
 }
 
 impl EngineGauges {
@@ -501,6 +524,17 @@ pub struct MetricsSnapshot {
     /// Decided verdicts bulk-filled into the order cache by batched
     /// probes.
     pub order_cache_bulk_fills: u64,
+    /// Commit records framed into the write-ahead log (0 without
+    /// durability; sampled from the group-commit core, like the
+    /// order-cache figures).
+    pub wal_commits: u64,
+    /// Group-commit epochs fsynced.
+    pub wal_fsyncs: u64,
+    /// Bytes fsynced into the write-ahead log.
+    pub wal_bytes: u64,
+    /// Transactions applied in memory whose durability acknowledgement
+    /// never arrived (`TxError::DurabilityUnknown`).
+    pub wal_unacked: u64,
     /// Commit latency, in logical ticks.
     pub latency: LatencySnapshot,
     /// Blocked-wait durations, in logical ticks.
@@ -534,6 +568,10 @@ impl Default for MetricsSnapshot {
             order_cache_misses: 0,
             batched_compares: 0,
             order_cache_bulk_fills: 0,
+            wal_commits: 0,
+            wal_fsyncs: 0,
+            wal_bytes: 0,
+            wal_unacked: 0,
             latency: LatencySnapshot::default(),
             block_wait: LatencySnapshot::default(),
             shard_accesses: [0; SHARD_SLOTS],
@@ -585,6 +623,10 @@ impl MetricsSnapshot {
             order_cache_bulk_fills: self
                 .order_cache_bulk_fills
                 .saturating_sub(prev.order_cache_bulk_fills),
+            wal_commits: self.wal_commits.saturating_sub(prev.wal_commits),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(prev.wal_fsyncs),
+            wal_bytes: self.wal_bytes.saturating_sub(prev.wal_bytes),
+            wal_unacked: self.wal_unacked.saturating_sub(prev.wal_unacked),
             latency: self.latency.diff(&prev.latency),
             block_wait: self.block_wait.diff(&prev.block_wait),
             shard_accesses,
@@ -615,6 +657,10 @@ impl MetricsSnapshot {
             .counter("order_cache_misses", self.order_cache_misses)
             .counter("batched_compares", self.batched_compares)
             .counter("order_cache_bulk_fills", self.order_cache_bulk_fills)
+            .counter("wal_commits", self.wal_commits)
+            .counter("wal_fsyncs", self.wal_fsyncs)
+            .counter("wal_bytes", self.wal_bytes)
+            .counter("wal_unacked", self.wal_unacked)
             .histogram(HistogramExport {
                 name: "commit_latency_ticks".to_string(),
                 count: self.latency.count,
@@ -703,6 +749,13 @@ impl MetricsSnapshot {
                 .map(|(b, &n)| (format!("size_le_{}", 1u64 << b), n)),
         );
         reg = reg.breakdown("batched_compare", batched);
+        reg = reg.breakdown(
+            "wal",
+            vec![
+                ("durable_epoch".to_string(), g.wal_durable_epoch),
+                ("pending_bytes".to_string(), g.wal_pending_bytes),
+            ],
+        );
         let entries: Vec<(String, u64)> = self
             .shard_accesses
             .iter()

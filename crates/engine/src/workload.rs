@@ -181,6 +181,26 @@ pub fn bank_database_multiversion(k: usize, cfg: &BankConfig) -> Database<i64> {
     )
 }
 
+/// [`bank_database_multiversion`] with a **write-ahead log**: any sealed
+/// epochs at the configured path are recovered over the pre-funded store
+/// first, and every commit is acknowledged only after its group-commit
+/// epoch is fsynced (exp19's durability lane and exp20's crash harness).
+/// Pass a traced sink plus `durability.journal_path` to persist the
+/// decision trace for post-crash certification.
+pub fn bank_database_durable(
+    k: usize,
+    cfg: &BankConfig,
+    trace: mdts_trace::TraceSink,
+    durability: &crate::DurabilityConfig,
+) -> std::io::Result<(Database<i64>, mdts_storage::Recovered<i64>)> {
+    Database::with_store_multiversion_durable(
+        sharded_cc(k, cfg),
+        Store::with_items(cfg.accounts, cfg.initial_balance),
+        trace,
+        durability,
+    )
+}
+
 /// Runs the workload against a caller-built database (see
 /// [`bank_database`] and friends). The expected-total invariant assumes
 /// the store was seeded with `cfg.accounts × cfg.initial_balance`.

@@ -20,21 +20,29 @@
 //!   store over independently locked shards so the engine's reads and
 //!   commits on disjoint items proceed in parallel instead of funnelling
 //!   through one global mutex.
+//! * **Durability** (ISSUE 9): [`wal`] is a binary redo log with
+//!   per-record CRC framing, monotone LSNs and epoch (group-commit)
+//!   frames; [`recovery`] replays every sealed epoch back into a
+//!   [`Store`], discarding torn and unsealed tails.
 //!
 //! Values are generic (`Clone`); the engine instantiates with `i64` for
 //! the bank-style examples and benchmarks.
 
 pub mod mvstore;
+pub mod recovery;
 pub mod sharded;
 pub mod store;
 pub mod twophase;
 pub mod undo;
+pub mod wal;
 
 pub use mvstore::{
     ConcurrentMvStore, MultiVersionStore, MvStoreStats, MvVersion, SnapshotGuard, Version,
     DEFAULT_PRUNE_THRESHOLD, MV_CHAIN_LEN_BUCKETS,
 };
+pub use recovery::{recover, Recovered, RecoveryReport};
 pub use sharded::{ShardGuard, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::Store;
 pub use twophase::WriteBuffer;
 pub use undo::{Savepoint, UndoLog};
+pub use wal::{CrashPoint, ScanReport, WalPayload, WalValue, WalWriter};

@@ -49,17 +49,31 @@ impl<V: Clone> WriteBuffer<V> {
 
     /// Applies `tx`'s workspace to the store and drops it (the commit
     /// phase, after validation succeeded).
-    pub fn apply(&mut self, tx: TxId, store: &mut Store<V>) {
-        if let Some(buffer) = self.buffers.remove(&tx) {
-            for (item, value) in buffer {
-                store.set(item, value);
+    ///
+    /// Returns whether a workspace existed. `false` means the caller is
+    /// committing a transaction that never prepared any write — a replay
+    /// or engine bug this used to swallow silently (ISSUE 9 satellite):
+    /// a recovery path that "applies" a never-staged commit would lose
+    /// its writes without a trace. Callers must check the result.
+    #[must_use = "an absent workspace means the commit applied nothing"]
+    pub fn apply(&mut self, tx: TxId, store: &mut Store<V>) -> bool {
+        match self.buffers.remove(&tx) {
+            Some(buffer) => {
+                for (item, value) in buffer {
+                    store.set(item, value);
+                }
+                true
             }
+            None => false,
         }
     }
 
-    /// Discards `tx`'s workspace (abort) — nothing ever reached the store.
-    pub fn discard(&mut self, tx: TxId) {
-        self.buffers.remove(&tx);
+    /// Discards `tx`'s workspace (abort) — nothing ever reached the
+    /// store. Returns whether a workspace existed (a transaction that
+    /// buffered no write legitimately discards nothing, so unlike
+    /// [`WriteBuffer::apply`] this does not `debug_assert`).
+    pub fn discard(&mut self, tx: TxId) -> bool {
+        self.buffers.remove(&tx).is_some()
     }
 
     /// Drops a single buffered write (a commit-time Thomas-rule ignore:
@@ -92,7 +106,7 @@ mod tests {
         assert_eq!(store.get(X), Some(&0), "store untouched");
         assert_eq!(wb.own_read(T2, X), None, "T2 cannot see T1's workspace");
         assert_eq!(wb.own_read(T1, X), Some(&99), "read-your-writes");
-        wb.apply(T1, &mut store);
+        assert!(wb.apply(T1, &mut store));
         assert_eq!(store.get(X), Some(&99));
         assert_eq!(wb.active(), 0);
     }
@@ -102,8 +116,19 @@ mod tests {
         let mut store = Store::with_items(1, 0i64);
         let mut wb = WriteBuffer::new();
         wb.write(T1, X, 5);
-        wb.discard(T1);
-        wb.apply(T1, &mut store); // no-op
+        assert!(wb.discard(T1));
+        assert!(!wb.apply(T1, &mut store), "apply after discard must report the lost workspace");
+        assert_eq!(store.get(X), Some(&0));
+    }
+
+    #[test]
+    fn unknown_transaction_apply_and_discard_report_false() {
+        // The ISSUE 9 satellite: both used to silently no-op, so a replay
+        // committing a never-prepared transaction passed undetected.
+        let mut store = Store::with_items(1, 0i64);
+        let mut wb: WriteBuffer<i64> = WriteBuffer::new();
+        assert!(!wb.apply(T2, &mut store));
+        assert!(!wb.discard(T2));
         assert_eq!(store.get(X), Some(&0));
     }
 

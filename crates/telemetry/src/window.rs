@@ -94,6 +94,10 @@ fn counters_json(s: &MetricsSnapshot) -> Json {
         ("order_cache_misses", Json::U64(s.order_cache_misses)),
         ("batched_compares", Json::U64(s.batched_compares)),
         ("order_cache_bulk_fills", Json::U64(s.order_cache_bulk_fills)),
+        ("wal_commits", Json::U64(s.wal_commits)),
+        ("wal_fsyncs", Json::U64(s.wal_fsyncs)),
+        ("wal_bytes", Json::U64(s.wal_bytes)),
+        ("wal_unacked", Json::U64(s.wal_unacked)),
     ])
 }
 
@@ -171,6 +175,8 @@ impl TimeSeries {
                         "batched_size_buckets",
                         Json::Arr(g.batched_size_buckets.iter().map(|&n| Json::U64(n)).collect()),
                     ),
+                    ("wal_durable_epoch", Json::U64(g.wal_durable_epoch)),
+                    ("wal_pending_bytes", Json::U64(g.wal_pending_bytes)),
                 ]),
             ),
             (
@@ -260,6 +266,10 @@ impl TimeSeries {
             acc.order_cache_misses += d.order_cache_misses;
             acc.batched_compares += d.batched_compares;
             acc.order_cache_bulk_fills += d.order_cache_bulk_fills;
+            acc.wal_commits += d.wal_commits;
+            acc.wal_fsyncs += d.wal_fsyncs;
+            acc.wal_bytes += d.wal_bytes;
+            acc.wal_unacked += d.wal_unacked;
             acc.latency = acc.latency.merge(&d.latency);
             acc.block_wait = acc.block_wait.merge(&d.block_wait);
             for (a, &b) in acc.shard_accesses.iter_mut().zip(&d.shard_accesses) {

@@ -1,0 +1,448 @@
+//! Trace import: the JSONL exporter's inverse (ISSUE 9).
+//!
+//! Crash recovery replays the persisted trace journal back into a
+//! [`Trace`] so the independent auditor can certify that the recovered
+//! store is a committed TO(k) prefix. The loader is deliberately strict
+//! about everything *except* the final line: a crash mid-append tears at
+//! most the last record, so a malformed last line is dropped (and
+//! reported) while a malformed interior line is an error — interior
+//! damage means the file is not the journal the daemon wrote.
+//!
+//! Records are deduplicated by sequence number (a re-delivered journal
+//! slice replays idempotently, mirroring the WAL's duplicate-LSN rule).
+
+use mdts_model::{ItemId, OpKind, TxId};
+use mdts_vector::CmpResult;
+
+use crate::event::{
+    AbortReason, AccessOutcome, Change, DmtObj, DmtSource, RejectRule, SetEdgeOutcome, StallRule,
+    TraceEvent, TraceRecord,
+};
+use crate::json::Json;
+use crate::sink::Trace;
+
+/// What a journal load saw besides the records themselves.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct JournalReport {
+    /// Well-formed records loaded (duplicates excluded).
+    pub records: usize,
+    /// Whether a malformed final line was dropped (a torn append).
+    pub torn_tail: bool,
+    /// Records dropped because an earlier line carried the same seq.
+    pub duplicates: usize,
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    field(v, key)?.as_u64().ok_or_else(|| format!("field '{key}' is not an unsigned integer"))
+}
+
+fn u32_field(v: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(u64_field(v, key)?).map_err(|_| format!("field '{key}' exceeds u32"))
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, String> {
+    usize::try_from(u64_field(v, key)?).map_err(|_| format!("field '{key}' exceeds usize"))
+}
+
+fn i64_field(v: &Json, key: &str) -> Result<i64, String> {
+    match field(v, key)? {
+        Json::U64(n) => i64::try_from(*n).map_err(|_| format!("field '{key}' exceeds i64")),
+        Json::I64(n) => Ok(*n),
+        _ => Err(format!("field '{key}' is not an integer")),
+    }
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    field(v, key)?.as_f64().ok_or_else(|| format!("field '{key}' is not numeric"))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, String> {
+    match field(v, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("field '{key}' is not a boolean")),
+    }
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    field(v, key)?.as_str().ok_or_else(|| format!("field '{key}' is not a string"))
+}
+
+fn tx_field(v: &Json, key: &str) -> Result<TxId, String> {
+    Ok(TxId(u32_field(v, key)?))
+}
+
+fn item_field(v: &Json, key: &str) -> Result<ItemId, String> {
+    Ok(ItemId(u32_field(v, key)?))
+}
+
+fn kind_field(v: &Json, key: &str) -> Result<OpKind, String> {
+    match str_field(v, key)? {
+        "R" => Ok(OpKind::Read),
+        "W" => Ok(OpKind::Write),
+        other => Err(format!("field '{key}' is not an operation letter: '{other}'")),
+    }
+}
+
+fn changes_field(v: &Json, key: &str) -> Result<Vec<Change>, String> {
+    let Json::Arr(items) = field(v, key)? else {
+        return Err(format!("field '{key}' is not an array"));
+    };
+    items
+        .iter()
+        .map(|c| Ok((tx_field(c, "tx")?, usize_field(c, "element")?, i64_field(c, "value")?)))
+        .collect()
+}
+
+fn cmp_field(v: &Json, key: &str) -> Result<CmpResult, String> {
+    let result = field(v, key)?;
+    let order = str_field(result, "order")?;
+    if order == "identical" {
+        return Ok(CmpResult::Identical);
+    }
+    let at = usize_field(result, "at")?;
+    match order {
+        "less" => Ok(CmpResult::Less { at }),
+        "greater" => Ok(CmpResult::Greater { at }),
+        "equal_undefined" => Ok(CmpResult::EqualUndefined { at }),
+        "left_undefined" => Ok(CmpResult::LeftUndefined { at }),
+        "right_undefined" => Ok(CmpResult::RightUndefined { at }),
+        other => Err(format!("unknown comparison order '{other}'")),
+    }
+}
+
+fn obj_field(v: &Json, key: &str) -> Result<DmtObj, String> {
+    let obj = field(v, key)?;
+    if let Some(item) = obj.get("item") {
+        let n = item.as_u64().ok_or("'item' is not an unsigned integer")?;
+        return Ok(DmtObj::Item(ItemId(u32::try_from(n).map_err(|_| "'item' exceeds u32")?)));
+    }
+    if let Some(tx) = obj.get("vector") {
+        let n = tx.as_u64().ok_or("'vector' is not an unsigned integer")?;
+        return Ok(DmtObj::Vector(TxId(u32::try_from(n).map_err(|_| "'vector' exceeds u32")?)));
+    }
+    Err(format!("field '{key}' is neither an item nor a vector object"))
+}
+
+/// One event from its type name and record object — the exact inverse of
+/// `export::event_fields`.
+fn event_from(ty: &str, v: &Json) -> Result<TraceEvent, String> {
+    Ok(match ty {
+        "begin" => TraceEvent::Begin { tx: tx_field(v, "tx")? },
+        "restart" => TraceEvent::Restart {
+            tx: tx_field(v, "tx")?,
+            aborted: tx_field(v, "aborted")?,
+            hint: match field(v, "hint")? {
+                Json::Null => None,
+                _ => Some(i64_field(v, "hint")?),
+            },
+        },
+        "set_edge" => TraceEvent::SetEdge {
+            from: tx_field(v, "from")?,
+            to: tx_field(v, "to")?,
+            outcome: match str_field(v, "outcome")? {
+                "encoded" => {
+                    SetEdgeOutcome::Encoded { changes: changes_field(v, "changes")?.into() }
+                }
+                "already_ordered" => SetEdgeOutcome::AlreadyOrdered,
+                "refused" => SetEdgeOutcome::Refused { at: usize_field(v, "at")? },
+                other => return Err(format!("unknown set_edge outcome '{other}'")),
+            },
+        },
+        "compare" => TraceEvent::Compare {
+            a: tx_field(v, "a")?,
+            b: tx_field(v, "b")?,
+            result: cmp_field(v, "result")?,
+            scalar_ops: usize_field(v, "scalar_ops")?,
+            tree_steps: usize_field(v, "tree_steps")?,
+            cached: bool_field(v, "cached")?,
+        },
+        "access" => TraceEvent::Access {
+            tx: tx_field(v, "tx")?,
+            item: item_field(v, "item")?,
+            kind: kind_field(v, "kind")?,
+            rt: tx_field(v, "rt")?,
+            wt: tx_field(v, "wt")?,
+            outcome: match str_field(v, "outcome")? {
+                "granted" => AccessOutcome::Granted,
+                "granted_invisible" => AccessOutcome::GrantedInvisible,
+                "granted_ignored" => AccessOutcome::GrantedIgnored,
+                "granted_stale" => AccessOutcome::GrantedStale,
+                "rejected" => AccessOutcome::Rejected {
+                    against: tx_field(v, "against")?,
+                    column: usize_field(v, "column")?,
+                    rule: match str_field(v, "rule")? {
+                        "vector_order" => RejectRule::VectorOrder,
+                        "reader_rule" => RejectRule::ReaderRule,
+                        "thomas_rule" => RejectRule::ThomasRule,
+                        other => return Err(format!("unknown reject rule '{other}'")),
+                    },
+                },
+                other => return Err(format!("unknown access outcome '{other}'")),
+            },
+        },
+        "commit" => TraceEvent::Commit { tx: tx_field(v, "tx")? },
+        "abort" => TraceEvent::Abort { tx: tx_field(v, "tx")? },
+        "engine_abort" => TraceEvent::EngineAbort {
+            tx: tx_field(v, "tx")?,
+            reason: match str_field(v, "reason")? {
+                "access_rejected" => AbortReason::AccessRejected,
+                "validation_rejected" => AbortReason::ValidationRejected,
+                "epoch" => AbortReason::Epoch,
+                other => return Err(format!("unknown abort reason '{other}'")),
+            },
+        },
+        "gave_up" => {
+            TraceEvent::GaveUp { tx: tx_field(v, "tx")?, restarts: u64_field(v, "restarts")? }
+        }
+        "blocked" => TraceEvent::Blocked {
+            tx: tx_field(v, "tx")?,
+            item: item_field(v, "item")?,
+            kind: kind_field(v, "kind")?,
+            wake_seen: u64_field(v, "wake_seen")?,
+        },
+        // `record_json` flattens the event fields after the record's own
+        // `seq`, and the wake event's payload is *also* named `seq`, so a
+        // wake record carries the key twice; the event's value is the
+        // last occurrence (plain `get` would return the record seq).
+        "wake" => TraceEvent::Wake {
+            seq: match v {
+                Json::Obj(pairs) => pairs
+                    .iter()
+                    .rfind(|(k, _)| k == "seq")
+                    .and_then(|(_, j)| j.as_u64())
+                    .ok_or("wake record lacks an event seq")?,
+                _ => return Err("wake record is not an object".into()),
+            },
+        },
+        "dmt_op" => TraceEvent::DmtOp {
+            site: u32_field(v, "site")?,
+            tx: tx_field(v, "tx")?,
+            item: item_field(v, "item")?,
+            kind: kind_field(v, "kind")?,
+        },
+        "dmt_lock" => TraceEvent::DmtLock {
+            site: u32_field(v, "site")?,
+            obj: obj_field(v, "obj")?,
+            source: match str_field(v, "source")? {
+                "local" => DmtSource::Local,
+                "retained" => DmtSource::Retained,
+                "remote" => DmtSource::Remote,
+                other => return Err(format!("unknown lock source '{other}'")),
+            },
+        },
+        "dmt_write_back" => TraceEvent::DmtWriteBack {
+            site: u32_field(v, "site")?,
+            obj: obj_field(v, "obj")?,
+            remote: bool_field(v, "remote")?,
+        },
+        "dmt_sync" => {
+            TraceEvent::DmtSync { site: u32_field(v, "site")?, messages: u64_field(v, "messages")? }
+        }
+        "stamp_fill" => TraceEvent::StampFill {
+            tx: tx_field(v, "tx")?,
+            changes: changes_field(v, "changes")?.into(),
+        },
+        "version_install" => TraceEvent::VersionInstall {
+            writer: tx_field(v, "writer")?,
+            item: item_field(v, "item")?,
+        },
+        "version_read" => TraceEvent::VersionRead {
+            tx: tx_field(v, "tx")?,
+            item: item_field(v, "item")?,
+            writer: tx_field(v, "writer")?,
+        },
+        "telemetry_alert" => TraceEvent::TelemetryAlert {
+            window: u64_field(v, "window")?,
+            rule: match str_field(v, "rule")? {
+                "throughput_collapse" => StallRule::ThroughputCollapse,
+                "abort_spike" => StallRule::AbortSpike,
+                "writer_starvation" => StallRule::WriterStarvation,
+                other => return Err(format!("unknown stall rule '{other}'")),
+            },
+            value: f64_field(v, "value")?,
+            baseline: f64_field(v, "baseline")?,
+        },
+        other => return Err(format!("unknown event type '{other}'")),
+    })
+}
+
+fn record_from(line: &str) -> Result<TraceRecord, String> {
+    let v = Json::parse(line)?;
+    let seq = u64_field(&v, "seq")?;
+    let event = event_from(str_field(&v, "type")?, &v)?;
+    Ok(TraceRecord { seq, event })
+}
+
+/// Loads a JSONL trace journal, inverting [`crate::export::to_jsonl`].
+///
+/// A malformed *final* line is dropped as a torn append; a malformed
+/// interior line is an error (`"line N: why"`). Records sharing a seq
+/// with an earlier line are dropped and counted.
+pub fn from_jsonl(text: &str) -> Result<(Trace, JournalReport), String> {
+    let lines: Vec<(usize, &str)> =
+        text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
+    let mut report = JournalReport::default();
+    let mut records: Vec<TraceRecord> = Vec::with_capacity(lines.len());
+    let last = lines.len().checked_sub(1);
+    for (at, (lineno, line)) in lines.iter().enumerate() {
+        match record_from(line) {
+            Ok(record) => records.push(record),
+            Err(_) if Some(at) == last => {
+                report.torn_tail = true;
+            }
+            Err(why) => return Err(format!("line {}: {why}", lineno + 1)),
+        }
+    }
+    records.sort_by_key(|r| r.seq);
+    let before = records.len();
+    records.dedup_by_key(|r| r.seq);
+    report.duplicates = before - records.len();
+    report.records = records.len();
+    Ok((Trace::from_records(records), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::event::EncodedChanges;
+    use crate::export::to_jsonl;
+
+    use super::*;
+
+    fn one_of_each() -> Trace {
+        let events = vec![
+            TraceEvent::Begin { tx: TxId(1) },
+            TraceEvent::Restart { tx: TxId(2), aborted: TxId(1), hint: Some(-7) },
+            TraceEvent::Restart { tx: TxId(3), aborted: TxId(2), hint: None },
+            TraceEvent::SetEdge {
+                from: TxId(1),
+                to: TxId(2),
+                outcome: SetEdgeOutcome::Encoded {
+                    changes: EncodedChanges::pair((TxId(1), 0, 5), (TxId(2), 1, -2)),
+                },
+            },
+            TraceEvent::SetEdge {
+                from: TxId(2),
+                to: TxId(3),
+                outcome: SetEdgeOutcome::AlreadyOrdered,
+            },
+            TraceEvent::SetEdge {
+                from: TxId(3),
+                to: TxId(1),
+                outcome: SetEdgeOutcome::Refused { at: 2 },
+            },
+            TraceEvent::Compare {
+                a: TxId(1),
+                b: TxId(2),
+                result: CmpResult::Less { at: 1 },
+                scalar_ops: 2,
+                tree_steps: 6,
+                cached: true,
+            },
+            TraceEvent::Compare {
+                a: TxId(2),
+                b: TxId(3),
+                result: CmpResult::Identical,
+                scalar_ops: 3,
+                tree_steps: 6,
+                cached: false,
+            },
+            TraceEvent::Access {
+                tx: TxId(1),
+                item: ItemId(4),
+                kind: OpKind::Read,
+                rt: TxId(0),
+                wt: TxId(2),
+                outcome: AccessOutcome::Granted,
+            },
+            TraceEvent::Access {
+                tx: TxId(2),
+                item: ItemId(4),
+                kind: OpKind::Write,
+                rt: TxId(1),
+                wt: TxId(0),
+                outcome: AccessOutcome::Rejected {
+                    against: TxId(1),
+                    column: 0,
+                    rule: RejectRule::ThomasRule,
+                },
+            },
+            TraceEvent::Commit { tx: TxId(1) },
+            TraceEvent::Abort { tx: TxId(2) },
+            TraceEvent::EngineAbort { tx: TxId(2), reason: AbortReason::ValidationRejected },
+            TraceEvent::GaveUp { tx: TxId(2), restarts: 9 },
+            TraceEvent::Blocked { tx: TxId(3), item: ItemId(4), kind: OpKind::Read, wake_seen: 5 },
+            TraceEvent::Wake { seq: 6 },
+            TraceEvent::DmtOp { site: 1, tx: TxId(3), item: ItemId(4), kind: OpKind::Write },
+            TraceEvent::DmtLock {
+                site: 1,
+                obj: DmtObj::Item(ItemId(4)),
+                source: DmtSource::Remote,
+            },
+            TraceEvent::DmtWriteBack { site: 1, obj: DmtObj::Vector(TxId(3)), remote: true },
+            TraceEvent::DmtSync { site: 2, messages: 14 },
+            TraceEvent::StampFill { tx: TxId(3), changes: EncodedChanges::one((TxId(3), 2, 11)) },
+            TraceEvent::VersionInstall { writer: TxId(3), item: ItemId(4) },
+            TraceEvent::VersionRead { tx: TxId(4), item: ItemId(4), writer: TxId(3) },
+            TraceEvent::TelemetryAlert {
+                window: 3,
+                rule: StallRule::AbortSpike,
+                value: 12.5,
+                baseline: 2.25,
+            },
+        ];
+        Trace::from_records(
+            events
+                .into_iter()
+                .enumerate()
+                .map(|(seq, event)| TraceRecord { seq: seq as u64, event })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let trace = one_of_each();
+        let (back, report) = from_jsonl(&to_jsonl(&trace)).unwrap();
+        assert_eq!(back.records(), trace.records());
+        assert_eq!(report.records, trace.len());
+        assert!(!report.torn_tail);
+        assert_eq!(report.duplicates, 0);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let jsonl = to_jsonl(&one_of_each());
+        let torn = &jsonl[..jsonl.len() - 20]; // tear the last record mid-object
+        let (back, report) = from_jsonl(torn).unwrap();
+        assert_eq!(back.len(), one_of_each().len() - 1);
+        assert!(report.torn_tail);
+    }
+
+    #[test]
+    fn malformed_interior_line_is_an_error() {
+        let jsonl = to_jsonl(&one_of_each());
+        let broken = jsonl.replacen(r#""type":"begin""#, r#""type":"bogus""#, 1);
+        let err = from_jsonl(&broken).unwrap_err();
+        assert!(err.contains("line 1"), "err was: {err}");
+        assert!(err.contains("bogus"), "err was: {err}");
+    }
+
+    #[test]
+    fn duplicate_seq_records_are_dropped() {
+        let line = r#"{"seq":0,"type":"begin","tx":1}"#;
+        let (back, report) = from_jsonl(&format!("{line}\n{line}\n")).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(report.duplicates, 1);
+    }
+
+    #[test]
+    fn empty_input_loads_an_empty_trace() {
+        let (back, report) = from_jsonl("").unwrap();
+        assert!(back.is_empty());
+        assert_eq!(report, JournalReport::default());
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`TraceSink`] / [`TraceBuffer`] — a zero-cost-when-disabled handle in
 //!   front of a lane-sharded sequence-stamped buffer (journal or ring);
 //! * [`export`] — JSONL and Chrome `trace_event` exporters;
+//! * [`import`] — the JSONL inverse, so crash recovery can replay a
+//!   persisted journal back through the auditor (ISSUE 9);
 //! * [`table`] — a pretty-printer reproducing the paper's Table I–IV
 //!   layout from a captured trace;
 //! * [`registry`] — a serializable counters/histograms/breakdowns registry
@@ -23,6 +25,7 @@
 pub mod audit;
 pub mod event;
 pub mod export;
+pub mod import;
 pub mod json;
 pub mod registry;
 pub mod sink;
@@ -34,6 +37,7 @@ pub use event::{
     SetEdgeOutcome, StallRule, TraceEvent, TraceRecord,
 };
 pub use export::{to_chrome_trace, to_jsonl};
+pub use import::{from_jsonl, JournalReport};
 pub use json::Json;
 pub use registry::{Breakdown, HistogramExport, MetricsRegistry};
 pub use sink::{Trace, TraceBuffer, TraceSink};

@@ -87,10 +87,19 @@ impl TraceBuffer {
     }
 
     /// Appends one event, stamping it with the next global sequence number.
+    ///
+    /// The sequence number is taken *inside* the lane lock, which makes
+    /// [`TraceBuffer::next_seq`] a true completeness watermark: a reader
+    /// that loads `next_seq() == n` and then takes the lane locks sees
+    /// every record with `seq < n` fully inserted (any push that drew a
+    /// smaller seq either released its lane lock before the reader's load
+    /// — its insert is visible — or still holds the lock the reader is
+    /// about to take). The group-commit daemon relies on this to journal
+    /// a prefix-complete trace slice per epoch.
     pub fn push(&self, event: TraceEvent) {
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let tag = LANE_TAG.with(|t| *t);
         let mut lane = lock(&self.lanes[tag & self.lane_mask]);
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         if self.capacity != 0 && lane.records.len() >= self.capacity {
             lane.records.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);

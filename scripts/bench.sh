@@ -8,10 +8,13 @@
 #                              full exp19 sweep (including the read-heavy
 #                              MV serving-path lane) under --json, written
 #                              to BENCH_pr6.json, the exp18 acceptance
-#                              grid to BENCH_pr6_exp18.json, and the SIMD
+#                              grid to BENCH_pr6_exp18.json, the SIMD
 #                              comparator acceptance lanes (bench_compare
-#                              --json) to BENCH_pr8.json (all schema
-#                              mdts-metrics/v1).
+#                              --json) to BENCH_pr8.json, the durable
+#                              group-commit lane (exp19 --durable) to
+#                              BENCH_pr9.json, and the crash-recovery
+#                              matrix (exp20) to BENCH_pr9_exp20.json
+#                              (all schema mdts-metrics/v1).
 #   scripts/bench.sh --smoke   CI-sized: exp19 --quick --json validated for
 #                              the schema stamp, the read-heavy MV lane
 #                              (snapshot transactions actually served), the
@@ -20,7 +23,12 @@
 #                              asserts batched_compares > 0 there), the
 #                              bench_compare --json SIMD lanes (schema +
 #                              lane presence), and exp18 --json, plus
-#                              criterion build checks.
+#                              criterion build checks. The durability
+#                              smoke runs too: exp19 --quick --durable
+#                              (group-commit WAL lane with cold recovery)
+#                              and exp20 --smoke (crash matrix: every
+#                              injection site plus SIGKILL, recovery, and
+#                              auditor certification).
 #                              The telemetry lane always runs: exp19 emits
 #                              an mdts-timeseries/v1 file under
 #                              --telemetry-strict, timeseries_check
@@ -43,6 +51,8 @@ OUT=BENCH_pr6.json
 OUT18=BENCH_pr6_exp18.json
 OUT_TS=BENCH_pr6_timeseries.jsonl
 OUT8=BENCH_pr8.json
+OUT9=BENCH_pr9.json
+OUT9_20=BENCH_pr9_exp20.json
 
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== bench smoke: exp19 --quick --json (scaling + read-heavy MV lane) =="
@@ -81,6 +91,14 @@ if [[ "${1:-}" == "--smoke" ]]; then
         echo "bench smoke: bench_compare document is missing a SIMD lane" >&2
         exit 1
     fi
+    echo "== bench smoke: exp19 --quick --durable (group-commit WAL lane + cold recovery) =="
+    doc_dur=$(cargo run --release -q -p mdts-bench --bin exp19_scaling -- --quick --durable --json)
+    if [[ "$doc_dur" != *'"sweep":"durable group commit'* ]]; then
+        echo "bench smoke: --durable document is missing the group-commit sweep" >&2
+        exit 1
+    fi
+    echo "== bench smoke: exp20 --smoke (crash matrix: injection sites + SIGKILL + auditor) =="
+    cargo run --release -q -p mdts-bench --bin exp20_recovery -- --smoke
     echo "== bench smoke: exp18 --json =="
     doc18=$(cargo run --release -q -p mdts-bench --bin exp18_multiversion -- --json)
     if [[ "$doc18" != *'"experiment":"exp18"'* || "$doc18" != *'"protocol":"MV-MT(2q-1)"'* ]]; then
@@ -132,3 +150,13 @@ echo "== bench_compare --json (SIMD acceptance lanes) -> $OUT8 =="
 cargo bench -q -p mdts-bench --bench bench_compare -- --json > "$OUT8"
 grep -q "$SCHEMA" "$OUT8"
 echo "bench: wrote $OUT8"
+
+echo "== exp19 --durable (group-commit WAL lane + oversubscribed acceptance) --json -> $OUT9 =="
+cargo run --release -q -p mdts-bench --bin exp19_scaling -- --durable --json > "$OUT9"
+grep -q "$SCHEMA" "$OUT9"
+echo "bench: wrote $OUT9"
+
+echo "== exp20 (crash-recovery matrix + auditor certification) --json -> $OUT9_20 =="
+cargo run --release -q -p mdts-bench --bin exp20_recovery -- --json > "$OUT9_20"
+grep -q "$SCHEMA" "$OUT9_20"
+echo "bench: wrote $OUT9_20"

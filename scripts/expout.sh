@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Expected-output gate: regenerates every expout/*.txt fixture from its
+# harness binary and fails on any diff, so a stale fixture can't silently
+# mask a behavior change (exp09's fixture was stale from the seed until
+# PR 8 caught it by accident — this makes that structural).
+#
+#   scripts/expout.sh            check every fixture against a fresh run
+#   scripts/expout.sh --write    rewrite the fixtures from fresh runs
+#
+# exp08 / exp12 / exp14 / exp17 time wall-clock work, so their numeric
+# cells vary run to run: both sides are digit-masked (and column padding
+# collapsed, since cell widths follow the digit counts) before diffing —
+# the table shape and every non-numeric cell stay pinned, the timings
+# don't. All other fixtures must match byte for byte.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WRITE=0
+for arg in "$@"; do
+  case "$arg" in
+    --write) WRITE=1 ;;
+    *) echo "usage: $0 [--write]" >&2; exit 2 ;;
+  esac
+done
+
+MASKED=" exp08_composite exp12_complexity exp14_vector_size exp17_throughput "
+
+mask() { sed -E 's/[0-9][0-9.]*/#/g; s/ +/ /g; s/-+/-/g'; }
+
+cargo build --release -q -p mdts-bench
+
+status=0
+for fixture in expout/*.txt; do
+    bin=$(basename "$fixture" .txt)
+    fresh=$(cargo run --release -q -p mdts-bench --bin "$bin")
+    if [[ $WRITE -eq 1 ]]; then
+        printf '%s\n' "$fresh" > "$fixture"
+        echo "expout: wrote $fixture"
+        continue
+    fi
+    if [[ "$MASKED" == *" $bin "* ]]; then
+        if ! diff -u <(mask < "$fixture") <(printf '%s\n' "$fresh" | mask) >/dev/null; then
+            echo "expout: STALE $fixture (shape diff after digit masking):" >&2
+            diff -u <(mask < "$fixture") <(printf '%s\n' "$fresh" | mask) | head -40 >&2 || true
+            status=1
+        else
+            echo "expout: ok $fixture (masked)"
+        fi
+    elif ! diff -u "$fixture" <(printf '%s\n' "$fresh") >/dev/null; then
+        echo "expout: STALE $fixture:" >&2
+        diff -u "$fixture" <(printf '%s\n' "$fresh") | head -40 >&2 || true
+        status=1
+    else
+        echo "expout: ok $fixture"
+    fi
+done
+
+if [[ $status -ne 0 ]]; then
+    echo "expout: stale fixtures — regenerate with scripts/expout.sh --write" >&2
+    exit 1
+fi
+echo "expout: all fixtures current"

@@ -3,10 +3,12 @@
 # complete workspace test suite (tier-1 is the root package's tests; the
 # workspace run is a superset). Run from the repo root.
 #
-#   --full   additionally run the loom model-checking suite (the shim's
-#            litmus certification plus the ordercache / rowtable /
-#            WakeSeq interleaving models) — see scripts/race.sh for the
-#            standalone race-hunting entry point.
+#   --full   additionally regenerate every expout/*.txt fixture and fail
+#            on diff (scripts/expout.sh — stale fixtures can't silently
+#            mask behavior changes), then run the loom model-checking
+#            suite (the shim's litmus certification plus the ordercache /
+#            rowtable / WakeSeq interleaving models) — see
+#            scripts/race.sh for the standalone race-hunting entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +39,9 @@ echo "== alloc-regression gate (release) =="
 cargo test --release -q --test alloc_zero
 
 if [[ "$FULL" -eq 1 ]]; then
+  echo "== expout fixtures (regenerate every expout/*.txt, fail on diff) =="
+  ./scripts/expout.sh
+
   echo "== loom: shim litmus certification =="
   cargo test -q -p loom --release --test litmus
 

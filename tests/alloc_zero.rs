@@ -206,6 +206,32 @@ fn steady_state_scheduler_path_is_allocation_free_for_inline_k() {
     assert_eq!(enabled, 0, "enabled phase-timing records must not allocate");
     assert!(timers.snapshot().spans[Phase::ChainWalk as usize].count >= 256);
 
+    // The WAL commit-framing path (ISSUE 9). `Durability::enqueue`
+    // encodes the write set into the long-lived, double-buffered epoch
+    // buffer; once that buffer has grown to its steady-state capacity, a
+    // commit's framing must not touch the heap. Warm a buffer with one
+    // epoch's worth of frames, then measure re-framing into it.
+    {
+        use mdts::storage::wal;
+        let writes: Vec<(ItemId, i64)> = (0..8).map(|n| (item(n), n as i64)).collect();
+        let skip = [item(3)];
+        let mut frames: Vec<u8> = Vec::new();
+        wal::encode_epoch_begin(&mut frames, 1);
+        for lsn in 0..32u64 {
+            wal::encode_commit(&mut frames, lsn, TxId(lsn as u32 + 1), &writes, &skip);
+        }
+        wal::encode_epoch_seal(&mut frames, 1, 32);
+        frames.clear(); // capacity retained — the daemon's double buffer
+        let framing = allocations(|| {
+            wal::encode_epoch_begin(&mut frames, 2);
+            for lsn in 32..64u64 {
+                wal::encode_commit(&mut frames, lsn, TxId(lsn as u32 + 1), &writes, &skip);
+            }
+            wal::encode_epoch_seal(&mut frames, 2, 32);
+        });
+        assert_eq!(framing, 0, "framing a commit into a warmed epoch buffer must not allocate");
+    }
+
     // Sanity check that the counter actually observes the scheduler: one
     // dimension past the inline capacity spills to boxed storage, so the
     // same path must allocate.
