@@ -881,6 +881,59 @@ impl SharedMtScheduler {
         }
     }
 
+    /// ISSUE 10: admission prewarm. Probes each `(item, tx)` pair's
+    /// Definition-6 order against the item's current holders, grouping
+    /// pairs that land on the same item shard under a single shard-lock
+    /// acquisition so each `RT`/`WT` flat-table region — and the order-
+    /// cache lines it feeds — is touched once per admission batch instead
+    /// of once per transaction. Each probe runs through the same fused
+    /// one-vs-many compare lane as the access-path miss probe
+    /// ([`batched_order_probe`](Self::batched_order_probe)) and bulk-fills
+    /// the order cache with whatever it decides.
+    ///
+    /// This is purely a memoization warm-up: only already-*decided*
+    /// orders enter the cache, undecided ones stay open, and no holder or
+    /// vector element is written. The decisions taken by later
+    /// [`read`](Self::read)/[`write`](Self::write) calls are therefore
+    /// identical with or without the warm-up — the admission-oracle
+    /// proptest in the engine crate pins this decision-for-decision.
+    ///
+    /// `pairs` is reordered in place (grouped by owning shard); the caller
+    /// owns the buffer so the steady state stays allocation-free. Pairs
+    /// naming a transaction without a live vector row (never begun, or
+    /// already reclaimed) are skipped.
+    pub fn warm_probes(&self, pairs: &mut [(ItemId, TxId)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mask = self.shard_mask;
+        let bits = self.shard_bits;
+        // Group by shard, then by dense index within it, so the flat
+        // table is walked in one forward pass per shard.
+        pairs.sort_unstable_by_key(|&(item, _)| {
+            let idx = item.index();
+            (idx & mask, idx >> bits)
+        });
+        let mut i = 0;
+        while i < pairs.len() {
+            let shard_idx = pairs[i].0.index() & mask;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0.index() & mask == shard_idx {
+                j += 1;
+            }
+            let s = lock(&self.shards[shard_idx]);
+            for &(item, tx) in &pairs[i..j] {
+                if self.rows.slot(tx.index()).is_none_or(|slot| slot.read().is_none()) {
+                    continue;
+                }
+                let local = item.index() >> bits;
+                self.batched_order_probe(tx, s.pair(local));
+            }
+            drop(s);
+            i = j;
+        }
+    }
+
     /// Orders `tx` after both current holders of `item`, larger first.
     /// Returns `Ok` when fully ordered; `Refused` carries which holder
     /// blocked. The holders cannot change underneath us — the caller holds

@@ -42,10 +42,11 @@ use mdts_storage::{
 };
 use mdts_trace::{AbortReason, StallRule, TraceEvent, TraceSink};
 
+use crate::admission::{Admission, AdmissionConfig};
 use crate::cc::{
     CommitDecision, ConcurrencyControl, ConcurrentCc, SerializedCc, ShardedMtCc, Verdict,
 };
-use crate::durability::{Durability, DurabilityConfig};
+use crate::durability::{Durability, DurabilityConfig, CHECKPOINT_TX};
 use crate::metrics::{EngineGauges, Metrics, MetricsSnapshot, Phase};
 
 /// Terminal failure of [`Database::run`].
@@ -114,6 +115,10 @@ struct Shared<V> {
     /// log and acknowledged only once fsynced (see
     /// [`Database::with_store_concurrent_durable`]).
     durability: Option<Durability<V>>,
+    /// `Some` when admission is epoch-batched through the staging queue
+    /// (ISSUE 10, on by default; `MDTS_ADMIT_MODE=off` restores the
+    /// serial admission path).
+    admission: Option<Admission>,
 }
 
 impl<V> Shared<V> {
@@ -185,6 +190,7 @@ impl<V: Clone + Send + 'static> Database<V> {
                 name,
                 trace,
                 durability: None,
+                admission: AdmissionConfig::from_env().map(Admission::new),
             }),
         }
     }
@@ -229,6 +235,7 @@ impl<V: Clone + Send + 'static> Database<V> {
                 name: "MV-MT(k)",
                 trace,
                 durability: None,
+                admission: AdmissionConfig::from_env().map(Admission::new),
             }),
         }
     }
@@ -252,7 +259,7 @@ impl<V: Clone + Send + 'static> Database<V> {
         config: &DurabilityConfig,
     ) -> std::io::Result<(Self, Recovered<V>)>
     where
-        V: WalValue,
+        V: WalValue + Send,
     {
         let (shared, recovered) = durable_parts(store, &trace, config)?;
         let name = cc.name();
@@ -268,8 +275,10 @@ impl<V: Clone + Send + 'static> Database<V> {
                 name,
                 trace,
                 durability: Some(shared.3),
+                admission: AdmissionConfig::from_env().map(Admission::new),
             }),
         };
+        db.install_wal_checkpoint();
         Ok((db, recovered))
     }
 
@@ -283,7 +292,7 @@ impl<V: Clone + Send + 'static> Database<V> {
         config: &DurabilityConfig,
     ) -> std::io::Result<(Self, Recovered<V>)>
     where
-        V: WalValue + Sync,
+        V: WalValue + Send,
     {
         let (shared, recovered) = durable_parts(store, &trace, config)?;
         let sched = cc.scheduler_arc();
@@ -299,9 +308,35 @@ impl<V: Clone + Send + 'static> Database<V> {
                 name: "MV-MT(k)",
                 trace,
                 durability: Some(shared.3),
+                admission: AdmissionConfig::from_env().map(Admission::new),
             }),
         };
+        db.install_wal_checkpoint();
         Ok((db, recovered))
+    }
+
+    /// Hands the group-commit daemon its checkpoint snapshot encoder (a
+    /// no-op without durability). The closure captures the store's own
+    /// [`ShardedStore::shard_handle`] rather than any reference to
+    /// `Shared`, so it never entangles the engine's reference counts —
+    /// [`Database::configure_admission`]'s `Arc::get_mut` still sees an
+    /// unshared allocation, and a rotation racing database teardown
+    /// snapshots a still-valid store instead of a dangling engine.
+    fn install_wal_checkpoint(&self)
+    where
+        V: WalValue,
+    {
+        let Some(durability) = &self.shared.durability else {
+            return;
+        };
+        let store = self.shared.store.shard_handle();
+        let mut writes: Vec<(ItemId, V)> = Vec::new();
+        durability.install_checkpoint(Box::new(move |buf, lsn| {
+            writes.clear();
+            writes.extend(store.snapshot());
+            mdts_storage::wal::encode_commit(buf, lsn, CHECKPOINT_TX, &writes, &[]);
+            true
+        }));
     }
 
     /// Whether the multiversion serving path is enabled.
@@ -415,8 +450,40 @@ impl<V: Clone + Send + 'static> Database<V> {
         if let Some(wal) = &self.shared.durability {
             g.wal_durable_epoch = wal.durable_epoch();
             g.wal_pending_bytes = wal.pending_bytes();
+            let (checkpoints, truncations) = wal.checkpoint_stats();
+            g.wal_checkpoints = checkpoints;
+            g.wal_truncations = truncations;
+        }
+        if let Some(adm) = &self.shared.admission {
+            let s = adm.stats();
+            g.admit_batches = s.batches;
+            g.admit_batched_txns = s.batched_txns;
+            g.admit_parked = s.parked;
+            g.admit_max_batch = s.max_batch;
+            g.admit_prewarm_pairs = s.prewarm_pairs;
+            g.admit_queue_depth = s.queue_depth;
         }
         g
+    }
+
+    /// Replaces the admission pipeline (ISSUE 10): `Some` installs a
+    /// staging queue with the given knobs, `None` restores the serial
+    /// admission path. Call before the database is shared across threads
+    /// — the oracle tests use this to compare batched and serial
+    /// admission without relying on the environment.
+    ///
+    /// # Panics
+    /// Panics if the database handle has already been cloned.
+    pub fn configure_admission(&mut self, config: Option<AdmissionConfig>) {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("configure_admission before sharing the database");
+        shared.admission = config.map(Admission::new);
+    }
+
+    /// Admission-pipeline counters (zeros when admission batching is
+    /// disabled).
+    pub fn admission_stats(&self) -> crate::admission::AdmissionStats {
+        self.shared.admission.as_ref().map(Admission::stats).unwrap_or_default()
     }
 
     /// Turns wall-time phase-span timing on or off (off by default; when
@@ -445,6 +512,24 @@ impl<V: Clone + Send + 'static> Database<V> {
     pub fn run<T>(
         &self,
         max_restarts: usize,
+        body: impl FnMut(&mut Tx<'_, V>) -> Result<T, Aborted>,
+    ) -> Result<T, TxError> {
+        self.run_with_footprint(max_restarts, &[], body)
+    }
+
+    /// Like [`run`](Self::run), with the transaction's expected
+    /// first-access items declared up front. On a batched-admission
+    /// database the footprint is prewarmed through the shard-grouped
+    /// probe lane during admission (ISSUE 10): the batch touches each
+    /// `RT`/`WT` table region once and bulk-fills the order cache, so
+    /// the accesses that follow are answered from the memo table. The
+    /// footprint is advisory — accesses outside it are simply probed on
+    /// the access path as before, and over-declaring only costs wasted
+    /// probes.
+    pub fn run_with_footprint<T>(
+        &self,
+        max_restarts: usize,
+        footprint: &[ItemId],
         mut body: impl FnMut(&mut Tx<'_, V>) -> Result<T, Aborted>,
     ) -> Result<T, TxError> {
         let shared = &*self.shared;
@@ -454,14 +539,40 @@ impl<V: Clone + Send + 'static> Database<V> {
         // re-fills the buffers its predecessor already grew, so a restart
         // storm does not churn the allocator.
         let mut scratch = TxScratch::default();
+        // Backoff escalation is tracked separately from the attempt count:
+        // an admission that parked in the staging queue was already
+        // staggered by the queue wait, so it resets the escalation
+        // instead of compounding it (the double-penalty fix, ISSUE 10).
+        let mut backoff_attempt = 0usize;
+        let mut parked_last = false;
         for attempt in 0..=max_restarts {
-            let id = TxId(shared.next_tx.fetch_add(1, Ordering::Relaxed) + 1);
-            shared.trace.emit(|| TraceEvent::Begin { tx: id });
             let span = shared.metrics.phases.start();
-            match prev {
-                Some(p) => shared.cc.begin_restarted(id, p),
-                None => shared.cc.begin(id),
-            }
+            let id = match &shared.admission {
+                Some(adm) => {
+                    let (id, parked) = adm.admit(
+                        shared.cc.as_ref(),
+                        &shared.next_tx,
+                        &shared.trace,
+                        prev,
+                        footprint,
+                        &mut scratch.pairs,
+                    );
+                    if parked {
+                        backoff_attempt = 0;
+                    }
+                    parked_last = parked;
+                    id
+                }
+                None => {
+                    let id = TxId(shared.next_tx.fetch_add(1, Ordering::Relaxed) + 1);
+                    shared.trace.emit(|| TraceEvent::Begin { tx: id });
+                    match prev {
+                        Some(p) => shared.cc.begin_restarted(id, p),
+                        None => shared.cc.begin(id),
+                    }
+                    id
+                }
+            };
             shared.metrics.phases.record_since(Phase::Admission, span);
             let epoch = shared.cc.epoch();
             let mut tx = Tx { shared, id, epoch, scratch: std::mem::take(&mut scratch) };
@@ -501,7 +612,16 @@ impl<V: Clone + Send + 'static> Database<V> {
             if attempt < max_restarts {
                 Metrics::bump(&shared.metrics.restarts);
                 let span = shared.metrics.phases.start();
-                restart_backoff(attempt, id.0);
+                if parked_last {
+                    // This incarnation already waited its turn in the
+                    // staging queue; sleeping the jittered backoff on top
+                    // would penalize it twice. Yield and re-admit — the
+                    // queue itself staggers the retry.
+                    std::thread::yield_now();
+                } else {
+                    restart_backoff(backoff_attempt, id.0);
+                }
+                backoff_attempt += 1;
                 shared.metrics.phases.record_since(Phase::Backoff, span);
             }
         }
@@ -702,7 +822,7 @@ fn restart_backoff(attempt: usize, id_salt: u32) {
 /// state under [`crate::durability::CHECKPOINT_TX`], and seed the id and
 /// clock counters so recovered history stays monotone.
 #[allow(clippy::type_complexity)]
-fn durable_parts<V: Clone + WalValue>(
+fn durable_parts<V: Clone + Send + WalValue>(
     mut store: Store<V>,
     trace: &TraceSink,
     config: &DurabilityConfig,
@@ -747,11 +867,19 @@ struct TxScratch<V> {
     items: Vec<ItemId>,
     /// Commit-time store-shard indices (sorted, deduped).
     shard_idxs: Vec<usize>,
+    /// Admission prewarm `(item, tx)` pairs (ISSUE 10), recycled across
+    /// restart attempts like the rest of the workspace.
+    pairs: Vec<(ItemId, TxId)>,
 }
 
 impl<V> Default for TxScratch<V> {
     fn default() -> Self {
-        TxScratch { writes: Vec::new(), items: Vec::new(), shard_idxs: Vec::new() }
+        TxScratch {
+            writes: Vec::new(),
+            items: Vec::new(),
+            shard_idxs: Vec::new(),
+            pairs: Vec::new(),
+        }
     }
 }
 

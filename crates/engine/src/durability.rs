@@ -32,10 +32,19 @@
 //!   mid-epoch, or after the fsync but before the acknowledgement; the
 //!   daemon halts and every in-flight and later waiter gets
 //!   [`crate::TxError::DurabilityUnknown`] instead of hanging.
+//! * **Checkpoint + truncation** (ISSUE 10) — with
+//!   [`DurabilityConfig::checkpoint_every`] set, every N sealed epochs
+//!   the daemon snapshots the committed store into a fresh log — one
+//!   sealed epoch under [`CHECKPOINT_TX`] — and atomically renames it
+//!   over the live file, bounding both the log size and the replay work
+//!   a restart has to do. The rename is the commit point: a crash before
+//!   it recovers the old full log, after it the checkpointed one.
 //!
 //! Lock order: store shards (ascending) → the epoch-buffer mutex. The
 //! daemon takes the epoch-buffer mutex alone and never touches engine
-//! state.
+//! state — except during a checkpoint, where it snapshots the store
+//! shards *without* holding the epoch-buffer mutex (the same
+//! shards-before-buffer order committers use, so no cycle).
 
 use std::fs::File;
 use std::io::{self, Write as _};
@@ -71,6 +80,13 @@ pub struct DurabilityConfig {
     pub interval: Duration,
     /// Crash-injection site for the durability tests (defaults to none).
     pub crash_point: CrashPoint,
+    /// Checkpoint-and-truncate the log every this many sealed epochs
+    /// (0 = never, the default). Each checkpoint rewrites the log as a
+    /// single sealed epoch holding the committed store under
+    /// [`CHECKPOINT_TX`], so log length and restart replay time stay
+    /// proportional to the checkpoint interval, not the database's
+    /// lifetime.
+    pub checkpoint_every: u64,
 }
 
 impl DurabilityConfig {
@@ -82,12 +98,20 @@ impl DurabilityConfig {
             journal_path: None,
             interval: Duration::from_millis(1),
             crash_point: CrashPoint::None,
+            checkpoint_every: 0,
         }
     }
 
     /// Adds a trace-journal file.
     pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Checkpoints and truncates the log every `epochs` sealed epochs
+    /// (0 disables).
+    pub fn checkpoint_every(mut self, epochs: u64) -> Self {
+        self.checkpoint_every = epochs;
         self
     }
 }
@@ -136,9 +160,26 @@ struct Core {
     wal_commits: AtomicU64,
     wal_fsyncs: AtomicU64,
     wal_bytes: AtomicU64,
+    /// The live log file, needed by the daemon's checkpoint rotation.
+    wal_path: PathBuf,
+    /// Checkpoint-and-truncate cadence in sealed epochs (0 = never).
+    checkpoint_every: u64,
+    /// Snapshot encoder, installed by the engine after construction
+    /// (it captures a `Weak` back-reference to the engine's store, which
+    /// does not exist yet when the daemon starts). Only the daemon takes
+    /// this lock after installation.
+    checkpoint: Mutex<Option<CheckpointFn>>,
+    wal_checkpoints: AtomicU64,
+    wal_truncations: AtomicU64,
 }
 
 type EncodeFn<V> = fn(&mut Vec<u8>, u64, TxId, &[(ItemId, V)], &[ItemId]) -> usize;
+
+/// Encodes one [`CHECKPOINT_TX`] commit record carrying the committed
+/// store's snapshot at `lsn` into the buffer; returns `false` when the
+/// engine is gone (rotation is then skipped). Installed by the engine
+/// via [`Durability::install_checkpoint`].
+pub(crate) type CheckpointFn = Box<dyn FnMut(&mut Vec<u8>, u64) -> bool + Send>;
 
 /// The engine-side durability handle: owns the daemon and the epoch
 /// buffer. Dropping it flushes the open epoch and joins the daemon.
@@ -200,6 +241,11 @@ impl<V: WalValue> Durability<V> {
             wal_commits: core_counters.0,
             wal_fsyncs: core_counters.1,
             wal_bytes: core_counters.2,
+            wal_path: config.wal_path.clone(),
+            checkpoint_every: config.checkpoint_every,
+            checkpoint: Mutex::new(None),
+            wal_checkpoints: AtomicU64::new(0),
+            wal_truncations: AtomicU64::new(0),
         });
         let daemon_core = Arc::clone(&core);
         let handle = std::thread::Builder::new()
@@ -317,6 +363,21 @@ impl<V> Durability<V> {
     pub(crate) fn set_crash_point(&self, point: CrashPoint) {
         *lock(&self.core.crash) = point;
     }
+
+    /// Installs the snapshot encoder the daemon's checkpoint rotation
+    /// uses. Without one (or with `checkpoint_every == 0`) the log only
+    /// ever grows.
+    pub(crate) fn install_checkpoint(&self, f: CheckpointFn) {
+        *lock(&self.core.checkpoint) = Some(f);
+    }
+
+    /// `(checkpoints written, truncations performed)` so far.
+    pub(crate) fn checkpoint_stats(&self) -> (u64, u64) {
+        (
+            self.core.wal_checkpoints.load(Ordering::Relaxed),
+            self.core.wal_truncations.load(Ordering::Relaxed),
+        )
+    }
 }
 
 impl<V> Drop for Durability<V> {
@@ -363,6 +424,7 @@ fn daemon(core: Arc<Core>, mut writer: WalWriter, mut journal: Option<(Arc<Trace
     let mut spare: Vec<u8> = Vec::new();
     let mut mark = 0u64;
     let mut text = String::new();
+    let mut since_checkpoint = 0u64;
     loop {
         let (mut frames, epoch, commits) = {
             let mut st = lock(&core.state);
@@ -433,5 +495,76 @@ fn daemon(core: Arc<Core>, mut writer: WalWriter, mut journal: Option<(Arc<Trace
         }
         frames.clear();
         spare = frames;
+        since_checkpoint += 1;
+        if core.checkpoint_every > 0
+            && since_checkpoint >= core.checkpoint_every
+            && rotate(&core, &mut writer, epoch)
+        {
+            since_checkpoint = 0;
+        }
     }
+}
+
+/// Checkpoint-and-truncate: writes a fresh log holding one sealed epoch
+/// — the committed store under [`CHECKPOINT_TX`] — and atomically
+/// renames it over the live file, then swaps the daemon's writer to it.
+/// Returns whether the rotation completed (a failure leaves the old log
+/// in place and just means rotation is retried after the next epoch).
+///
+/// The new file's checkpoint epoch reuses `sealed_epoch` — the number
+/// just fsynced — so the still-open epoch (`sealed_epoch + 1`) appends
+/// to the new file with the monotonicity the recovery scan demands.
+///
+/// Snapshot consistency: the checkpoint's LSN is consumed under the
+/// epoch-buffer mutex *before* the snapshot closure runs. Every commit
+/// framed earlier holds all its write-set store shards from enqueue
+/// through apply, so the per-shard snapshot observes it in full; any
+/// commit framed later lands in an epoch at or past `sealed_epoch + 1`
+/// with a higher LSN and replays after the checkpoint regardless of how
+/// much of it the snapshot caught.
+fn rotate(core: &Core, writer: &mut WalWriter, sealed_epoch: u64) -> bool {
+    let mut cp = lock(&core.checkpoint);
+    let Some(encode_checkpoint) = cp.as_mut() else {
+        return false;
+    };
+    let lsn = {
+        let mut st = lock(&core.state);
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        lsn
+    };
+    let mut frames = Vec::new();
+    wal::encode_epoch_begin(&mut frames, sealed_epoch);
+    if !encode_checkpoint(&mut frames, lsn) {
+        // The engine is gone (shutdown race): keep the old log.
+        return false;
+    }
+    let seal = wal::encode_epoch_seal(&mut frames, sealed_epoch, 1);
+    let tmp = core.wal_path.with_extension("rotate");
+    let swapped = (|| -> io::Result<bool> {
+        let mut w = WalWriter::create(&tmp)?;
+        if !w.append_epoch(&frames, seal)? {
+            return Ok(false);
+        }
+        // The rename is the commit point: before it a crash recovers the
+        // old full log, after it the checkpointed one. Then best-effort
+        // fsync of the directory so the rename itself is durable.
+        std::fs::rename(&tmp, &core.wal_path)?;
+        if let Some(dir) = core.wal_path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        *writer = w;
+        Ok(true)
+    })()
+    .unwrap_or(false);
+    if swapped {
+        core.wal_checkpoints.fetch_add(1, Ordering::Relaxed);
+        core.wal_truncations.fetch_add(1, Ordering::Relaxed);
+        core.wal_bytes.fetch_add(frames.len() as u64, Ordering::Relaxed);
+    } else {
+        std::fs::remove_file(&tmp).ok();
+    }
+    swapped
 }

@@ -648,6 +648,121 @@ mod mv_props {
     }
 }
 
+// ---------------------------------------------------------------------
+// batched admission ≡ serial admission (ISSUE 10, satellite 3)
+// ---------------------------------------------------------------------
+
+mod admission_props {
+    use mdts_model::ItemId;
+    use mdts_storage::Store;
+    use proptest::prelude::*;
+
+    use crate::admission::{AdmissionConfig, ADMIT_FOOTPRINT};
+    use crate::cc::ShardedMtCc;
+    use crate::db::{Database, TxError};
+
+    const ITEMS: u32 = 4;
+
+    /// One transaction: items read, then items written (deduped).
+    #[derive(Clone, Debug)]
+    struct TxSpec {
+        reads: Vec<u32>,
+        writes: Vec<u32>,
+    }
+
+    fn arb_schedule() -> impl Strategy<Value = Vec<TxSpec>> {
+        proptest::collection::vec(
+            (proptest::collection::vec(0..ITEMS, 0..3), proptest::collection::vec(0..ITEMS, 0..3))
+                .prop_map(|(mut reads, mut writes)| {
+                    reads.sort_unstable();
+                    reads.dedup();
+                    writes.sort_unstable();
+                    writes.dedup();
+                    TxSpec { reads, writes }
+                }),
+            1..24,
+        )
+    }
+
+    /// Every transaction's observable outcome: the values it read on its
+    /// committed incarnation, or the terminal error.
+    #[allow(clippy::type_complexity)]
+    fn drive(db: &Database<i64>, schedule: &[TxSpec]) -> Vec<Result<Vec<i64>, TxError>> {
+        schedule
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let footprint: Vec<ItemId> = spec
+                    .reads
+                    .iter()
+                    .chain(spec.writes.iter())
+                    .take(ADMIT_FOOTPRINT)
+                    .map(|&x| ItemId(x))
+                    .collect();
+                let value = i as i64 + 1;
+                db.run_with_footprint(4, &footprint, |tx| {
+                    let mut got = Vec::new();
+                    for &item in &spec.reads {
+                        got.push(tx.read(ItemId(item))?.unwrap_or(-1));
+                    }
+                    for &item in &spec.writes {
+                        tx.write(ItemId(item), value)?;
+                    }
+                    Ok(got)
+                })
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The staging queue is decision-neutral: driving the same
+        /// schedule through a serial-admission database and a
+        /// batched-admission one (where prewarm probes run ahead of the
+        /// transaction body) must grant and reject identically —
+        /// outcome for outcome, read for read, abort for abort — and
+        /// leave identical stores. Prewarm only memoizes *decided*
+        /// compares, so it can never flip an ordering decision.
+        #[test]
+        fn batched_admission_matches_serial_decision_for_decision(
+            schedule in arb_schedule(),
+            k in 2usize..5,
+            batch_max in 1usize..5,
+        ) {
+            let mut serial: Database<i64> = Database::with_store_concurrent(
+                Box::new(ShardedMtCc::new(k)),
+                Store::with_items(ITEMS, 0),
+            );
+            serial.configure_admission(None);
+            let mut batched: Database<i64> = Database::with_store_concurrent(
+                Box::new(ShardedMtCc::new(k)),
+                Store::with_items(ITEMS, 0),
+            );
+            batched.configure_admission(Some(AdmissionConfig { batch_max }));
+
+            let got_serial = drive(&serial, &schedule);
+            let got_batched = drive(&batched, &schedule);
+            prop_assert_eq!(&got_serial, &got_batched,
+                "admission paths diverged on {:?}", &schedule);
+
+            let ms = serial.metrics();
+            let mb = batched.metrics();
+            prop_assert_eq!(ms.commits, mb.commits);
+            prop_assert_eq!(ms.aborts, mb.aborts);
+            prop_assert_eq!(ms.access_aborts, mb.access_aborts);
+            prop_assert_eq!(ms.validation_aborts, mb.validation_aborts);
+            prop_assert_eq!(serial.snapshot(), batched.snapshot());
+
+            // The batched path really ran through the staging queue …
+            let stats = batched.admission_stats();
+            prop_assert!(stats.batches >= schedule.len() as u64);
+            // … and the serial database never touched it.
+            prop_assert_eq!(serial.admission_stats().batches, 0);
+        }
+    }
+}
+
 mod durability_tests {
     use mdts_model::{ItemId, TxId};
     use mdts_storage::{recover, CrashPoint, Store};
@@ -792,6 +907,110 @@ mod durability_tests {
         let recovered = recover::<i64>(&dir.join("wal.log")).unwrap();
         assert!(recovered.committed.contains(&TxId(tx_id.get())));
         assert_eq!(recovered.store.get(ItemId(0)), Some(&107));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_rotation_truncates_the_log_and_preserves_state() {
+        let dir = scratch("checkpoint");
+        let snapshot;
+        {
+            let store = Store::with_items(8, 100i64);
+            let config = DurabilityConfig::new(dir.join("wal.log")).checkpoint_every(4);
+            let (db, _) = Database::with_store_concurrent_durable(
+                Box::new(ShardedMtCc::new(3)),
+                store,
+                TraceSink::disabled(),
+                &config,
+            )
+            .unwrap();
+            for i in 0..40u32 {
+                db.run(16, |tx| {
+                    let item = ItemId(i % 8);
+                    let v = tx.read(item)?.unwrap_or(0);
+                    tx.write(item, v + 1)?;
+                    Ok(())
+                })
+                .expect("commit acknowledged");
+                // One sealed epoch per commit, so the 4-epoch cadence
+                // fires repeatedly.
+                assert!(db.sync());
+            }
+            let g = db.gauges();
+            assert!(g.wal_truncations >= 1, "40 sealed epochs at cadence 4 must rotate");
+            assert_eq!(g.wal_checkpoints, g.wal_truncations);
+            snapshot = db.snapshot();
+        }
+        // Truncation subsumes pre-checkpoint transactions into
+        // CHECKPOINT_TX, so the post-restart contract is store equality,
+        // not committed-set membership.
+        let recovered = recover::<i64>(&dir.join("wal.log")).unwrap();
+        assert!(recovered.committed.contains(&CHECKPOINT_TX));
+        assert!(
+            recovered.report.sealed_epochs < 40,
+            "the log retained all {} epochs — never truncated",
+            recovered.report.sealed_epochs
+        );
+        assert_eq!(recovered.store.len(), snapshot.len());
+        for (item, value) in &snapshot {
+            assert_eq!(recovered.store.get(*item), Some(value));
+        }
+        // Reopen over the truncated log: state carries forward.
+        let config = DurabilityConfig::new(dir.join("wal.log"));
+        let (db2, _) = Database::<i64>::with_store_concurrent_durable(
+            Box::new(ShardedMtCc::new(3)),
+            Store::new(),
+            TraceSink::disabled(),
+            &config,
+        )
+        .unwrap();
+        let total: i64 = db2.snapshot().values().sum();
+        assert_eq!(total, 8 * 100 + 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_race_concurrent_commits_without_losing_state() {
+        let dir = scratch("checkpoint-race");
+        let snapshot;
+        {
+            let store = Store::with_items(16, 0i64);
+            let config = DurabilityConfig::new(dir.join("wal.log")).checkpoint_every(2);
+            let (db, _) = Database::with_store_concurrent_durable(
+                Box::new(ShardedMtCc::new(3)),
+                store,
+                TraceSink::disabled(),
+                &config,
+            )
+            .unwrap();
+            std::thread::scope(|s| {
+                for t in 0..4u32 {
+                    let db = &db;
+                    s.spawn(move || {
+                        for i in 0..50u32 {
+                            db.run(64, |tx| {
+                                let item = ItemId((t * 50 + i) % 16);
+                                let v = tx.read(item)?.unwrap_or(0);
+                                tx.write(item, v + 1)?;
+                                Ok(())
+                            })
+                            .expect("commit acknowledged");
+                        }
+                    });
+                }
+            });
+            assert!(db.sync());
+            snapshot = db.snapshot();
+            let total: i64 = snapshot.values().sum();
+            assert_eq!(total, 200, "every acknowledged increment is in memory");
+        }
+        // Rotations raced the committers; the recovered store must still
+        // equal the final in-memory state exactly.
+        let recovered = recover::<i64>(&dir.join("wal.log")).unwrap();
+        assert_eq!(recovered.store.len(), snapshot.len());
+        for (item, value) in &snapshot {
+            assert_eq!(recovered.store.get(*item), Some(value));
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -342,6 +342,24 @@ pub struct EngineGauges {
     pub wal_durable_epoch: u64,
     /// Bytes framed into the open WAL epoch but not yet fsynced.
     pub wal_pending_bytes: u64,
+    /// WAL checkpoint frames written by the daemon (cumulative; ISSUE
+    /// 10 periodic checkpointing, 0 with checkpointing off).
+    pub wal_checkpoints: u64,
+    /// WAL prefix truncations performed after those checkpoints.
+    pub wal_truncations: u64,
+    /// Admission batches issued (fenced id blocks, including every
+    /// batch-of-one fast path; 0 with admission batching off).
+    pub admit_batches: u64,
+    /// Transactions admitted through those batches.
+    pub admit_batched_txns: u64,
+    /// Admissions that parked in the staging queue.
+    pub admit_parked: u64,
+    /// High-water admission batch size.
+    pub admit_max_batch: u64,
+    /// `(item, tx)` pairs prewarmed through the shard-grouped probe.
+    pub admit_prewarm_pairs: u64,
+    /// Staged admission requests at sample time (occupancy).
+    pub admit_queue_depth: u64,
 }
 
 impl EngineGauges {
@@ -754,6 +772,19 @@ impl MetricsSnapshot {
             vec![
                 ("durable_epoch".to_string(), g.wal_durable_epoch),
                 ("pending_bytes".to_string(), g.wal_pending_bytes),
+                ("checkpoints".to_string(), g.wal_checkpoints),
+                ("truncations".to_string(), g.wal_truncations),
+            ],
+        );
+        reg = reg.breakdown(
+            "admission",
+            vec![
+                ("batches".to_string(), g.admit_batches),
+                ("batched_txns".to_string(), g.admit_batched_txns),
+                ("parked".to_string(), g.admit_parked),
+                ("max_batch".to_string(), g.admit_max_batch),
+                ("prewarm_pairs".to_string(), g.admit_prewarm_pairs),
+                ("queue_depth".to_string(), g.admit_queue_depth),
             ],
         );
         let entries: Vec<(String, u64)> = self

@@ -23,7 +23,9 @@
 //! * **Durability** (ISSUE 9): [`wal`] is a binary redo log with
 //!   per-record CRC framing, monotone LSNs and epoch (group-commit)
 //!   frames; [`recovery`] replays every sealed epoch back into a
-//!   [`Store`], discarding torn and unsealed tails.
+//!   [`Store`], discarding torn and unsealed tails — optionally
+//!   partitioning the sealed epochs across a scoped thread pool
+//!   ([`recover_with`]) with a deterministic last-writer merge.
 //!
 //! Values are generic (`Clone`); the engine instantiates with `i64` for
 //! the bank-style examples and benchmarks.
@@ -40,7 +42,7 @@ pub use mvstore::{
     ConcurrentMvStore, MultiVersionStore, MvStoreStats, MvVersion, SnapshotGuard, Version,
     DEFAULT_PRUNE_THRESHOLD, MV_CHAIN_LEN_BUCKETS,
 };
-pub use recovery::{recover, Recovered, RecoveryReport};
+pub use recovery::{recover, recover_with, replay_threads, Recovered, RecoveryReport};
 pub use sharded::{ShardGuard, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::Store;
 pub use twophase::WriteBuffer;

@@ -19,7 +19,7 @@
 //! follow it; single-shard accesses trivially comply.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use mdts_model::ItemId;
 
@@ -33,10 +33,15 @@ pub type ShardGuard<'a, V> = MutexGuard<'a, BTreeMap<ItemId, V>>;
 
 /// A single-version key-value store striped over independently locked
 /// shards.
+/// The shard array sits behind an `Arc` so long-lived background work
+/// (the WAL checkpoint encoder) can hold its own [`shard_handle`] to the
+/// same shards without entangling the owning engine's reference counts.
+///
+/// [`shard_handle`]: ShardedStore::shard_handle
 #[derive(Debug, Default)]
 pub struct ShardedStore<V> {
     mask: usize,
-    shards: Box<[Mutex<BTreeMap<ItemId, V>>]>,
+    shards: Arc<[Mutex<BTreeMap<ItemId, V>>]>,
 }
 
 impl<V: Clone> ShardedStore<V> {
@@ -59,6 +64,14 @@ impl<V: Clone> ShardedStore<V> {
             out.lock_shard(out.shard_index(item)).insert(item, value.clone());
         }
         out
+    }
+
+    /// A second handle onto the **same** shards — not a copy. Writes
+    /// through either handle are visible through both; the shard data
+    /// stays alive until the last handle drops. Deliberately not `Clone`:
+    /// aliasing a store is an explicit act.
+    pub fn shard_handle(&self) -> ShardedStore<V> {
+        ShardedStore { mask: self.mask, shards: Arc::clone(&self.shards) }
     }
 
     /// Number of shards.

@@ -12,8 +12,14 @@
 #                              comparator acceptance lanes (bench_compare
 #                              --json) to BENCH_pr8.json, the durable
 #                              group-commit lane (exp19 --durable) to
-#                              BENCH_pr9.json, and the crash-recovery
-#                              matrix (exp20) to BENCH_pr9_exp20.json
+#                              BENCH_pr9.json, the crash-recovery
+#                              matrix (exp20) to BENCH_pr9_exp20.json,
+#                              the batched-admission durable sweep
+#                              (exp19 --durable with the ISSUE 10
+#                              admission pipeline on by default) to
+#                              BENCH_pr10.json, and the parallel-replay /
+#                              certified-restart / truncation matrix
+#                              (exp21) to BENCH_pr10_exp21.json
 #                              (all schema mdts-metrics/v1).
 #   scripts/bench.sh --smoke   CI-sized: exp19 --quick --json validated for
 #                              the schema stamp, the read-heavy MV lane
@@ -28,7 +34,12 @@
 #                              (group-commit WAL lane with cold recovery)
 #                              and exp20 --smoke (crash matrix: every
 #                              injection site plus SIGKILL, recovery, and
-#                              auditor certification).
+#                              auditor certification). The exp19 document
+#                              must carry non-zero admission batches
+#                              (the ISSUE 10 staging queue is on by
+#                              default), and exp21 --smoke runs the
+#                              parallel-replay identity, certified
+#                              restart, and checkpoint-truncation lanes.
 #                              The telemetry lane always runs: exp19 emits
 #                              an mdts-timeseries/v1 file under
 #                              --telemetry-strict, timeseries_check
@@ -53,6 +64,8 @@ OUT_TS=BENCH_pr6_timeseries.jsonl
 OUT8=BENCH_pr8.json
 OUT9=BENCH_pr9.json
 OUT9_20=BENCH_pr9_exp20.json
+OUT10=BENCH_pr10.json
+OUT10_21=BENCH_pr10_exp21.json
 
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== bench smoke: exp19 --quick --json (scaling + read-heavy MV lane) =="
@@ -97,8 +110,18 @@ if [[ "${1:-}" == "--smoke" ]]; then
         echo "bench smoke: --durable document is missing the group-commit sweep" >&2
         exit 1
     fi
+    # The batched admission pipeline is on by default, so the exp19
+    # document must carry a populated admission breakdown — at least one
+    # lane with a non-zero batch count, or the staging queue silently
+    # fell back to the serial path.
+    if ! grep -qE '"admission":\{"batches":[1-9]' <<<"$doc"; then
+        echo "bench smoke: exp19 document has no admission batches (pipeline inert?)" >&2
+        exit 1
+    fi
     echo "== bench smoke: exp20 --smoke (crash matrix: injection sites + SIGKILL + auditor) =="
     cargo run --release -q -p mdts-bench --bin exp20_recovery -- --smoke
+    echo "== bench smoke: exp21 --smoke (parallel replay identity + certified restart + truncation) =="
+    cargo run --release -q -p mdts-bench --bin exp21_replay -- --smoke
     echo "== bench smoke: exp18 --json =="
     doc18=$(cargo run --release -q -p mdts-bench --bin exp18_multiversion -- --json)
     if [[ "$doc18" != *'"experiment":"exp18"'* || "$doc18" != *'"protocol":"MV-MT(2q-1)"'* ]]; then
@@ -160,3 +183,14 @@ echo "== exp20 (crash-recovery matrix + auditor certification) --json -> $OUT9_2
 cargo run --release -q -p mdts-bench --bin exp20_recovery -- --json > "$OUT9_20"
 grep -q "$SCHEMA" "$OUT9_20"
 echo "bench: wrote $OUT9_20"
+
+echo "== exp19 --durable (batched admission on by default) --json -> $OUT10 =="
+cargo run --release -q -p mdts-bench --bin exp19_scaling -- --durable --json > "$OUT10"
+grep -q "$SCHEMA" "$OUT10"
+grep -qE '"admission":\{"batches":[1-9]' "$OUT10"
+echo "bench: wrote $OUT10"
+
+echo "== exp21 (parallel replay + certified restart + truncation) --json -> $OUT10_21 =="
+cargo run --release -q -p mdts-bench --bin exp21_replay -- --json > "$OUT10_21"
+grep -q "$SCHEMA" "$OUT10_21"
+echo "bench: wrote $OUT10_21"
